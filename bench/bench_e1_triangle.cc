@@ -1,0 +1,103 @@
+// E1 -- Section 3 claim: on the AGM-hard triangle instance, ANY binary
+// join plan materializes Theta(n^2) intermediate tuples and runs in
+// O~(n^2), while worst-case-optimal joins (Generic-Join, Leapfrog
+// Triejoin) run in O~(n^{1.5}).
+//
+// Expected shape: `intermediates` grows ~n^2 for binary plans and stays
+// 0 for WCO; binary wall-clock grows ~4x per doubling of n, WCO ~2.8x.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/join/binary_plan.h"
+#include "src/join/generic_join.h"
+#include "src/join/leapfrog.h"
+#include "src/query/agm.h"
+
+namespace topkjoin::bench {
+namespace {
+
+void BM_BinaryPlan(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 1);
+  JoinStats stats;
+  for (auto _ : state) {
+    stats = JoinStats();
+    benchmark::DoNotOptimize(LeftDeepJoin(t.db, t.query, {0, 1, 2}, &stats));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["intermediates"] =
+      static_cast<double>(stats.max_intermediate_size);
+  state.counters["output"] = static_cast<double>(stats.output_tuples);
+}
+
+void BM_BinaryPlanBestOrder(benchmark::State& state) {
+  // Even the best of all 6 orders blows up on this instance ("no matter
+  // the join order", Section 3).
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 1);
+  int64_t best = 0;
+  for (auto _ : state) {
+    best = INT64_MAX;
+    for (const PlanCost& pc : OrderSurvey(t.db, t.query)) {
+      best = std::min(best, pc.max_intermediate);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["best_order_intermediates"] = static_cast<double>(best);
+}
+
+void BM_GenericJoin(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 1);
+  JoinStats stats;
+  size_t output = 0;
+  for (auto _ : state) {
+    stats = JoinStats();
+    output = GenericJoinAll(t.db, t.query, &stats).NumTuples();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["intermediates"] =
+      static_cast<double>(stats.max_intermediate_size);
+  state.counters["output"] = static_cast<double>(output);
+}
+
+void BM_LeapfrogTriejoin(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 1);
+  JoinStats stats;
+  size_t output = 0;
+  for (auto _ : state) {
+    stats = JoinStats();
+    output = LeapfrogJoinAll(t.db, t.query, &stats).NumTuples();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["seeks"] = static_cast<double>(stats.comparisons);
+  state.counters["output"] = static_cast<double>(output);
+}
+
+void BM_AgmBound(benchmark::State& state) {
+  // Report the theoretical ceiling next to the measured numbers.
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 1);
+  double bound = 0.0;
+  for (auto _ : state) {
+    bound = AgmBound(t.query, t.db).value();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["agm_bound"] = bound;
+}
+
+BENCHMARK(BM_BinaryPlan)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BinaryPlanBestOrder)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenericJoin)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LeapfrogTriejoin)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AgmBound)->Arg(256)->Arg(1024)->Arg(2048);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E2 -- Section 3 claim: Yannakakis evaluates acyclic queries in
+// O~(n + r); the full reducer removes dangling tuples, so intermediate
+// results stay output-proportional where fixed binary plans pay for
+// Theta(n^2) dangling matches.
+//
+// Expected shape: binary `intermediates` ~ n^2 and quadratic wall-clock
+// growth; Yannakakis intermediates ~ r = live * n and ~linear growth.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/join/binary_plan.h"
+#include "src/join/yannakakis.h"
+
+namespace topkjoin::bench {
+namespace {
+
+constexpr double kLiveFraction = 0.02;
+
+void BM_BinaryPlanDangling(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = DanglingChain(n, kLiveFraction, 2);
+  JoinStats stats;
+  for (auto _ : state) {
+    stats = JoinStats();
+    benchmark::DoNotOptimize(LeftDeepJoin(t.db, t.query, {0, 1, 2}, &stats));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["intermediates"] =
+      static_cast<double>(stats.max_intermediate_size);
+  state.counters["output"] = static_cast<double>(stats.output_tuples);
+}
+
+void BM_YannakakisDangling(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = DanglingChain(n, kLiveFraction, 2);
+  JoinStats stats;
+  for (auto _ : state) {
+    stats = JoinStats();
+    benchmark::DoNotOptimize(YannakakisJoin(t.db, t.query, &stats));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["intermediates"] =
+      static_cast<double>(stats.max_intermediate_size);
+  state.counters["output"] = static_cast<double>(stats.output_tuples);
+}
+
+void BM_YannakakisBooleanOnly(benchmark::State& state) {
+  // The O~(n) Boolean variant: semijoin sweep, no join at all.
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = DanglingChain(n, kLiveFraction, 2);
+  bool any = false;
+  for (auto _ : state) {
+    JoinStats stats;
+    any = YannakakisBoolean(t.db, t.query, &stats);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["nonempty"] = any ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_BinaryPlanDangling)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_YannakakisDangling)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_YannakakisBooleanOnly)->Arg(250)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// E4 -- Section 2 claims: TA is instance-optimal in accesses and stops
+// far shallower than FA; NRA trades random accesses for deeper sorted
+// scans; correlation across lists decides how deep everyone must dig.
+//
+// Expected shape: sorted/random access counters ordered
+// TA <= FA (depth), NRA.random == 0; anti-correlated >> correlated
+// depth for every algorithm.
+#include <benchmark/benchmark.h>
+
+#include "src/topk/access_source.h"
+#include "src/topk/fagin.h"
+#include "src/topk/nra.h"
+#include "src/topk/threshold.h"
+#include "src/util/rng.h"
+
+namespace topkjoin::bench {
+namespace {
+
+std::vector<ScoredList> MakeLists(int corr, size_t objects) {
+  Rng rng(11);
+  return GenerateLists(3, objects, static_cast<ListCorrelation>(corr), rng);
+}
+
+template <MiddlewareTopK (*Algo)(const std::vector<ScoredList>&, size_t)>
+void RunMiddleware(benchmark::State& state) {
+  const auto corr = static_cast<int>(state.range(0));
+  const auto k = static_cast<size_t>(state.range(1));
+  const size_t objects = 10000;
+  const auto lists = MakeLists(corr, objects);
+  MiddlewareTopK r;
+  for (auto _ : state) {
+    r = Algo(lists, k);
+  }
+  state.counters["corr"] = static_cast<double>(corr);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["depth"] = static_cast<double>(r.max_depth);
+  state.counters["sorted"] = static_cast<double>(r.sorted_accesses);
+  state.counters["random"] = static_cast<double>(r.random_accesses);
+}
+
+void BM_FA(benchmark::State& state) { RunMiddleware<FaginTopK>(state); }
+void BM_TA(benchmark::State& state) { RunMiddleware<ThresholdTopK>(state); }
+void BM_NRA(benchmark::State& state) { RunMiddleware<NraTopK>(state); }
+
+// corr: 0 = independent, 1 = correlated, 2 = anti-correlated.
+const std::vector<std::vector<int64_t>> kArgs = {{0, 1, 2}, {1, 10, 100}};
+
+BENCHMARK(BM_FA)->ArgsProduct(kArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TA)->ArgsProduct(kArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NRA)->ArgsProduct(kArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

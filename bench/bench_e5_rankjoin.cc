@@ -1,0 +1,152 @@
+// E5 -- Section 2, RAM-model critique of rank joins: HRJN shines when
+// the winners sit near the top of each input, but (a) adversarial
+// bottom-winner placement forces it to read and BUFFER everything, and
+// (b) its buffered tuples are intermediate results that the middleware
+// cost model never charged for. J*'s loose per-relation bounds keep a
+// large frontier alive where any-k's exact DP bounds do not (E6).
+//
+// Expected shape: friendly instances read a tiny prefix; adversarial
+// read 100% and buffer ~2n tuples; rank-join on the triangle query
+// buffers far more than the output warrants.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/anyk/anyk.h"
+#include "src/data/generators.h"
+#include "src/topk/jstar.h"
+#include "src/topk/rank_join.h"
+#include "src/util/rng.h"
+
+namespace topkjoin::bench {
+namespace {
+
+constexpr size_t kTopK = 10;
+
+// Friendly: uniform weights; light results exist among light inputs.
+Instance FriendlyTwoWay(size_t n, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  const RelationId r = t.db.Add(
+      UniformBinaryRelation("R", n, static_cast<Value>(n / 10), rng));
+  const RelationId s = t.db.Add(
+      UniformBinaryRelation("S", n, static_cast<Value>(n / 10), rng));
+  t.query.AddAtom(r, {0, 1});
+  t.query.AddAtom(s, {1, 2});
+  return t;
+}
+
+// Adversarial: the only joinable pair carries the heaviest weights.
+Instance BottomWinner(size_t n) {
+  Instance t;
+  Relation r = Relation::WithArity("R", 2);
+  Relation s = Relation::WithArity("S", 2);
+  for (size_t i = 0; i < n; ++i) {
+    r.AddTuple({static_cast<Value>(i), static_cast<Value>(100000 + i)},
+               1e-4 * static_cast<double>(i));
+    s.AddTuple({static_cast<Value>(200000 + i), static_cast<Value>(i)},
+               1e-4 * static_cast<double>(i));
+  }
+  r.AddTuple({1, 99999}, 50.0);
+  s.AddTuple({99999, 2}, 50.0);
+  const RelationId rid = t.db.Add(std::move(r));
+  const RelationId sid = t.db.Add(std::move(s));
+  t.query.AddAtom(rid, {0, 1});
+  t.query.AddAtom(sid, {1, 2});
+  return t;
+}
+
+void BM_HrjnFriendly(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = FriendlyTwoWay(n, 7);
+  int64_t read = 0, buffered = 0;
+  for (auto _ : state) {
+    RankJoinPlan plan(t.db, t.query, {0, 1});
+    for (size_t i = 0; i < kTopK; ++i) {
+      if (!plan.Next().has_value()) break;
+    }
+    read = plan.TotalTuplesRead();
+    buffered = plan.TotalBuffered();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["read"] = static_cast<double>(read);
+  state.counters["buffered"] = static_cast<double>(buffered);
+}
+
+void BM_HrjnBottomWinner(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = BottomWinner(n);
+  int64_t read = 0, buffered = 0;
+  for (auto _ : state) {
+    RankJoinPlan plan(t.db, t.query, {0, 1});
+    (void)plan.Next();  // top-1 requires full depth
+    read = plan.TotalTuplesRead();
+    buffered = plan.TotalBuffered();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["read"] = static_cast<double>(read);
+  state.counters["buffered"] = static_cast<double>(buffered);
+}
+
+void BM_HrjnCyclicTriangle(benchmark::State& state) {
+  // Rank join on the AGM-hard triangle: buffered intermediates blow up
+  // quadratically even for small k -- the paper's point that top-k
+  // algorithms were never charged for intermediate results.
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = AgmHardTriangle(n, 9);
+  int64_t read = 0, buffered = 0;
+  for (auto _ : state) {
+    RankJoinPlan plan(t.db, t.query, {0, 1, 2});
+    for (size_t i = 0; i < kTopK; ++i) {
+      if (!plan.Next().has_value()) break;
+    }
+    read = plan.TotalTuplesRead();
+    buffered = plan.TotalBuffered();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["read"] = static_cast<double>(read);
+  state.counters["buffered"] = static_cast<double>(buffered);
+}
+
+void BM_JStarPathTopK(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = FriendlyTwoWay(n, 7);
+  int64_t frontier = 0;
+  for (auto _ : state) {
+    JStar js(t.db, t.query, {0, 1});
+    for (size_t i = 0; i < kTopK; ++i) {
+      if (!js.Next().has_value()) break;
+    }
+    frontier = js.FrontierSize();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["frontier"] = static_cast<double>(frontier);
+}
+
+void BM_AnyKPathTopK(benchmark::State& state) {
+  // The any-k contrast on the identical workload.
+  const auto n = static_cast<size_t>(state.range(0));
+  Instance t = FriendlyTwoWay(n, 7);
+  for (auto _ : state) {
+    auto it = MakeAnyK(t.db, t.query, AnyKAlgorithm::kPartLazy);
+    for (size_t i = 0; i < kTopK; ++i) {
+      if (!it->Next().has_value()) break;
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_HrjnFriendly)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HrjnBottomWinner)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HrjnCyclicTriangle)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JStarPathTopK)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AnyKPathTopK)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

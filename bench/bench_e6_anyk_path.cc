@@ -1,0 +1,76 @@
+// E6 -- Section 4 / [90] claims: any-k returns top results far before
+// batch (full join + sort) finishes; and neither ANYK-PART nor ANYK-REC
+// dominates -- PART (Lazy) reaches the first results faster, REC
+// amortizes better toward full enumeration.
+//
+// Expected shape: TT(1) and TT(10): part-lazy <= part-eager ~ rec <<
+// batch; TTL (full drain): rec <= part variants, batch competitive
+// (sorting is cheap per result but pays everything upfront).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/anyk/anyk.h"
+
+namespace topkjoin::bench {
+namespace {
+
+constexpr size_t kStages = 4;
+constexpr size_t kFanout = 3;
+
+void RunToK(benchmark::State& state, AnyKAlgorithm algo, int64_t k) {
+  const auto domain = static_cast<Value>(state.range(0));
+  Instance t = LayeredPath(kStages, domain, kFanout, 21);
+  int64_t produced = 0;
+  for (auto _ : state) {
+    auto it = MakeAnyK(t.db, t.query, algo);
+    produced = 0;
+    while (produced < k && it->Next().has_value()) ++produced;
+  }
+  state.counters["domain"] = static_cast<double>(domain);
+  state.counters["k_requested"] = static_cast<double>(k);
+  state.counters["k_produced"] = static_cast<double>(produced);
+}
+
+void RunFullDrain(benchmark::State& state, AnyKAlgorithm algo) {
+  const auto domain = static_cast<Value>(state.range(0));
+  Instance t = LayeredPath(kStages, domain, kFanout, 21);
+  int64_t produced = 0;
+  for (auto _ : state) {
+    auto it = MakeAnyK(t.db, t.query, algo);
+    produced = 0;
+    while (it->Next().has_value()) ++produced;
+  }
+  state.counters["domain"] = static_cast<double>(domain);
+  state.counters["results"] = static_cast<double>(produced);
+}
+
+#define DEFINE_TT(NAME, ALGO, K)                              \
+  void NAME(benchmark::State& state) {                        \
+    RunToK(state, AnyKAlgorithm::ALGO, K);                    \
+  }                                                           \
+  BENCHMARK(NAME)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond)
+
+DEFINE_TT(BM_TT1_Rec, kRec, 1);
+DEFINE_TT(BM_TT1_PartEager, kPartEager, 1);
+DEFINE_TT(BM_TT1_PartLazy, kPartLazy, 1);
+DEFINE_TT(BM_TT1_Batch, kBatch, 1);
+DEFINE_TT(BM_TT1000_Rec, kRec, 1000);
+DEFINE_TT(BM_TT1000_PartEager, kPartEager, 1000);
+DEFINE_TT(BM_TT1000_PartLazy, kPartLazy, 1000);
+DEFINE_TT(BM_TT1000_Batch, kBatch, 1000);
+
+#define DEFINE_TTL(NAME, ALGO)                                \
+  void NAME(benchmark::State& state) {                        \
+    RunFullDrain(state, AnyKAlgorithm::ALGO);                 \
+  }                                                           \
+  BENCHMARK(NAME)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond)
+
+DEFINE_TTL(BM_TTL_Rec, kRec);
+DEFINE_TTL(BM_TTL_PartEager, kPartEager);
+DEFINE_TTL(BM_TTL_PartLazy, kPartLazy);
+DEFINE_TTL(BM_TTL_Batch, kBatch);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

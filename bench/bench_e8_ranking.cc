@@ -1,0 +1,48 @@
+// E8 -- Section 4 claim: any-k supports a family of monotone ranking
+// functions through one dioid abstraction at comparable cost. SUM, MAX
+// and PROD should be near-identical; LEX pays for vector-valued costs.
+//
+// Expected shape: top-1000 times within a small factor across
+// SUM/MAX/PROD; LEX slower by a constant factor, same asymptotics.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/anyk/anyk_rec.h"
+#include "src/anyk/tdp.h"
+#include "src/ranking/cost_model.h"
+
+namespace topkjoin::bench {
+namespace {
+
+constexpr size_t kTopK = 1000;
+
+template <typename CM>
+void RunModel(benchmark::State& state) {
+  const auto domain = static_cast<Value>(state.range(0));
+  Instance t = LayeredPath(4, domain, 3, 29);
+  size_t produced = 0;
+  for (auto _ : state) {
+    Tdp<CM> tdp(t.db, t.query, SortMode::kLazy, nullptr);
+    AnyKRec<CM> rec(&tdp);
+    produced = 0;
+    while (produced < kTopK && rec.Next().has_value()) ++produced;
+  }
+  state.counters["domain"] = static_cast<double>(domain);
+  state.counters["produced"] = static_cast<double>(produced);
+  state.SetLabel(CM::kName);
+}
+
+void BM_Sum(benchmark::State& state) { RunModel<SumCost>(state); }
+void BM_Max(benchmark::State& state) { RunModel<MaxCost>(state); }
+void BM_Prod(benchmark::State& state) { RunModel<ProdCost>(state); }
+void BM_Lex(benchmark::State& state) { RunModel<LexCost>(state); }
+
+BENCHMARK(BM_Sum)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Max)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Prod)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lex)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

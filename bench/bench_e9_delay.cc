@@ -1,0 +1,97 @@
+// E9 -- Section 4, the constant-delay connection: after O~(n)
+// preprocessing, UNranked enumeration streams with constant delay;
+// ranked any-k enumeration pays only a logarithmic-in-k delay on top.
+//
+// Expected shape: unranked mean delay flat in n; ranked mean delay a
+// small multiple of unranked, growing ~log with the number of results
+// already emitted; batch "delay" is all concentrated in the first
+// result (TTF ~ total work).
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/anyk/anyk.h"
+#include "src/anyk/batch.h"
+#include "src/anyk/tdp.h"
+#include "src/ranking/cost_model.h"
+#include "src/util/timer.h"
+
+namespace topkjoin::bench {
+namespace {
+
+void BM_UnrankedDelay(benchmark::State& state) {
+  const auto domain = static_cast<Value>(state.range(0));
+  Instance t = LayeredPath(4, domain, 3, 31);
+  double max_delay_us = 0.0, results = 0.0;
+  for (auto _ : state) {
+    Tdp<SumCost> tdp(t.db, t.query, SortMode::kEager, nullptr);
+    UnrankedEnumerator<SumCost> en(&tdp);
+    results = 0;
+    max_delay_us = 0.0;
+    Timer timer;
+    while (en.Next().has_value()) {
+      max_delay_us = std::max(
+          max_delay_us, static_cast<double>(timer.ElapsedMicros()));
+      timer.Restart();
+      ++results;
+    }
+  }
+  state.counters["domain"] = static_cast<double>(domain);
+  state.counters["results"] = results;
+  state.counters["max_delay_us"] = max_delay_us;
+}
+
+void RunRankedDelay(benchmark::State& state, AnyKAlgorithm algo) {
+  const auto domain = static_cast<Value>(state.range(0));
+  Instance t = LayeredPath(4, domain, 3, 31);
+  double max_delay_us = 0.0, first_us = 0.0, results = 0.0;
+  for (auto _ : state) {
+    Timer total;
+    auto it = MakeAnyK(t.db, t.query, algo);
+    results = 0;
+    max_delay_us = 0.0;
+    Timer timer;
+    bool first = true;
+    while (it->Next().has_value()) {
+      const auto us = static_cast<double>(timer.ElapsedMicros());
+      if (first) {
+        first_us = static_cast<double>(total.ElapsedMicros());
+        first = false;
+      } else {
+        max_delay_us = std::max(max_delay_us, us);
+      }
+      timer.Restart();
+      ++results;
+    }
+  }
+  state.counters["domain"] = static_cast<double>(domain);
+  state.counters["results"] = results;
+  state.counters["ttf_us"] = first_us;
+  state.counters["max_delay_us"] = max_delay_us;
+}
+
+void BM_RankedDelayRec(benchmark::State& state) {
+  RunRankedDelay(state, AnyKAlgorithm::kRec);
+}
+void BM_RankedDelayPartLazy(benchmark::State& state) {
+  RunRankedDelay(state, AnyKAlgorithm::kPartLazy);
+}
+void BM_RankedDelayBatch(benchmark::State& state) {
+  RunRankedDelay(state, AnyKAlgorithm::kBatch);
+}
+
+BENCHMARK(BM_UnrankedDelay)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankedDelayRec)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankedDelayPartLazy)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RankedDelayBatch)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace topkjoin::bench
+
+BENCHMARK_MAIN();

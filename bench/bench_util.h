@@ -1,0 +1,68 @@
+// Shared workload builders for the experiment benches (E1-E9). Each
+// bench binary regenerates one claim of the paper; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+#ifndef TOPKJOIN_BENCH_BENCH_UTIL_H_
+#define TOPKJOIN_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "src/data/database.h"
+#include "src/data/generators.h"
+#include "src/query/cq.h"
+#include "src/util/rng.h"
+
+namespace topkjoin::bench {
+
+struct Instance {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+/// Triangle query over three copies of the AGM-hard instance of
+/// Section 3: every binary plan materializes ~ (n/2)^2 intermediate
+/// tuples; WCO joins run in O~(n^{1.5}).
+inline Instance AgmHardTriangle(size_t n, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  const RelationId r = t.db.Add(AgmHardRelation("R", n, rng));
+  const RelationId s = t.db.Add(AgmHardRelation("S", n, rng));
+  const RelationId w = t.db.Add(AgmHardRelation("T", n, rng));
+  t.query.AddAtom(r, {0, 1});
+  t.query.AddAtom(s, {1, 2});
+  t.query.AddAtom(w, {2, 0});
+  return t;
+}
+
+/// The dangling 3-chain: binary plans pay Theta(n^2) while Yannakakis
+/// stays O(n + r) with r = n * live tuples.
+inline Instance DanglingChain(size_t n, double live_fraction, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  Relation r1 = Relation::WithArity("x", 0), r2 = r1, r3 = r1;
+  DanglingChainInstance(n, live_fraction, rng, &r1, &r2, &r3);
+  const RelationId i1 = t.db.Add(std::move(r1));
+  const RelationId i2 = t.db.Add(std::move(r2));
+  const RelationId i3 = t.db.Add(std::move(r3));
+  t.query.AddAtom(i1, {0, 1});
+  t.query.AddAtom(i2, {1, 2});
+  t.query.AddAtom(i3, {2, 3});
+  return t;
+}
+
+/// l-stage layered path query with controlled fan-out: ~domain * fanout
+/// tuples per stage; ~domain * fanout^l results. The E6 any-k workload.
+inline Instance LayeredPath(size_t stages, Value domain, size_t fanout,
+                            uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  for (size_t i = 0; i < stages; ++i) {
+    const RelationId id = t.db.Add(LayeredStageRelation(
+        "R" + std::to_string(i), domain, fanout, rng));
+    t.query.AddAtom(id, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  return t;
+}
+
+}  // namespace topkjoin::bench
+
+#endif  // TOPKJOIN_BENCH_BENCH_UTIL_H_

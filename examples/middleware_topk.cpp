@@ -1,0 +1,54 @@
+// The classic TA setting (Section 2 of the paper): a restaurant table
+// vertically partitioned into per-criterion score lists managed by
+// external services; the middleware combines them to find the global
+// top-k while minimizing (priced) accesses.
+//
+//   ./build/examples/middleware_topk [num_objects] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/topk/access_source.h"
+#include "src/topk/fagin.h"
+#include "src/topk/nra.h"
+#include "src/topk/threshold.h"
+#include "src/util/rng.h"
+
+using namespace topkjoin;
+
+namespace {
+
+void Report(const char* name, const MiddlewareTopK& r) {
+  std::printf("%-8s depth=%-6lld sorted=%-7lld random=%-7lld top-1=obj %lld"
+              " (%.3f)\n",
+              name, static_cast<long long>(r.max_depth),
+              static_cast<long long>(r.sorted_accesses),
+              static_cast<long long>(r.random_accesses),
+              static_cast<long long>(r.entries.front().first),
+              r.entries.front().second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_objects =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 10000;
+  const size_t k = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 10;
+  Rng rng(14);
+
+  for (const auto& [corr, label] :
+       {std::pair{ListCorrelation::kCorrelated, "correlated lists"},
+        std::pair{ListCorrelation::kIndependent, "independent lists"},
+        std::pair{ListCorrelation::kAntiCorrelated, "anti-correlated lists"}}) {
+    const auto lists = GenerateLists(3, num_objects, corr, rng);
+    std::printf("\n=== %s (m=3, objects=%zu, k=%zu) ===\n", label,
+                num_objects, k);
+    Report("FA", FaginTopK(lists, k));
+    Report("TA", ThresholdTopK(lists, k));
+    Report("NRA", NraTopK(lists, k));
+  }
+  std::printf("\nNote how TA's threshold lets it stop far above FA's "
+              "required depth,\nand how anti-correlation forces everyone "
+              "deep -- the regime where the\npaper argues RAM-model costs "
+              "(not just accesses) must be accounted.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The paper's introductory example: the top-k lightest 4-cycles of a
+// weighted graph, evaluated with the union-of-acyclic-plans (mini-PANDA)
+// decomposition so preprocessing stays O~(n^{1.5}) instead of the
+// O~(n^2) of full worst-case-optimal enumeration.
+//
+//   ./build/examples/top_four_cycles [num_nodes] [num_edges] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cycles/fourcycle.h"
+#include "src/graph/graph_generators.h"
+#include "src/join/join_stats.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+using namespace topkjoin;
+
+int main(int argc, char** argv) {
+  const Value num_nodes = argc > 1 ? std::atoll(argv[1]) : 300;
+  const size_t num_edges =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 2500;
+  const size_t k = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 10;
+
+  Rng rng(2020);
+  Graph g = GnmRandomGraph(num_nodes, num_edges, rng);
+  // Plant three very light 4-cycles so the top of the ranking is known.
+  g = PlantFourCycles(std::move(g), 3, 0.0, 0.01, rng);
+
+  Database db;
+  const RelationId e = db.Add(g.ToRelation());
+  const ConjunctiveQuery q = FourCycleQuery(e);
+
+  Timer timer;
+  JoinStats stats;
+  const int64_t total = CountFourCycles(db, q, &stats);
+  std::printf("graph: %lld nodes, %zu edges; %lld directed 4-cycles\n",
+              static_cast<long long>(g.NumNodes()), g.NumEdges(),
+              static_cast<long long>(total));
+  std::printf("counted in %.1f ms via the heavy/light case plans "
+              "(%lld bag tuples materialized)\n",
+              timer.ElapsedSeconds() * 1e3,
+              static_cast<long long>(stats.intermediate_tuples));
+
+  timer.Restart();
+  auto it = MakeFourCycleAnyK(db, q, AnyKAlgorithm::kRec, nullptr);
+  std::printf("\ntop-%zu lightest 4-cycles:\n", k);
+  for (size_t i = 0; i < k; ++i) {
+    const auto r = it->Next();
+    if (!r.has_value()) break;
+    std::printf("  #%zu  %lld -> %lld -> %lld -> %lld  weight %.4f\n",
+                i + 1, static_cast<long long>(r->assignment[0]),
+                static_cast<long long>(r->assignment[1]),
+                static_cast<long long>(r->assignment[2]),
+                static_cast<long long>(r->assignment[3]), r->cost);
+  }
+  std::printf("top-%zu streamed in %.1f ms (no full enumeration)\n", k,
+              timer.ElapsedSeconds() * 1e3);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Convenience factory: build a ranked-enumeration iterator (with its
+// owned T-DP state) for an acyclic full CQ under the SUM ranking
+// function. For other ranking dioids, instantiate Tdp<> and the
+// algorithm templates directly (see ranking/cost_model.h).
+#ifndef TOPKJOIN_ANYK_ANYK_H_
+#define TOPKJOIN_ANYK_ANYK_H_
+
+#include <memory>
+#include <string>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// The ranked-enumeration algorithms the tutorial compares in Part 3.
+enum class AnyKAlgorithm {
+  kRec,        // ANYK-REC (recursive enumeration, k-shortest-path lineage)
+  kPartEager,  // ANYK-PART, candidate lists pre-sorted
+  kPartLazy,   // ANYK-PART, candidate lists materialized incrementally
+  kBatch,      // full enumeration + sort (baseline)
+};
+
+const char* AnyKAlgorithmName(AnyKAlgorithm algorithm);
+
+/// Builds the T-DP (full reducer + DP + candidate lists) and wraps the
+/// chosen algorithm. The query must be acyclic (CHECK-failed otherwise);
+/// preprocessing cost is recorded in `stats` when provided.
+std::unique_ptr<RankedIterator> MakeAnyK(const Database& db,
+                                         const ConjunctiveQuery& query,
+                                         AnyKAlgorithm algorithm,
+                                         JoinStats* stats = nullptr);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_ANYK_H_

@@ -1,0 +1,130 @@
+// ANYK-PART: ranked enumeration by Lawler-Murty space partitioning
+// (Lawler 1972, Murty 1968; Section 4 of the paper), specialized to the
+// join structure so delay drops to O(log k) in data complexity [90].
+//
+// A solution serializes the join tree in preorder and picks, for each
+// position, an index into the candidate list of that node's group (the
+// group is determined by the parent's chosen tuple; candidate lists are
+// ordered by best-completion cost). When a solution with deviation
+// position p is popped, its successors bump the index at every position
+// j >= p and re-complete positions > j optimally. Each solution is
+// generated exactly once and a successor never costs less than its
+// parent, so a global priority queue pops results in ranking order.
+//
+// The Tdp's SortMode selects the Eager variant (candidate lists fully
+// sorted at preprocessing) or the Lazy variant (lists materialized
+// incrementally from per-group heaps) of [90].
+#ifndef TOPKJOIN_ANYK_ANYK_PART_H_
+#define TOPKJOIN_ANYK_ANYK_PART_H_
+
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/anyk/tdp.h"
+
+namespace topkjoin {
+
+template <typename CM>
+class AnyKPart : public RankedIterator {
+ public:
+  using CostT = typename CM::CostT;
+
+  explicit AnyKPart(Tdp<CM>* tdp) : tdp_(tdp) {
+    if (!tdp_->HasResults()) return;
+    // Seed: the optimal solution (index 0 everywhere).
+    Candidate seed;
+    seed.indices.assign(tdp_->NumNodes(), 0);
+    seed.dev_pos = 0;
+    TOPKJOIN_CHECK(Evaluate(&seed));
+    frontier_.push(std::move(seed));
+    ++pq_pushes_;
+  }
+
+  std::optional<RankedResult> Next() override {
+    auto r = NextWithCost();
+    if (!r.has_value()) return std::nullopt;
+    RankedResult out;
+    out.assignment = std::move(r->first);
+    out.cost = CM::ToDouble(r->second);
+    return out;
+  }
+
+  std::optional<std::pair<std::vector<Value>, CostT>> NextWithCost() {
+    if (frontier_.empty()) return std::nullopt;
+    Candidate top = frontier_.top();
+    frontier_.pop();
+    // Lawler expansion: bump every position >= the popped solution's
+    // deviation position.
+    for (size_t j = top.dev_pos; j < tdp_->NumNodes(); ++j) {
+      Candidate succ;
+      succ.indices.assign(top.indices.begin(),
+                          top.indices.begin() + static_cast<ptrdiff_t>(j + 1));
+      succ.indices.resize(tdp_->NumNodes(), 0);
+      ++succ.indices[j];
+      succ.dev_pos = j;
+      if (Evaluate(&succ)) {
+        frontier_.push(std::move(succ));
+        ++pq_pushes_;
+      }
+    }
+    std::pair<std::vector<Value>, CostT> out;
+    tdp_->AssignmentOf(top.choice, &out.first);
+    out.second = std::move(top.cost);
+    return out;
+  }
+
+  int64_t pq_pushes() const { return pq_pushes_; }
+
+ private:
+  struct Candidate {
+    std::vector<uint32_t> indices;  // per node: rank within its group
+    std::vector<RowId> choice;      // resolved tuples (filled by Evaluate)
+    size_t dev_pos = 0;
+    CostT cost = CM::Identity();
+  };
+
+  struct CandidateOrder {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return CM::Less(b.cost, a.cost);  // min-queue
+    }
+  };
+
+  // Resolves indices to tuples by walking the tree in preorder (node i's
+  // parent has a smaller index, so its tuple -- and hence node i's group
+  // -- is known by the time we reach i). Returns false when some index
+  // is out of range for its group. Fills choice and exact cost.
+  bool Evaluate(Candidate* cand) {
+    const size_t num_nodes = tdp_->NumNodes();
+    cand->choice.resize(num_nodes);
+    groups_buffer_.resize(num_nodes);
+    groups_buffer_[0] = tdp_->RootGroup();
+    CostT cost = CM::Identity();
+    for (size_t i = 0; i < num_nodes; ++i) {
+      const auto& node = tdp_->node(i);
+      RowId row = 0;
+      if (!tdp_->GroupTuple(i, groups_buffer_[i], cand->indices[i], &row)) {
+        return false;
+      }
+      cand->choice[i] = row;
+      cost = CM::Combine(cost, CM::FromWeight(node.rel.TupleWeight(row)));
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        groups_buffer_[node.children[ci]] = node.child_groups[row][ci];
+      }
+    }
+    cand->cost = std::move(cost);
+    return true;
+  }
+
+  Tdp<CM>* tdp_;
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder>
+      frontier_;
+  std::vector<GroupId> groups_buffer_;
+  int64_t pq_pushes_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_ANYK_PART_H_

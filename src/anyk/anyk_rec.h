@@ -1,0 +1,191 @@
+// ANYK-REC: ranked enumeration by recursive extension of the dynamic
+// program (the k-shortest-paths lineage: Bellman-Kalaba "k-th best
+// policies" 1960, Dreyfus 1969, the Recursive Enumeration Algorithm of
+// Jimenez-Marzal 1999; Section 4 of the paper).
+//
+// Every (node, group) pair owns a lazily materialized, sorted stream of
+// its subtree solutions. The rank-r solution of a stream is found by a
+// priority queue over "successor" candidates: a solution is a group
+// tuple plus a rank per child stream, and its successors bump one child
+// rank (deduplicated with the classic last-incremented-child rule) --
+// recursively forcing deeper streams only as far as needed. Streams are
+// shared across the enumeration, which is what lets ANYK-REC amortize
+// work and win for large k (the "neither dominates" empirical finding).
+#ifndef TOPKJOIN_ANYK_ANYK_REC_H_
+#define TOPKJOIN_ANYK_ANYK_REC_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/anyk/tdp.h"
+
+namespace topkjoin {
+
+template <typename CM>
+class AnyKRec : public RankedIterator {
+ public:
+  using CostT = typename CM::CostT;
+
+  /// The Tdp must outlive the iterator and is shared mutable state
+  /// (its lazy group lists advance as the enumeration proceeds).
+  explicit AnyKRec(Tdp<CM>* tdp) : tdp_(tdp) {
+    streams_.resize(tdp_->NumNodes());
+    for (size_t i = 0; i < tdp_->NumNodes(); ++i) {
+      streams_[i].resize(tdp_->node(i).groups.size());
+    }
+  }
+
+  std::optional<RankedResult> Next() override {
+    auto r = NextWithCost();
+    if (!r.has_value()) return std::nullopt;
+    RankedResult out;
+    out.assignment = std::move(r->first);
+    out.cost = CM::ToDouble(r->second);
+    return out;
+  }
+
+  /// Next result with the exact cost type.
+  std::optional<std::pair<std::vector<Value>, CostT>> NextWithCost() {
+    if (!tdp_->HasResults()) return std::nullopt;
+    const Sol* sol = GetSol(0, tdp_->RootGroup(), next_rank_);
+    if (sol == nullptr) return std::nullopt;
+    ++next_rank_;
+    std::vector<RowId> choice(tdp_->NumNodes());
+    Expand(0, tdp_->RootGroup(), *sol, &choice);
+    std::pair<std::vector<Value>, CostT> out;
+    tdp_->AssignmentOf(choice, &out.first);
+    out.second = sol->cost;
+    return out;
+  }
+
+  /// Total priority-queue pushes across all streams (RAM-model cost).
+  int64_t pq_pushes() const { return pq_pushes_; }
+
+ private:
+  // One subtree solution within a stream: a tuple of the group (by rank
+  // in the group's best-sorted order) plus one rank per child stream.
+  struct Sol {
+    uint32_t tuple_rank = 0;
+    std::vector<uint32_t> child_ranks;
+    uint32_t last_incremented = 0;  // dedup rule for successor generation
+    bool is_seed = false;  // seeds trigger the next tuple_rank seed
+    CostT cost;
+  };
+
+  struct SolOrder {
+    // std::priority_queue is a max-heap; invert to pop the cheapest.
+    bool operator()(const Sol& a, const Sol& b) const {
+      return CM::Less(b.cost, a.cost);
+    }
+  };
+
+  struct Stream {
+    std::vector<Sol> materialized;  // sorted prefix of the stream
+    std::priority_queue<Sol, std::vector<Sol>, SolOrder> frontier;
+    bool seeded = false;
+  };
+
+  // Returns the rank-th solution of stream (node, group), materializing
+  // lazily; nullptr when the stream has fewer solutions.
+  const Sol* GetSol(size_t node_idx, GroupId g, size_t rank) {
+    Stream& stream = streams_[node_idx][g];
+    if (!stream.seeded) {
+      stream.seeded = true;
+      SeedTuple(node_idx, g, 0, &stream);
+    }
+    while (stream.materialized.size() <= rank) {
+      if (stream.frontier.empty()) return nullptr;
+      Sol sol = stream.frontier.top();
+      stream.frontier.pop();
+      if (sol.is_seed) SeedTuple(node_idx, g, sol.tuple_rank + 1, &stream);
+      PushSuccessors(node_idx, g, sol, &stream);
+      stream.materialized.push_back(std::move(sol));
+    }
+    return &stream.materialized[rank];
+  }
+
+  // Seeds the stream with the all-zeros solution of the tuple at
+  // `tuple_rank` in the group's sorted order (if it exists). Its cost is
+  // exactly best[tuple]: the optimal completion of that tuple's subtree.
+  void SeedTuple(size_t node_idx, GroupId g, size_t tuple_rank,
+                 Stream* stream) {
+    RowId row = 0;
+    if (!tdp_->GroupTuple(node_idx, g, tuple_rank, &row)) return;
+    const auto& node = tdp_->node(node_idx);
+    Sol sol;
+    sol.tuple_rank = static_cast<uint32_t>(tuple_rank);
+    sol.child_ranks.assign(node.children.size(), 0);
+    sol.last_incremented = 0;
+    sol.is_seed = true;
+    sol.cost = node.best[row];
+    stream->frontier.push(std::move(sol));
+    ++pq_pushes_;
+  }
+
+  // Pushes the successors of `sol`: bump child rank ci for every
+  // ci >= sol.last_incremented (each successor's deeper stream is forced
+  // recursively to fetch its cost).
+  void PushSuccessors(size_t node_idx, GroupId g, const Sol& sol,
+                      Stream* stream) {
+    const auto& node = tdp_->node(node_idx);
+    if (node.children.empty()) return;
+    RowId row = 0;
+    TOPKJOIN_CHECK(tdp_->GroupTuple(node_idx, g, sol.tuple_rank, &row));
+    for (uint32_t ci = sol.last_incremented;
+         ci < static_cast<uint32_t>(node.children.size()); ++ci) {
+      const size_t child_node = node.children[ci];
+      const GroupId child_group = node.child_groups[row][ci];
+      const uint32_t new_rank = sol.child_ranks[ci] + 1;
+      const Sol* child_sol = GetSol(child_node, child_group, new_rank);
+      if (child_sol == nullptr) continue;  // child stream exhausted
+      Sol succ;
+      succ.tuple_rank = sol.tuple_rank;
+      succ.child_ranks = sol.child_ranks;
+      succ.child_ranks[ci] = new_rank;
+      succ.last_incremented = ci;
+      succ.is_seed = false;
+      // cost = tuple weight (+) each child's chosen-rank solution cost.
+      CostT cost = CM::FromWeight(node.rel.TupleWeight(row));
+      for (size_t cj = 0; cj < node.children.size(); ++cj) {
+        const Sol* cs = GetSol(node.children[cj],
+                               node.child_groups[row][cj],
+                               succ.child_ranks[cj]);
+        TOPKJOIN_CHECK(cs != nullptr);
+        cost = CM::Combine(cost, cs->cost);
+      }
+      succ.cost = std::move(cost);
+      stream->frontier.push(std::move(succ));
+      ++pq_pushes_;
+    }
+  }
+
+  // Expands a stream solution into concrete tuple choices for the whole
+  // subtree rooted at node_idx.
+  void Expand(size_t node_idx, GroupId g, const Sol& sol,
+              std::vector<RowId>* choice) {
+    RowId row = 0;
+    TOPKJOIN_CHECK(tdp_->GroupTuple(node_idx, g, sol.tuple_rank, &row));
+    (*choice)[node_idx] = row;
+    const auto& node = tdp_->node(node_idx);
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      const GroupId child_group = node.child_groups[row][ci];
+      const Sol* child_sol =
+          GetSol(node.children[ci], child_group, sol.child_ranks[ci]);
+      TOPKJOIN_CHECK(child_sol != nullptr);
+      Expand(node.children[ci], child_group, *child_sol, choice);
+    }
+  }
+
+  Tdp<CM>* tdp_;
+  std::vector<std::vector<Stream>> streams_;  // [node][group]
+  size_t next_rank_ = 0;
+  int64_t pq_pushes_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_ANYK_REC_H_

@@ -1,0 +1,180 @@
+// Batch baselines for ranked enumeration, plus the unranked
+// constant-delay enumerator the paper connects any-k to (Section 4:
+// "constant-delay join enumeration algorithms ... produce all query
+// results in quick succession after a short pre-processing phase, albeit
+// in no particular order").
+#ifndef TOPKJOIN_ANYK_BATCH_H_
+#define TOPKJOIN_ANYK_BATCH_H_
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/anyk/tdp.h"
+#include "src/ranking/cost_model.h"
+
+namespace topkjoin {
+
+/// Unranked enumeration over a T-DP: after the full-reducer
+/// preprocessing, results stream with constant delay (an explicit stack
+/// walk over the dangling-free groups; no result is ever discarded).
+template <typename CM>
+class UnrankedEnumerator {
+ public:
+  explicit UnrankedEnumerator(Tdp<CM>* tdp) : tdp_(tdp) {
+    if (!tdp_->HasResults()) return;
+    choice_.resize(tdp_->NumNodes());
+    ranks_.assign(tdp_->NumNodes(), 0);
+    if (Rebuild(0)) done_ = false;
+  }
+
+  /// Next assignment (indexed by VarId), or nullopt when exhausted.
+  /// Results arrive in no particular order.
+  std::optional<std::vector<Value>> Next() {
+    if (done_) return std::nullopt;
+    std::vector<Value> assignment;
+    tdp_->AssignmentOf(choice_, &assignment);
+    Advance();
+    return assignment;
+  }
+
+ private:
+  // Sets positions [from, end) to rank 0 given the prefix; groups come
+  // from parents. Returns false only on empty groups (cannot happen
+  // after full reduction).
+  bool Rebuild(size_t from) {
+    for (size_t i = from; i < tdp_->NumNodes(); ++i) {
+      if (i == 0) {
+        groups_.assign(tdp_->NumNodes(), 0);
+        groups_[0] = tdp_->RootGroup();
+      }
+      RowId row = 0;
+      if (!tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
+      choice_[i] = row;
+      const auto& node = tdp_->node(i);
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        groups_[node.children[ci]] = node.child_groups[row][ci];
+      }
+    }
+    return true;
+  }
+
+  // Odometer over per-node ranks (group sizes vary with the prefix).
+  void Advance() {
+    size_t i = tdp_->NumNodes();
+    while (i-- > 0) {
+      ++ranks_[i];
+      RowId row = 0;
+      if (tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) {
+        choice_[i] = row;
+        const auto& node = tdp_->node(i);
+        for (size_t ci = 0; ci < node.children.size(); ++ci) {
+          groups_[node.children[ci]] = node.child_groups[row][ci];
+        }
+        // Reset the suffix.
+        for (size_t j = i + 1; j < tdp_->NumNodes(); ++j) ranks_[j] = 0;
+        TOPKJOIN_CHECK(RebuildSuffix(i + 1));
+        return;
+      }
+      ranks_[i] = 0;
+    }
+    done_ = true;
+  }
+
+  bool RebuildSuffix(size_t from) {
+    for (size_t i = from; i < tdp_->NumNodes(); ++i) {
+      RowId row = 0;
+      if (!tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
+      choice_[i] = row;
+      const auto& node = tdp_->node(i);
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        groups_[node.children[ci]] = node.child_groups[row][ci];
+      }
+    }
+    return true;
+  }
+
+  Tdp<CM>* tdp_;
+  std::vector<RowId> choice_;
+  std::vector<uint32_t> ranks_;
+  std::vector<GroupId> groups_;
+  bool done_ = true;
+};
+
+/// BATCH: enumerate everything unranked, sort by cost, then iterate.
+/// This is the paper's "full-output computation + sort" strawman that
+/// any-k algorithms beat on time-to-first-result.
+template <typename CM>
+class BatchSorted : public RankedIterator {
+ public:
+  using CostT = typename CM::CostT;
+
+  explicit BatchSorted(Tdp<CM>* tdp) : tdp_(tdp) {
+    CollectAll();
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                return CM::Less(a.cost, b.cost);
+              });
+  }
+
+  std::optional<RankedResult> Next() override {
+    if (pos_ >= entries_.size()) return std::nullopt;
+    RankedResult out;
+    tdp_->AssignmentOf(entries_[pos_].choice, &out.assignment);
+    out.cost = CM::ToDouble(entries_[pos_].cost);
+    ++pos_;
+    return out;
+  }
+
+  size_t TotalResults() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<RowId> choice;
+    CostT cost;
+  };
+
+  void CollectAll() {
+    if (!tdp_->HasResults()) return;
+    std::vector<RowId> choice(tdp_->NumNodes());
+    std::vector<GroupId> groups(tdp_->NumNodes());
+    Recurse(0, tdp_->RootGroup(), &choice, &groups);
+  }
+
+  void Recurse(size_t i, GroupId g, std::vector<RowId>* choice,
+               std::vector<GroupId>* groups) {
+    (*groups)[i] = g;
+    const auto& node = tdp_->node(i);
+    for (size_t rank = 0;; ++rank) {
+      RowId row = 0;
+      if (!tdp_->GroupTuple(i, g, rank, &row)) break;
+      (*choice)[i] = row;
+      // Descend into the next preorder node, or emit.
+      if (i + 1 == tdp_->NumNodes()) {
+        Entry e;
+        e.choice = *choice;
+        e.cost = tdp_->CostOf(*choice);
+        entries_.push_back(std::move(e));
+      } else {
+        // Group of node i+1: its parent is some node <= i whose tuple is
+        // already chosen.
+        const auto& next = tdp_->node(i + 1);
+        const auto parent = static_cast<size_t>(next.parent);
+        const RowId prow = (*choice)[parent];
+        const GroupId ng =
+            tdp_->node(parent).child_groups[prow][next.child_slot];
+        Recurse(i + 1, ng, choice, groups);
+      }
+    }
+  }
+
+  Tdp<CM>* tdp_;
+  std::vector<Entry> entries_;
+  size_t pos_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_BATCH_H_

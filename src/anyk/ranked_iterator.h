@@ -1,0 +1,31 @@
+// The public any-k iterator interface: results in ranking order, one at
+// a time, without knowing k in advance ("anytime top-k", Section 4).
+#ifndef TOPKJOIN_ANYK_RANKED_ITERATOR_H_
+#define TOPKJOIN_ANYK_RANKED_ITERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// One ranked join result: the full variable assignment (indexed by
+/// VarId) and its cost rendered as a double (exact for the SUM/MAX/PROD
+/// models; the LEX model exposes its primary component).
+struct RankedResult {
+  std::vector<Value> assignment;
+  double cost = 0.0;
+};
+
+/// Pull-based ranked enumeration. Next() returns results in
+/// non-decreasing cost order; nullopt when exhausted.
+class RankedIterator {
+ public:
+  virtual ~RankedIterator() = default;
+  virtual std::optional<RankedResult> Next() = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_RANKED_ITERATOR_H_

@@ -1,0 +1,305 @@
+// T-DP: the tree-shaped dynamic program underlying any-k ranked
+// enumeration (Tziavelis et al., VLDB 2020 [90]; Section 4 of the
+// paper).
+//
+// Construction:
+//   1. GYO join tree over the acyclic full CQ.
+//   2. Full-reducer pass => dangling-free relations (global consistency).
+//   3. Tuples of each join-tree node are partitioned into groups by
+//      their join key with the parent node; a solution picks one tuple
+//      per node such that each child's tuple lies in the group selected
+//      by its parent's tuple.
+//   4. Bottom-up DP: best[t] = w(t) (+) best completions of all child
+//      subtrees -- the "principle of optimality" view that connects
+//      any-k to k-shortest-path algorithms.
+//
+// Group candidate lists can be maintained eagerly (fully sorted at
+// preprocessing time) or lazily (binary heap, incrementally popped) --
+// the distinction behind the Eager/Lazy any-k variants of [90].
+#ifndef TOPKJOIN_ANYK_TDP_H_
+#define TOPKJOIN_ANYK_TDP_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/join/semijoin.h"
+#include "src/query/cq.h"
+#include "src/query/hypergraph.h"
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+/// Group index within a node.
+using GroupId = uint32_t;
+
+/// How group candidate lists are sorted.
+enum class SortMode {
+  kEager,  // sort every group fully during preprocessing
+  kLazy,   // heapify during preprocessing; pop incrementally on demand
+};
+
+template <typename CM>
+class Tdp {
+ public:
+  using CostT = typename CM::CostT;
+
+  /// A candidate group: the tuples of one node sharing a parent join
+  /// key, ordered by best-completion cost on demand.
+  struct Group {
+    std::vector<RowId> heap;      // min-heap on best[] (lazy remainder)
+    std::vector<RowId> ordered;   // extracted sorted prefix
+  };
+
+  struct Node {
+    size_t atom = 0;                  // atom index in the query
+    int parent = -1;                  // node index; -1 for the root
+    size_t child_slot = 0;            // index within parent's children
+    std::vector<size_t> children;     // node indices
+    std::vector<size_t> key_cols;     // columns joining to the parent
+    Relation rel = Relation::WithArity("node", 0);  // reduced relation
+    std::vector<CostT> best;          // per tuple: best subtree cost
+    // Per tuple, per child slot: the group id within that child node.
+    std::vector<std::vector<GroupId>> child_groups;
+    std::vector<Group> groups;
+    std::unordered_map<ValueKey, GroupId, ValueKeyHash> group_of_key;
+  };
+
+  Tdp(const Database& db, const ConjunctiveQuery& query, SortMode sort_mode,
+      JoinStats* stats);
+
+  /// False when the (reduced) query has no results at all.
+  bool HasResults() const { return has_results_; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(size_t i) const { return nodes_[i]; }
+  const ConjunctiveQuery& query() const { return *query_; }
+
+  /// The root's single group (all root tuples). Invalid when
+  /// !HasResults().
+  GroupId RootGroup() const { return 0; }
+
+  /// Number of tuples in a group.
+  size_t GroupSize(size_t node_idx, GroupId g) const {
+    const Group& group = nodes_[node_idx].groups[g];
+    return group.heap.size() + group.ordered.size();
+  }
+
+  /// The rank-th best tuple of the group (0-based), forcing incremental
+  /// sorting in lazy mode. Returns false when rank >= group size.
+  bool GroupTuple(size_t node_idx, GroupId g, size_t rank, RowId* out);
+
+  /// Best (minimal) subtree-completion cost within a group. The group
+  /// must be non-empty.
+  const CostT& GroupBest(size_t node_idx, GroupId g) const {
+    const Group& group = nodes_[node_idx].groups[g];
+    const RowId top = group.ordered.empty() ? group.heap.front()
+                                            : group.ordered.front();
+    return nodes_[node_idx].best[top];
+  }
+
+  /// Builds the output assignment (indexed by VarId) for one tuple
+  /// choice per node, and its exact cost.
+  void AssignmentOf(const std::vector<RowId>& choice,
+                    std::vector<Value>* assignment) const;
+  CostT CostOf(const std::vector<RowId>& choice) const;
+
+  /// Optimal completion: starting from `node_idx` with tuples already
+  /// chosen for ancestors, fills `choice` for the whole subtree with the
+  /// best tuples. `choice[node_idx]`'s group must be g.
+  void CompleteOptimally(size_t node_idx, GroupId g,
+                         std::vector<RowId>* choice);
+
+  /// Total number of group lists (for instrumentation).
+  size_t NumGroups() const;
+
+ private:
+  void BuildTree(const Database& db, JoinStats* stats);
+  void BuildGroups();
+  void ComputeBest();
+
+  bool HeapLess(const Node& n, RowId a, RowId b) const {
+    return CM::Less(n.best[a], n.best[b]);
+  }
+
+  const ConjunctiveQuery* query_;
+  SortMode sort_mode_;
+  std::vector<Node> nodes_;
+  bool has_results_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Implementation.
+
+template <typename CM>
+Tdp<CM>::Tdp(const Database& db, const ConjunctiveQuery& query,
+             SortMode sort_mode, JoinStats* stats)
+    : query_(&query), sort_mode_(sort_mode) {
+  BuildTree(db, stats);
+  BuildGroups();
+  ComputeBest();
+  has_results_ = !nodes_.empty() && !nodes_[0].rel.Empty();
+}
+
+template <typename CM>
+void Tdp<CM>::BuildTree(const Database& db, JoinStats* stats) {
+  const auto tree = GyoJoinTree(*query_);
+  TOPKJOIN_CHECK(tree.has_value());  // callers decompose cyclic queries
+  ReducedInstance instance = MakeInstance(db, *query_);
+  FullReducer(*query_, *tree, &instance, stats);
+
+  // Node i = i-th atom in preorder.
+  const size_t m = query_->NumAtoms();
+  std::vector<size_t> node_of_atom(m);
+  for (size_t i = 0; i < m; ++i) node_of_atom[tree->order[i]] = i;
+  nodes_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t atom = tree->order[i];
+    Node& n = nodes_[i];
+    n.atom = atom;
+    n.rel = std::move(instance.atom_relations[atom]);
+    if (tree->parent[atom] >= 0) {
+      n.parent = static_cast<int>(
+          node_of_atom[static_cast<size_t>(tree->parent[atom])]);
+      Node& p = nodes_[static_cast<size_t>(n.parent)];
+      n.child_slot = p.children.size();
+      p.children.push_back(i);
+      const auto shared =
+          query_->SharedVars(atom, static_cast<size_t>(tree->parent[atom]));
+      n.key_cols = query_->ColumnsOf(atom, shared);
+    }
+  }
+}
+
+template <typename CM>
+void Tdp<CM>::BuildGroups() {
+  for (Node& n : nodes_) {
+    ValueKey key;
+    key.values.resize(n.key_cols.size());
+    for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
+      for (size_t i = 0; i < n.key_cols.size(); ++i) {
+        key.values[i] = n.rel.At(r, n.key_cols[i]);
+      }
+      auto [it, inserted] = n.group_of_key.try_emplace(
+          key, static_cast<GroupId>(n.groups.size()));
+      if (inserted) n.groups.emplace_back();
+      n.groups[it->second].heap.push_back(r);
+    }
+    // The root gets exactly one group even when empty.
+    if (n.parent < 0 && n.groups.empty()) n.groups.emplace_back();
+  }
+}
+
+template <typename CM>
+void Tdp<CM>::ComputeBest() {
+  // Reverse preorder: children before parents.
+  for (size_t idx = nodes_.size(); idx-- > 0;) {
+    Node& n = nodes_[idx];
+    n.best.resize(n.rel.NumTuples());
+    n.child_groups.assign(n.rel.NumTuples(), {});
+    ValueKey key;
+    for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
+      CostT cost = CM::FromWeight(n.rel.TupleWeight(r));
+      auto& cgs = n.child_groups[r];
+      cgs.resize(n.children.size());
+      for (size_t ci = 0; ci < n.children.size(); ++ci) {
+        const Node& c = nodes_[n.children[ci]];
+        // Project this tuple onto the child's join key. The child's
+        // key_cols are child columns of the shared vars; find the same
+        // vars in this node.
+        const auto& child_atom_vars = query_->atom(c.atom).vars;
+        key.values.clear();
+        for (size_t kc : c.key_cols) {
+          const VarId v = child_atom_vars[kc];
+          const auto cols = query_->ColumnsOf(n.atom, {v});
+          key.values.push_back(n.rel.At(r, cols[0]));
+        }
+        const auto it = c.group_of_key.find(key);
+        // Full reduction guarantees a matching child group.
+        TOPKJOIN_CHECK(it != c.group_of_key.end());
+        cgs[ci] = it->second;
+        cost = CM::Combine(cost, GroupBest(n.children[ci], it->second));
+      }
+      n.best[r] = std::move(cost);
+    }
+    // Organize each group: heapify; in eager mode fully sort.
+    for (Group& g : n.groups) {
+      auto less = [&](RowId a, RowId b) { return HeapLess(n, a, b); };
+      if (sort_mode_ == SortMode::kEager) {
+        std::sort(g.heap.begin(), g.heap.end(), less);
+        g.ordered = std::move(g.heap);
+        g.heap.clear();
+      } else {
+        // std::*_heap comparators are max-heap; invert for min-heap.
+        auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
+        std::make_heap(g.heap.begin(), g.heap.end(), greater);
+      }
+    }
+  }
+}
+
+template <typename CM>
+bool Tdp<CM>::GroupTuple(size_t node_idx, GroupId g, size_t rank,
+                         RowId* out) {
+  Node& n = nodes_[node_idx];
+  Group& group = n.groups[g];
+  auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
+  while (group.ordered.size() <= rank && !group.heap.empty()) {
+    std::pop_heap(group.heap.begin(), group.heap.end(), greater);
+    group.ordered.push_back(group.heap.back());
+    group.heap.pop_back();
+  }
+  if (rank >= group.ordered.size()) return false;
+  *out = group.ordered[rank];
+  return true;
+}
+
+template <typename CM>
+void Tdp<CM>::AssignmentOf(const std::vector<RowId>& choice,
+                           std::vector<Value>* assignment) const {
+  assignment->assign(static_cast<size_t>(query_->num_vars()), 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const auto& vars = query_->atom(n.atom).vars;
+    const auto tuple = n.rel.Tuple(choice[i]);
+    for (size_t c = 0; c < vars.size(); ++c) {
+      (*assignment)[static_cast<size_t>(vars[c])] = tuple[c];
+    }
+  }
+}
+
+template <typename CM>
+typename CM::CostT Tdp<CM>::CostOf(const std::vector<RowId>& choice) const {
+  CostT cost = CM::Identity();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    cost = CM::Combine(cost,
+                       CM::FromWeight(nodes_[i].rel.TupleWeight(choice[i])));
+  }
+  return cost;
+}
+
+template <typename CM>
+void Tdp<CM>::CompleteOptimally(size_t node_idx, GroupId g,
+                                std::vector<RowId>* choice) {
+  RowId top = 0;
+  TOPKJOIN_CHECK(GroupTuple(node_idx, g, 0, &top));
+  (*choice)[node_idx] = top;
+  const Node& n = nodes_[node_idx];
+  for (size_t ci = 0; ci < n.children.size(); ++ci) {
+    CompleteOptimally(n.children[ci], n.child_groups[top][ci], choice);
+  }
+}
+
+template <typename CM>
+size_t Tdp<CM>::NumGroups() const {
+  size_t total = 0;
+  for (const Node& n : nodes_) total += n.groups.size();
+  return total;
+}
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_TDP_H_

@@ -1,0 +1,58 @@
+#include "src/anyk/union_anyk.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+struct UnionAnyK::Impl {
+  struct Head {
+    RankedResult result;
+    size_t source = 0;
+  };
+  struct HeadOrder {
+    bool operator()(const Head& a, const Head& b) const {
+      return a.result.cost > b.result.cost;  // min-queue
+    }
+  };
+
+  std::vector<std::unique_ptr<RankedIterator>> inputs;
+  std::priority_queue<Head, std::vector<Head>, HeadOrder> heads;
+  bool deduplicate = false;
+  std::unordered_set<ValueKey, ValueKeyHash> seen;
+
+  void Refill(size_t source) {
+    auto r = inputs[source]->Next();
+    if (r.has_value()) {
+      heads.push(Head{std::move(*r), source});
+    }
+  }
+};
+
+UnionAnyK::UnionAnyK(std::vector<std::unique_ptr<RankedIterator>> inputs,
+                     bool deduplicate)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->inputs = std::move(inputs);
+  impl_->deduplicate = deduplicate;
+  for (size_t i = 0; i < impl_->inputs.size(); ++i) impl_->Refill(i);
+}
+
+UnionAnyK::~UnionAnyK() = default;
+
+std::optional<RankedResult> UnionAnyK::Next() {
+  while (!impl_->heads.empty()) {
+    Impl::Head head = impl_->heads.top();
+    impl_->heads.pop();
+    impl_->Refill(head.source);
+    if (impl_->deduplicate) {
+      ValueKey key{head.result.assignment};
+      if (!impl_->seen.insert(std::move(key)).second) continue;
+    }
+    return std::move(head.result);
+  }
+  return std::nullopt;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,37 @@
+// Merging ranked streams: the union step for queries decomposed into
+// multiple (acyclic) plans -- e.g., the 4-cycle's union of heavy/light
+// case plans (Section 3: submodular-width decompositions route "different
+// subsets of the input to different plans"; Section 4 enumerates each
+// plan's results in rank order and merges).
+#ifndef TOPKJOIN_ANYK_UNION_ANYK_H_
+#define TOPKJOIN_ANYK_UNION_ANYK_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+
+namespace topkjoin {
+
+/// K-way merge of ranked iterators by cost. When the inputs partition
+/// the result space (as the 4-cycle case plans do), no deduplication is
+/// needed; otherwise enable `deduplicate` to drop repeated assignments
+/// (kept in a hash set -- O(#emitted) extra space).
+class UnionAnyK : public RankedIterator {
+ public:
+  explicit UnionAnyK(std::vector<std::unique_ptr<RankedIterator>> inputs,
+                     bool deduplicate = false);
+  ~UnionAnyK() override;
+
+  std::optional<RankedResult> Next() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_UNION_ANYK_H_

@@ -1,0 +1,74 @@
+#include "src/cycles/cycle_queries.h"
+
+#include <algorithm>
+
+#include "src/data/hash_index.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+ConjunctiveQuery CycleQuery(RelationId edge_relation, size_t length) {
+  TOPKJOIN_CHECK(length >= 3);
+  ConjunctiveQuery q;
+  for (size_t i = 0; i < length; ++i) {
+    q.AddAtom(edge_relation,
+              {static_cast<VarId>(i),
+               static_cast<VarId>((i + 1) % length)});
+  }
+  return q;
+}
+
+AtomGrouping CycleArcGrouping(size_t length) {
+  TOPKJOIN_CHECK(length >= 3);
+  AtomGrouping g;
+  g.groups.resize(2);
+  const size_t half = length / 2;
+  for (size_t i = 0; i < length; ++i) {
+    g.groups[i < half ? 0 : 1].push_back(i);
+  }
+  return g;
+}
+
+namespace {
+
+void ExtendCycle(const Relation& edges, const HashIndex& by_src,
+                 size_t length, std::vector<RowId>& rows,
+                 CycleListing* out) {
+  const size_t depth = rows.size();
+  if (depth == length) {
+    // Close the cycle: last edge's dst must equal first edge's src.
+    if (edges.At(rows.back(), 1) != edges.At(rows.front(), 0)) return;
+    std::vector<Value> nodes(length);
+    double weight = 0.0;
+    for (size_t i = 0; i < length; ++i) {
+      nodes[i] = edges.At(rows[i], 0);
+      weight += edges.TupleWeight(rows[i]);
+    }
+    out->nodes.push_back(std::move(nodes));
+    out->weights.push_back(weight);
+    return;
+  }
+  const Value from = edges.At(rows.back(), 1);
+  const Value key[] = {from};
+  for (RowId next : by_src.Probe(key)) {
+    rows.push_back(next);
+    ExtendCycle(edges, by_src, length, rows, out);
+    rows.pop_back();
+  }
+}
+
+}  // namespace
+
+CycleListing BruteForceCycles(const Relation& edges, size_t length) {
+  TOPKJOIN_CHECK(edges.arity() == 2);
+  CycleListing out;
+  HashIndex by_src(edges, {0});
+  std::vector<RowId> rows;
+  for (RowId first = 0; first < edges.NumTuples(); ++first) {
+    rows = {first};
+    ExtendCycle(edges, by_src, length, rows, &out);
+  }
+  return out;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,35 @@
+// General l-cycle pattern queries over an edge relation, with the arc
+// (fhw-style) decomposition and a brute-force oracle for testing.
+#ifndef TOPKJOIN_CYCLES_CYCLE_QUERIES_H_
+#define TOPKJOIN_CYCLES_CYCLE_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/query/decomposition.h"
+
+namespace topkjoin {
+
+/// The l-cycle query E(x0,x1), E(x1,x2), ..., E(x_{l-1}, x0). l >= 3.
+ConjunctiveQuery CycleQuery(RelationId edge_relation, size_t length);
+
+/// Splits the cycle's atoms into two arcs of ~l/2 consecutive atoms --
+/// the classic single-tree decomposition with fractional hypertree
+/// width 2 (each arc materializes as a path join).
+AtomGrouping CycleArcGrouping(size_t length);
+
+/// Brute-force l-cycle listing over an edge relation: every tuple
+/// (x0..x_{l-1}) of edge rows forming a directed cycle, with summed
+/// weight. For tests; exponential in l.
+struct CycleListing {
+  std::vector<std::vector<Value>> nodes;  // one entry per cycle
+  std::vector<double> weights;
+};
+CycleListing BruteForceCycles(const Relation& edges, size_t length);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_CYCLES_CYCLE_QUERIES_H_

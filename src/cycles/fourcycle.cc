@@ -1,0 +1,313 @@
+#include "src/cycles/fourcycle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/anyk/union_anyk.h"
+#include "src/data/hash_index.h"
+#include "src/join/acyclic_count.h"
+#include "src/join/yannakakis.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+namespace {
+
+// Variable ids in the canonical shape.
+constexpr VarId kA = 0, kB = 1, kC = 2, kD = 3;
+
+// Degree map of a binary relation's column.
+std::unordered_map<Value, size_t> DegreeMap(const Relation& rel, size_t col) {
+  std::unordered_map<Value, size_t> deg;
+  deg.reserve(rel.NumTuples());
+  for (RowId r = 0; r < rel.NumTuples(); ++r) ++deg[rel.At(r, col)];
+  return deg;
+}
+
+struct HeavyLight {
+  std::unordered_set<Value> heavy_b;  // deg_R(b) > tau  (col 1 of R)
+  std::unordered_set<Value> heavy_d;  // deg_W(d) > tau  (col 0 of W)
+  size_t threshold = 0;
+};
+
+HeavyLight SplitHeavyLight(const Relation& r, const Relation& w) {
+  HeavyLight hl;
+  const size_t n = std::max(r.NumTuples(), w.NumTuples());
+  hl.threshold = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(n))));
+  for (const auto& [b, deg] : DegreeMap(r, 1)) {
+    if (deg > hl.threshold) hl.heavy_b.insert(b);
+  }
+  for (const auto& [d, deg] : DegreeMap(w, 0)) {
+    if (deg > hl.threshold) hl.heavy_d.insert(d);
+  }
+  return hl;
+}
+
+// Builds one case's DecomposedQuery from two materialized 3-ary bags.
+// bag1 covers atoms {W, R} or {R, S}; bag2 covers the rest; both carry
+// weights = sum of the two covered input tuples, so every input atom's
+// weight is counted exactly once per result.
+DecomposedQuery MakeCase(Relation bag1, std::vector<VarId> vars1,
+                         Relation bag2, std::vector<VarId> vars2) {
+  DecomposedQuery out;
+  const RelationId id1 = out.db.Add(std::move(bag1));
+  const RelationId id2 = out.db.Add(std::move(bag2));
+  out.query.AddAtom(id1, std::move(vars1));
+  out.query.AddAtom(id2, std::move(vars2));
+  return out;
+}
+
+}  // namespace
+
+ConjunctiveQuery FourCycleQuery(RelationId edge_relation) {
+  ConjunctiveQuery q;
+  q.AddAtom(edge_relation, {kA, kB});
+  q.AddAtom(edge_relation, {kB, kC});
+  q.AddAtom(edge_relation, {kC, kD});
+  q.AddAtom(edge_relation, {kD, kA});
+  return q;
+}
+
+bool IsFourCycleShaped(const ConjunctiveQuery& query) {
+  if (query.NumAtoms() != 4 || query.num_vars() != 4) return false;
+  const std::vector<std::vector<VarId>> expected = {
+      {kA, kB}, {kB, kC}, {kC, kD}, {kD, kA}};
+  for (size_t i = 0; i < 4; ++i) {
+    if (query.atom(i).vars != expected[i]) return false;
+  }
+  return true;
+}
+
+FourCyclePlans BuildFourCyclePlans(const Database& db,
+                                   const ConjunctiveQuery& query,
+                                   JoinStats* stats) {
+  TOPKJOIN_CHECK(IsFourCycleShaped(query));
+  const Relation& r = db.relation(query.atom(0).relation);
+  const Relation& s = db.relation(query.atom(1).relation);
+  const Relation& t = db.relation(query.atom(2).relation);
+  const Relation& w = db.relation(query.atom(3).relation);
+
+  const HeavyLight hl = SplitHeavyLight(r, w);
+  const auto is_heavy_b = [&](Value b) { return hl.heavy_b.contains(b); };
+  const auto is_heavy_d = [&](Value d) { return hl.heavy_d.contains(d); };
+
+  FourCyclePlans plans;
+  plans.threshold = hl.threshold;
+  plans.heavy_b_count = hl.heavy_b.size();
+  plans.heavy_d_count = hl.heavy_d.size();
+  std::vector<Value> heavy_b(hl.heavy_b.begin(), hl.heavy_b.end());
+  std::vector<Value> heavy_d(hl.heavy_d.begin(), hl.heavy_d.end());
+  std::sort(heavy_b.begin(), heavy_b.end());
+  std::sort(heavy_d.begin(), heavy_d.end());
+
+  // Shared indexes.
+  HashIndex s_by_b(s, {0});   // S(b, c) by b
+  HashIndex t_by_d(t, {1});   // T(c, d) by d
+  HashIndex r_by_ab(r, {0, 1});
+  HashIndex s_by_bc(s, {0, 1});
+  HashIndex t_by_cd(t, {0, 1});
+  HashIndex w_by_da(w, {0, 1});
+
+  auto record = [&](const Relation& bag) {
+    if (stats != nullptr) {
+      stats->RecordIntermediate(static_cast<int64_t>(bag.NumTuples()));
+    }
+  };
+
+  // ---- Case LL: bags ABC = R|><|S [b light], CDA = T|><|W [d light].
+  {
+    Relation abc("abc_ll", {"a", "b", "c"});
+    for (RowId ri = 0; ri < r.NumTuples(); ++ri) {
+      const Value a = r.At(ri, 0), b = r.At(ri, 1);
+      if (is_heavy_b(b)) continue;
+      const Value key[] = {b};
+      for (RowId si : s_by_b.Probe(key)) {
+        abc.AddTuple({a, b, s.At(si, 1)},
+                     r.TupleWeight(ri) + s.TupleWeight(si));
+      }
+    }
+    Relation cda("cda_ll", {"c", "d", "a"});
+    for (RowId wi = 0; wi < w.NumTuples(); ++wi) {
+      const Value d = w.At(wi, 0), a = w.At(wi, 1);
+      if (is_heavy_d(d)) continue;
+      const Value key[] = {d};
+      for (RowId ti : t_by_d.Probe(key)) {
+        cda.AddTuple({t.At(ti, 0), d, a},
+                     t.TupleWeight(ti) + w.TupleWeight(wi));
+      }
+    }
+    record(abc);
+    record(cda);
+    if (!abc.Empty() && !cda.Empty()) {
+      plans.cases.push_back(MakeCase(std::move(abc), {kA, kB, kC},
+                                     std::move(cda), {kC, kD, kA}));
+    }
+  }
+
+  // Helper: bag ABD = W|><|R with a filter on (b heaviness, d side).
+  // Iterates W edges (d, a) passing `d_pred`, then loops heavy b values
+  // and keeps those with R(a, b) present -- O(|W| * #heavyB).
+  auto build_abd = [&](const char* name, bool want_heavy_d) {
+    Relation abd(name, {"a", "b", "d"});
+    for (RowId wi = 0; wi < w.NumTuples(); ++wi) {
+      const Value d = w.At(wi, 0), a = w.At(wi, 1);
+      if (is_heavy_d(d) != want_heavy_d) continue;
+      for (Value b : heavy_b) {
+        const Value key[] = {a, b};
+        for (RowId ri : r_by_ab.Probe(key)) {
+          abd.AddTuple({a, b, d}, w.TupleWeight(wi) + r.TupleWeight(ri));
+        }
+      }
+    }
+    return abd;
+  };
+  // Helper: bag BCD = S|><|T with b heavy and a chosen d-side strategy.
+  auto build_bcd_d_light = [&]() {
+    // d light: iterate T edges with light d, loop heavy b, check S(b,c).
+    Relation bcd("bcd_hl", {"b", "c", "d"});
+    for (RowId ti = 0; ti < t.NumTuples(); ++ti) {
+      const Value c = t.At(ti, 0), d = t.At(ti, 1);
+      if (is_heavy_d(d)) continue;
+      for (Value b : heavy_b) {
+        const Value key[] = {b, c};
+        for (RowId si : s_by_bc.Probe(key)) {
+          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+        }
+      }
+    }
+    return bcd;
+  };
+  auto build_bcd_both_heavy = [&]() {
+    // b, d both heavy: iterate S edges with heavy b, loop heavy d,
+    // check T(c, d) -- O(|S| * #heavyD).
+    Relation bcd("bcd_hh", {"b", "c", "d"});
+    for (RowId si = 0; si < s.NumTuples(); ++si) {
+      const Value b = s.At(si, 0), c = s.At(si, 1);
+      if (!is_heavy_b(b)) continue;
+      for (Value d : heavy_d) {
+        const Value key[] = {c, d};
+        for (RowId ti : t_by_cd.Probe(key)) {
+          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+        }
+      }
+    }
+    return bcd;
+  };
+
+  // ---- Case HH: bags ABD [d heavy], BCD [b,d heavy]; join on (B, D).
+  {
+    Relation abd = build_abd("abd_hh", /*want_heavy_d=*/true);
+    Relation bcd = build_bcd_both_heavy();
+    record(abd);
+    record(bcd);
+    if (!abd.Empty() && !bcd.Empty()) {
+      plans.cases.push_back(MakeCase(std::move(abd), {kA, kB, kD},
+                                     std::move(bcd), {kB, kC, kD}));
+    }
+  }
+
+  // ---- Case HL (b heavy, d light): bags ABD [d light], BCD [d light].
+  {
+    Relation abd = build_abd("abd_hl", /*want_heavy_d=*/false);
+    Relation bcd = build_bcd_d_light();
+    record(abd);
+    record(bcd);
+    if (!abd.Empty() && !bcd.Empty()) {
+      plans.cases.push_back(MakeCase(std::move(abd), {kA, kB, kD},
+                                     std::move(bcd), {kB, kC, kD}));
+    }
+  }
+
+  // ---- Case LH (b light, d heavy): bags DAB and BCD with light b
+  // iterated from R / S edges and heavy d looped.
+  {
+    Relation dab("dab_lh", {"d", "a", "b"});
+    for (RowId ri = 0; ri < r.NumTuples(); ++ri) {
+      const Value a = r.At(ri, 0), b = r.At(ri, 1);
+      if (is_heavy_b(b)) continue;
+      for (Value d : heavy_d) {
+        const Value key[] = {d, a};
+        for (RowId wi : w_by_da.Probe(key)) {
+          dab.AddTuple({d, a, b}, w.TupleWeight(wi) + r.TupleWeight(ri));
+        }
+      }
+    }
+    Relation bcd("bcd_lh", {"b", "c", "d"});
+    for (RowId si = 0; si < s.NumTuples(); ++si) {
+      const Value b = s.At(si, 0), c = s.At(si, 1);
+      if (is_heavy_b(b)) continue;
+      for (Value d : heavy_d) {
+        const Value key[] = {c, d};
+        for (RowId ti : t_by_cd.Probe(key)) {
+          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+        }
+      }
+    }
+    record(dab);
+    record(bcd);
+    if (!dab.Empty() && !bcd.Empty()) {
+      plans.cases.push_back(MakeCase(std::move(dab), {kD, kA, kB},
+                                     std::move(bcd), {kB, kC, kD}));
+    }
+  }
+
+  return plans;
+}
+
+std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
+    const Database& db, const ConjunctiveQuery& query,
+    AnyKAlgorithm algorithm, JoinStats* stats) {
+  FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
+  std::vector<std::unique_ptr<RankedIterator>> inputs;
+  inputs.reserve(plans.cases.size());
+  // Each case plan owns its bag database; keep them alive by moving the
+  // DecomposedQuery into a holder iterator.
+  struct CaseHolder : RankedIterator {
+    explicit CaseHolder(DecomposedQuery dq_in, AnyKAlgorithm algorithm,
+                        JoinStats* stats)
+        : dq(std::move(dq_in)),
+          inner(MakeAnyK(dq.db, dq.query, algorithm, stats)) {}
+    std::optional<RankedResult> Next() override { return inner->Next(); }
+    DecomposedQuery dq;
+    std::unique_ptr<RankedIterator> inner;
+  };
+  for (DecomposedQuery& dq : plans.cases) {
+    inputs.push_back(
+        std::make_unique<CaseHolder>(std::move(dq), algorithm, stats));
+  }
+  return std::make_unique<UnionAnyK>(std::move(inputs));
+}
+
+bool FourCycleBoolean(const Database& db, const ConjunctiveQuery& query,
+                      JoinStats* stats) {
+  const FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
+  for (const DecomposedQuery& dq : plans.cases) {
+    if (YannakakisBoolean(dq.db, dq.query, stats)) return true;
+  }
+  return false;
+}
+
+int64_t CountFourCycles(const Database& db, const ConjunctiveQuery& query,
+                        JoinStats* stats) {
+  const FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
+  int64_t total = 0;
+  for (const DecomposedQuery& dq : plans.cases) {
+    total += CountAcyclic(dq.db, dq.query, stats);
+  }
+  return total;
+}
+
+DecomposedQuery FourCycleFhw2(const Database& db,
+                              const ConjunctiveQuery& query,
+                              JoinStats* stats) {
+  TOPKJOIN_CHECK(IsFourCycleShaped(query));
+  AtomGrouping grouping;
+  grouping.groups = {{0, 1}, {2, 3}};
+  return MaterializeGrouping(db, query, grouping, stats);
+}
+
+}  // namespace topkjoin

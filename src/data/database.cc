@@ -1,0 +1,25 @@
+#include "src/data/database.h"
+
+#include <algorithm>
+
+namespace topkjoin {
+
+RelationId Database::Add(Relation relation) {
+  relations_.push_back(std::make_unique<Relation>(std::move(relation)));
+  return relations_.size() - 1;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r->name() == name) return r.get();
+  }
+  return nullptr;
+}
+
+size_t Database::MaxRelationSize() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n = std::max(n, r->NumTuples());
+  return n;
+}
+
+}  // namespace topkjoin

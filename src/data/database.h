@@ -1,0 +1,51 @@
+// A catalog of named relations. Atoms of a conjunctive query reference
+// relations by index into a Database, which supports self-joins naturally
+// (two atoms may reference the same relation, as in the paper's
+// graph-pattern queries expressed as self-joins of the edge set).
+#ifndef TOPKJOIN_DATA_DATABASE_H_
+#define TOPKJOIN_DATA_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/relation.h"
+
+namespace topkjoin {
+
+/// Index of a relation within a Database.
+using RelationId = size_t;
+
+/// Owns a set of relations. Relations are stable under addition (stored
+/// via unique_ptr), so raw pointers handed out remain valid.
+class Database {
+ public:
+  Database() = default;
+
+  /// Moves a relation into the catalog; returns its id.
+  RelationId Add(Relation relation);
+
+  size_t NumRelations() const { return relations_.size(); }
+
+  const Relation& relation(RelationId id) const {
+    TOPKJOIN_DCHECK(id < relations_.size());
+    return *relations_[id];
+  }
+  Relation& mutable_relation(RelationId id) {
+    TOPKJOIN_DCHECK(id < relations_.size());
+    return *relations_[id];
+  }
+
+  /// Looks up a relation by name; returns nullptr when absent.
+  const Relation* Find(const std::string& name) const;
+
+  /// Size of the largest relation ("n" in the paper's complexity bounds).
+  size_t MaxRelationSize() const;
+
+ private:
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_DATA_DATABASE_H_

@@ -1,0 +1,94 @@
+#include "src/data/generators.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/zipf.h"
+
+namespace topkjoin {
+
+Relation UniformBinaryRelation(std::string name, size_t num_tuples,
+                               Value domain, Rng& rng) {
+  return UniformRelation(std::move(name), 2, num_tuples, domain, rng);
+}
+
+Relation UniformRelation(std::string name, size_t arity, size_t num_tuples,
+                         Value domain, Rng& rng) {
+  TOPKJOIN_CHECK(domain > 0);
+  Relation rel = Relation::WithArity(std::move(name), arity);
+  std::vector<Value> tuple(arity);
+  for (size_t i = 0; i < num_tuples; ++i) {
+    for (size_t c = 0; c < arity; ++c) {
+      tuple[c] = static_cast<Value>(
+          rng.NextBounded(static_cast<uint64_t>(domain)));
+    }
+    rel.AddTuple(tuple, rng.NextDouble());
+  }
+  return rel;
+}
+
+Relation AgmHardRelation(std::string name, size_t n, Rng& rng) {
+  Relation rel = Relation::WithArity(std::move(name), 2);
+  const size_t half = n / 2;
+  // Hub value 0 on one side of every tuple, including the (0,0)
+  // self-pair the paper's instance carries (it makes the triangle
+  // output Theta(n) instead of empty).
+  for (size_t i = 0; i <= half; ++i) {
+    rel.AddTuple({static_cast<Value>(i), 0}, rng.NextDouble());
+  }
+  for (size_t j = 1; j <= half; ++j) {
+    rel.AddTuple({0, static_cast<Value>(j)}, rng.NextDouble());
+  }
+  return rel;
+}
+
+Relation SkewedBinaryRelation(std::string name, size_t num_tuples,
+                              Value domain, double theta, Rng& rng) {
+  Relation rel = Relation::WithArity(std::move(name), 2);
+  ZipfSampler zipf(static_cast<uint64_t>(domain), theta);
+  for (size_t i = 0; i < num_tuples; ++i) {
+    const Value a = static_cast<Value>(zipf.Sample(rng));
+    const Value b =
+        static_cast<Value>(rng.NextBounded(static_cast<uint64_t>(domain)));
+    rel.AddTuple({a, b}, rng.NextDouble());
+  }
+  return rel;
+}
+
+Relation LayeredStageRelation(std::string name, Value domain, size_t fanout,
+                              Rng& rng) {
+  Relation rel = Relation::WithArity(std::move(name), 2);
+  for (Value a = 0; a < domain; ++a) {
+    for (size_t f = 0; f < fanout; ++f) {
+      const Value b =
+          static_cast<Value>(rng.NextBounded(static_cast<uint64_t>(domain)));
+      rel.AddTuple({a, b}, rng.NextDouble());
+    }
+  }
+  return rel;
+}
+
+void DanglingChainInstance(size_t n, double live_fraction, Rng& rng,
+                           Relation* r1, Relation* r2, Relation* r3) {
+  TOPKJOIN_CHECK(r1 != nullptr && r2 != nullptr && r3 != nullptr);
+  *r1 = Relation::WithArity("R1", 2);
+  *r2 = Relation::WithArity("R2", 2);
+  *r3 = Relation::WithArity("R3", 2);
+  // R1(a, b): n tuples all sharing b = 0 plus a unique b per tuple region.
+  // R2(b, c): matches R1 on b = 0 heavily (n tuples), creating Theta(n^2)
+  //   intermediate pairs for the binary plan R1 |><| R2.
+  // R3(c, d): only a live_fraction of R2's c-values continue, so most of
+  //   that intermediate result is dangling and Yannakakis never sees it.
+  const auto nn = static_cast<Value>(n);
+  for (Value i = 0; i < nn; ++i) {
+    r1->AddTuple({i, 0}, rng.NextDouble());
+    r2->AddTuple({0, i}, rng.NextDouble());
+  }
+  const auto live = static_cast<Value>(
+      static_cast<double>(n) * live_fraction);
+  for (Value c = 0; c < live; ++c) {
+    r3->AddTuple({c, c}, rng.NextDouble());
+  }
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,58 @@
+// Synthetic relation generators.
+//
+// These substitute for the real-world datasets of the surveyed
+// experiments (see DESIGN.md): every reproduced claim is an asymptotic
+// *shape* claim, and each generator is parameterized to expose the
+// relevant regime (skew, cyclicity, adversarial placement of winners).
+#ifndef TOPKJOIN_DATA_GENERATORS_H_
+#define TOPKJOIN_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/relation.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+
+/// Binary relation with `num_tuples` tuples drawn uniformly from
+/// [0, domain)^2, weights uniform in [0, 1).
+Relation UniformBinaryRelation(std::string name, size_t num_tuples,
+                               Value domain, Rng& rng);
+
+/// Relation of arbitrary arity, uniform values and weights.
+Relation UniformRelation(std::string name, size_t arity, size_t num_tuples,
+                         Value domain, Rng& rng);
+
+/// The AGM-hard triangle instance of Section 3 of the paper:
+///   R = S = T = {(i, 0) : 1 <= i <= n/2} u {(0, j) : 1 <= j <= n/2}.
+/// Any pairwise join of two of these relations has Theta(n^2) tuples,
+/// while the triangle output has only Theta(n) tuples; a WCO algorithm
+/// runs in O~(n^{1.5}). Weights are uniform in [0,1).
+Relation AgmHardRelation(std::string name, size_t n, Rng& rng);
+
+/// Binary relation where the first column is Zipf(theta)-skewed over
+/// [0, domain) and the second is uniform. High theta concentrates tuples
+/// on few heavy join values -- the regime where binary join plans
+/// materialize huge intermediate results.
+Relation SkewedBinaryRelation(std::string name, size_t num_tuples,
+                              Value domain, double theta, Rng& rng);
+
+/// Binary relation for stage i of a layered path query: tuples go from
+/// layer-domain [0, domain) to [0, domain), each left value having
+/// exactly `fanout` uniformly chosen right neighbors (so an l-stage chain
+/// has ~ domain * fanout^l results). Weights uniform in [0, 1).
+Relation LayeredStageRelation(std::string name, Value domain, size_t fanout,
+                              Rng& rng);
+
+/// A "dangling" chain-stage pair used to stress Yannakakis vs binary
+/// plans: R1 joins R2 on the middle attribute, but only a `live_fraction`
+/// of R1-R2 matches survive into the final stage. Binary plans pay for
+/// all matches; the full reducer removes dangling tuples up front.
+/// Returns via output parameters three stages of a 3-chain.
+void DanglingChainInstance(size_t n, double live_fraction, Rng& rng,
+                           Relation* r1, Relation* r2, Relation* r3);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_DATA_GENERATORS_H_

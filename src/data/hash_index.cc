@@ -1,0 +1,33 @@
+#include "src/data/hash_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkjoin {
+
+HashIndex::HashIndex(const Relation& relation, std::vector<size_t> key_columns)
+    : relation_(relation), key_columns_(std::move(key_columns)) {
+  for (size_t c : key_columns_) TOPKJOIN_CHECK(c < relation.arity());
+  buckets_.reserve(relation.NumTuples());
+  ValueKey key;
+  key.values.resize(key_columns_.size());
+  for (RowId r = 0; r < relation.NumTuples(); ++r) {
+    for (size_t i = 0; i < key_columns_.size(); ++i) {
+      key.values[i] = relation.At(r, key_columns_[i]);
+    }
+    auto& bucket = buckets_[key];
+    bucket.push_back(r);
+    max_degree_ = std::max(max_degree_, bucket.size());
+  }
+}
+
+std::span<const RowId> HashIndex::Probe(std::span<const Value> key) const {
+  TOPKJOIN_DCHECK(key.size() == key_columns_.size());
+  thread_local ValueKey probe_key;
+  probe_key.values.assign(key.begin(), key.end());
+  const auto it = buckets_.find(probe_key);
+  if (it == buckets_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+}  // namespace topkjoin

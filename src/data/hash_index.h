@@ -1,0 +1,49 @@
+// Hash index on a subset of a relation's columns: composite key -> rows.
+#ifndef TOPKJOIN_DATA_HASH_INDEX_H_
+#define TOPKJOIN_DATA_HASH_INDEX_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/relation.h"
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+/// Equi-join index: maps the projection of each tuple onto `key_columns`
+/// to the list of matching row ids. Build cost and probe counts are
+/// exposed for RAM-model accounting.
+class HashIndex {
+ public:
+  /// Builds the index over `relation` (which must outlive the index).
+  HashIndex(const Relation& relation, std::vector<size_t> key_columns);
+
+  /// Rows whose key columns equal `key` (size = key_columns.size()).
+  /// Returns an empty span when there is no match.
+  std::span<const RowId> Probe(std::span<const Value> key) const;
+
+  /// True when at least one row matches `key`.
+  bool Contains(std::span<const Value> key) const {
+    return !Probe(key).empty();
+  }
+
+  /// Number of distinct keys.
+  size_t NumKeys() const { return buckets_.size(); }
+
+  /// Largest bucket size (degree of the heaviest key).
+  size_t MaxDegree() const { return max_degree_; }
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  const Relation& relation() const { return relation_; }
+
+ private:
+  const Relation& relation_;
+  std::vector<size_t> key_columns_;
+  std::unordered_map<ValueKey, std::vector<RowId>, ValueKeyHash> buckets_;
+  size_t max_degree_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_DATA_HASH_INDEX_H_

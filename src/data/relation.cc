@@ -1,0 +1,99 @@
+#include "src/data/relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace topkjoin {
+
+Relation::Relation(std::string name, std::vector<std::string> attribute_names)
+    : name_(std::move(name)),
+      arity_(attribute_names.size()),
+      attribute_names_(std::move(attribute_names)) {}
+
+Relation Relation::WithArity(std::string name, size_t arity) {
+  std::vector<std::string> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+  return Relation(std::move(name), std::move(attrs));
+}
+
+void Relation::AddTuple(std::span<const Value> values, Weight weight) {
+  TOPKJOIN_CHECK(values.size() == arity_);
+  data_.insert(data_.end(), values.begin(), values.end());
+  weights_.push_back(weight);
+}
+
+void Relation::AddTuple(std::initializer_list<Value> values, Weight weight) {
+  AddTuple(std::span<const Value>(values.begin(), values.size()), weight);
+}
+
+void Relation::SortByColumns(std::span<const size_t> columns) {
+  const size_t n = NumTuples();
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    for (size_t c : columns) {
+      const Value va = At(a, c), vb = At(b, c);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  std::vector<Value> new_data;
+  new_data.reserve(data_.size());
+  std::vector<Weight> new_weights;
+  new_weights.reserve(n);
+  for (RowId r : order) {
+    const auto t = Tuple(r);
+    new_data.insert(new_data.end(), t.begin(), t.end());
+    new_weights.push_back(weights_[r]);
+  }
+  data_ = std::move(new_data);
+  weights_ = std::move(new_weights);
+}
+
+void Relation::DeduplicateKeepLightest() {
+  const size_t n = NumTuples();
+  if (n == 0) return;
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    const auto ta = Tuple(a), tb = Tuple(b);
+    for (size_t c = 0; c < arity_; ++c) {
+      if (ta[c] != tb[c]) return ta[c] < tb[c];
+    }
+    return weights_[a] < weights_[b];
+  });
+  std::vector<Value> new_data;
+  std::vector<Weight> new_weights;
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = order[i];
+    if (i > 0) {
+      const RowId prev = order[i - 1];
+      if (std::equal(Tuple(r).begin(), Tuple(r).end(), Tuple(prev).begin())) {
+        continue;  // duplicate; the first (lightest) copy was kept
+      }
+    }
+    const auto t = Tuple(r);
+    new_data.insert(new_data.end(), t.begin(), t.end());
+    new_weights.push_back(weights_[r]);
+  }
+  data_ = std::move(new_data);
+  weights_ = std::move(new_weights);
+}
+
+void Relation::Filter(const std::vector<bool>& keep) {
+  TOPKJOIN_CHECK(keep.size() == NumTuples());
+  std::vector<Value> new_data;
+  std::vector<Weight> new_weights;
+  for (RowId r = 0; r < NumTuples(); ++r) {
+    if (!keep[r]) continue;
+    const auto t = Tuple(r);
+    new_data.insert(new_data.end(), t.begin(), t.end());
+    new_weights.push_back(weights_[r]);
+  }
+  data_ = std::move(new_data);
+  weights_ = std::move(new_weights);
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,91 @@
+// Columnar in-memory relations with per-tuple weights.
+//
+// A Relation stores tuples of fixed arity over int64 domains row-major in
+// one flat buffer, plus one Weight per tuple. Weights drive the ranking
+// functions of Part 3 of the paper (e.g., edge weights for the top-k
+// lightest 4-cycles query of the introduction).
+#ifndef TOPKJOIN_DATA_RELATION_H_
+#define TOPKJOIN_DATA_RELATION_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// Index of a tuple within a relation.
+using RowId = uint32_t;
+
+/// An in-memory relation. Tuples are appended; the relation may then be
+/// sorted or indexed (see HashIndex, SortedTrie). Copying is allowed but
+/// the join operators pass relations by pointer/reference.
+class Relation {
+ public:
+  /// Creates an empty relation with the given name and attribute names
+  /// (whose count determines the arity).
+  Relation(std::string name, std::vector<std::string> attribute_names);
+
+  /// Convenience: unnamed attributes a0..a{arity-1}.
+  static Relation WithArity(std::string name, size_t arity);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  size_t NumTuples() const { return weights_.size(); }
+  bool Empty() const { return weights_.empty(); }
+
+  /// Appends a tuple. `values` must have exactly `arity()` entries.
+  void AddTuple(std::span<const Value> values, Weight weight = 0.0);
+  void AddTuple(std::initializer_list<Value> values, Weight weight = 0.0);
+
+  /// Read access to tuple `row` as a span of `arity()` values.
+  std::span<const Value> Tuple(RowId row) const {
+    TOPKJOIN_DCHECK(row < NumTuples());
+    return {data_.data() + static_cast<size_t>(row) * arity_, arity_};
+  }
+
+  Value At(RowId row, size_t col) const {
+    TOPKJOIN_DCHECK(col < arity_);
+    return data_[static_cast<size_t>(row) * arity_ + col];
+  }
+
+  Weight TupleWeight(RowId row) const {
+    TOPKJOIN_DCHECK(row < NumTuples());
+    return weights_[row];
+  }
+
+  /// Sorts tuples lexicographically by the given column order (ties keep
+  /// the original order stable). Invalidates external row ids.
+  void SortByColumns(std::span<const size_t> columns);
+
+  /// Removes duplicate tuples (same values; keeps the lightest weight).
+  /// Invalidates external row ids.
+  void DeduplicateKeepLightest();
+
+  /// Keeps only rows for which `keep[row]` is true, preserving order.
+  /// Invalidates external row ids.
+  void Filter(const std::vector<bool>& keep);
+
+  /// Total bytes of tuple payload (for memory accounting in benches).
+  size_t PayloadBytes() const {
+    return data_.size() * sizeof(Value) + weights_.size() * sizeof(Weight);
+  }
+
+ private:
+  std::string name_;
+  size_t arity_;
+  std::vector<std::string> attribute_names_;
+  std::vector<Value> data_;     // row-major, NumTuples() * arity_
+  std::vector<Weight> weights_; // one per tuple
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_DATA_RELATION_H_

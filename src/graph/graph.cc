@@ -1,0 +1,21 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace topkjoin {
+
+Value Graph::NumNodes() const {
+  Value max_id = -1;
+  for (const Edge& e : edges_) max_id = std::max({max_id, e.src, e.dst});
+  return max_id + 1;
+}
+
+Relation Graph::ToRelation(std::string name) const {
+  Relation rel(std::move(name), {"src", "dst"});
+  for (const Edge& e : edges_) {
+    rel.AddTuple({e.src, e.dst}, e.weight);
+  }
+  return rel;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,50 @@
+// Weighted directed graphs and their encoding as edge relations -- the
+// paper's workloads are graph-pattern queries expressed as self-joins of
+// the edge set (Section 1: "any other graph-pattern query can be
+// expressed with self-joins of the edge set").
+#ifndef TOPKJOIN_GRAPH_GRAPH_H_
+#define TOPKJOIN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/relation.h"
+
+namespace topkjoin {
+
+/// One weighted directed edge.
+struct Edge {
+  Value src = 0;
+  Value dst = 0;
+  double weight = 0.0;
+};
+
+/// A weighted directed graph. Lower edge weight = more important,
+/// matching the "top-k lightest cycles" framing.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  void AddEdge(Value src, Value dst, double weight) {
+    edges_.push_back(Edge{src, dst, weight});
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Largest node id + 1 (0 for the empty graph).
+  Value NumNodes() const;
+
+  /// Encodes the edge set as a binary relation E(src, dst) with edge
+  /// weights as tuple weights.
+  Relation ToRelation(std::string name = "E") const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_GRAPH_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "src/graph/graph_generators.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/common.h"
+#include "src/util/hash.h"
+#include "src/util/zipf.h"
+
+namespace topkjoin {
+
+Graph GnmRandomGraph(Value num_nodes, size_t num_edges, Rng& rng) {
+  TOPKJOIN_CHECK(num_nodes >= 2);
+  const auto n = static_cast<uint64_t>(num_nodes);
+  TOPKJOIN_CHECK(num_edges <= n * (n - 1));
+  Graph g;
+  std::unordered_set<uint64_t> used;
+  used.reserve(num_edges);
+  while (g.NumEdges() < num_edges) {
+    const Value src = static_cast<Value>(rng.NextBounded(n));
+    const Value dst = static_cast<Value>(rng.NextBounded(n));
+    if (src == dst) continue;
+    const uint64_t key = static_cast<uint64_t>(src) * n +
+                         static_cast<uint64_t>(dst);
+    if (!used.insert(key).second) continue;
+    g.AddEdge(src, dst, rng.NextDouble());
+  }
+  return g;
+}
+
+Graph SkewedGraph(Value num_nodes, size_t num_edges, double theta, Rng& rng) {
+  TOPKJOIN_CHECK(num_nodes >= 2);
+  Graph g;
+  ZipfSampler zipf(static_cast<uint64_t>(num_nodes), theta);
+  while (g.NumEdges() < num_edges) {
+    const Value src = static_cast<Value>(zipf.Sample(rng));
+    const Value dst =
+        static_cast<Value>(rng.NextBounded(static_cast<uint64_t>(num_nodes)));
+    if (src == dst) continue;
+    g.AddEdge(src, dst, rng.NextDouble());
+  }
+  return g;
+}
+
+Graph PlantFourCycles(Graph base, size_t count, double weight_lo,
+                      double weight_hi, Rng& rng) {
+  TOPKJOIN_CHECK(weight_lo <= weight_hi);
+  Value next = base.NumNodes();
+  for (size_t i = 0; i < count; ++i) {
+    const Value a = next, b = next + 1, c = next + 2, d = next + 3;
+    next += 4;
+    auto w = [&] {
+      return weight_lo + (weight_hi - weight_lo) * rng.NextDouble();
+    };
+    base.AddEdge(a, b, w());
+    base.AddEdge(b, c, w());
+    base.AddEdge(c, d, w());
+    base.AddEdge(d, a, w());
+  }
+  return base;
+}
+
+Graph AcyclicLayeredGraph(Value num_nodes, size_t num_edges, Rng& rng) {
+  TOPKJOIN_CHECK(num_nodes >= 2);
+  Graph g;
+  const auto n = static_cast<uint64_t>(num_nodes);
+  while (g.NumEdges() < num_edges) {
+    // Strictly increasing edges: no directed cycle can close.
+    const Value src = static_cast<Value>(rng.NextBounded(n - 1));
+    const Value dst =
+        src + 1 +
+        static_cast<Value>(rng.NextBounded(n - static_cast<uint64_t>(src) - 1));
+    g.AddEdge(src, dst, rng.NextDouble());
+  }
+  return g;
+}
+
+}  // namespace topkjoin

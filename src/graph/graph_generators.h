@@ -1,0 +1,36 @@
+// Synthetic graph generators for the benchmark workloads (substituting
+// for the real-graph datasets of the surveyed experiments; DESIGN.md
+// documents the substitution).
+#ifndef TOPKJOIN_GRAPH_GRAPH_GENERATORS_H_
+#define TOPKJOIN_GRAPH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+
+/// G(n, m): m distinct directed edges (no self-loops) over n nodes,
+/// weights uniform in [0, 1).
+Graph GnmRandomGraph(Value num_nodes, size_t num_edges, Rng& rng);
+
+/// Skewed graph: sources drawn Zipf(theta), destinations uniform --
+/// produces the high-degree hubs that separate WCO joins from binary
+/// plans. Self-loops removed; edges may repeat (bag semantics).
+Graph SkewedGraph(Value num_nodes, size_t num_edges, double theta, Rng& rng);
+
+/// Plants `count` directed 4-cycles of fresh nodes on top of `base`;
+/// planted edge weights drawn uniformly from [weight_lo, weight_hi).
+/// Useful to control the number and rank position of 4-cycles.
+Graph PlantFourCycles(Graph base, size_t count, double weight_lo,
+                      double weight_hi, Rng& rng);
+
+/// 4-cycle-free bipartite-style graph: edges go from even to odd node
+/// ids only (no directed cycles at all), used by the Boolean 4-cycle
+/// experiment E3 where the answer must be "no".
+Graph AcyclicLayeredGraph(Value num_nodes, size_t num_edges, Rng& rng);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_GRAPH_GRAPH_GENERATORS_H_

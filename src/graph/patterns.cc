@@ -1,0 +1,34 @@
+#include "src/graph/patterns.h"
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+ConjunctiveQuery PathPatternQuery(RelationId edge_relation, size_t length) {
+  TOPKJOIN_CHECK(length >= 1);
+  ConjunctiveQuery q;
+  for (size_t i = 0; i < length; ++i) {
+    q.AddAtom(edge_relation,
+              {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  return q;
+}
+
+ConjunctiveQuery StarPatternQuery(RelationId edge_relation, size_t rays) {
+  TOPKJOIN_CHECK(rays >= 1);
+  ConjunctiveQuery q;
+  for (size_t i = 0; i < rays; ++i) {
+    q.AddAtom(edge_relation, {0, static_cast<VarId>(i + 1)});
+  }
+  return q;
+}
+
+ConjunctiveQuery TrianglePatternQuery(RelationId edge_relation) {
+  ConjunctiveQuery q;
+  q.AddAtom(edge_relation, {0, 1});
+  q.AddAtom(edge_relation, {1, 2});
+  q.AddAtom(edge_relation, {2, 0});
+  return q;
+}
+
+}  // namespace topkjoin

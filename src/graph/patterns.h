@@ -1,0 +1,24 @@
+// Graph-pattern queries as conjunctive queries over an edge relation.
+#ifndef TOPKJOIN_GRAPH_PATTERNS_H_
+#define TOPKJOIN_GRAPH_PATTERNS_H_
+
+#include <cstddef>
+
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// l-edge path: E(x0,x1), ..., E(x_{l-1}, x_l). Acyclic; the workload of
+/// the any-k experiments (E6).
+ConjunctiveQuery PathPatternQuery(RelationId edge_relation, size_t length);
+
+/// Out-star with `rays` edges from a shared center x0. Acyclic.
+ConjunctiveQuery StarPatternQuery(RelationId edge_relation, size_t rays);
+
+/// Directed triangle E(x0,x1), E(x1,x2), E(x2,x0). Cyclic; the canonical
+/// WCO example (E1).
+ConjunctiveQuery TrianglePatternQuery(RelationId edge_relation);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_GRAPH_PATTERNS_H_

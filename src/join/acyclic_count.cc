@@ -1,0 +1,67 @@
+#include "src/join/acyclic_count.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/join/semijoin.h"
+#include "src/query/hypergraph.h"
+#include "src/util/common.h"
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+int64_t CountAcyclic(const Database& db, const ConjunctiveQuery& query,
+                     JoinStats* stats) {
+  const auto tree = GyoJoinTree(query);
+  TOPKJOIN_CHECK(tree.has_value());
+  ReducedInstance instance = MakeInstance(db, query);
+  FullReducer(query, *tree, &instance, stats);
+
+  // count[atom][row] = number of subtree solutions rooted at that tuple.
+  // Children aggregate into per-join-key sums which parents look up.
+  std::vector<std::vector<int64_t>> count(query.NumAtoms());
+  std::vector<std::unordered_map<ValueKey, int64_t, ValueKeyHash>> key_sum(
+      query.NumAtoms());
+
+  for (auto it = tree->order.rbegin(); it != tree->order.rend(); ++it) {
+    const size_t atom = *it;
+    const Relation& rel = instance.atom_relations[atom];
+    count[atom].assign(rel.NumTuples(), 1);
+    // Multiply in each child's key sum.
+    for (size_t child = 0; child < query.NumAtoms(); ++child) {
+      if (tree->parent[child] != static_cast<int>(atom)) continue;
+      const auto shared = query.SharedVars(atom, child);
+      const auto cols = query.ColumnsOf(atom, shared);
+      ValueKey key;
+      key.values.resize(cols.size());
+      for (RowId r = 0; r < rel.NumTuples(); ++r) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          key.values[i] = rel.At(r, cols[i]);
+        }
+        const auto found = key_sum[child].find(key);
+        TOPKJOIN_CHECK(found != key_sum[child].end());  // full reduction
+        count[atom][r] *= found->second;
+      }
+    }
+    // Aggregate this atom's counts by its parent join key.
+    if (tree->parent[atom] >= 0) {
+      const auto shared =
+          query.SharedVars(static_cast<size_t>(tree->parent[atom]), atom);
+      const auto cols = query.ColumnsOf(atom, shared);
+      ValueKey key;
+      key.values.resize(cols.size());
+      for (RowId r = 0; r < rel.NumTuples(); ++r) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          key.values[i] = rel.At(r, cols[i]);
+        }
+        key_sum[atom][key] += count[atom][r];
+      }
+    }
+  }
+
+  int64_t total = 0;
+  for (int64_t c : count[tree->root]) total += c;
+  return total;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,23 @@
+// Output-count computation for acyclic full CQs without materializing
+// results: full reducer + a bottom-up counting DP over the join tree.
+// O~(n) -- used to count pattern occurrences (e.g., 4-cycles per case
+// plan in experiment E3) where enumeration would cost O(r).
+#ifndef TOPKJOIN_JOIN_ACYCLIC_COUNT_H_
+#define TOPKJOIN_JOIN_ACYCLIC_COUNT_H_
+
+#include <cstdint>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// Number of results of the acyclic full CQ (bag semantics).
+/// CHECK-fails on cyclic queries.
+int64_t CountAcyclic(const Database& db, const ConjunctiveQuery& query,
+                     JoinStats* stats);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_ACYCLIC_COUNT_H_

@@ -1,0 +1,46 @@
+#include "src/join/binary_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+Relation LeftDeepJoin(const Database& db, const ConjunctiveQuery& query,
+                      const std::vector<size_t>& atom_order,
+                      JoinStats* stats) {
+  TOPKJOIN_CHECK(atom_order.size() == query.NumAtoms());
+  VarRelation acc = AtomVarRelation(db, query, atom_order[0]);
+  for (size_t i = 1; i < atom_order.size(); ++i) {
+    const VarRelation next = AtomVarRelation(db, query, atom_order[i]);
+    acc = HashJoinVar(acc, next, stats);
+    const auto size = static_cast<int64_t>(acc.rel.NumTuples());
+    if (stats != nullptr && i + 1 < atom_order.size()) {
+      stats->RecordIntermediate(size);
+    }
+  }
+  if (stats != nullptr) {
+    stats->output_tuples += static_cast<int64_t>(acc.rel.NumTuples());
+  }
+  return FinalizeResult(acc, query);
+}
+
+std::vector<PlanCost> OrderSurvey(const Database& db,
+                                  const ConjunctiveQuery& query) {
+  std::vector<size_t> order(query.NumAtoms());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<PlanCost> costs;
+  do {
+    JoinStats stats;
+    (void)LeftDeepJoin(db, query, order, &stats);
+    PlanCost pc;
+    pc.atom_order = order;
+    pc.max_intermediate = stats.max_intermediate_size;
+    pc.total_intermediate = stats.intermediate_tuples;
+    costs.push_back(std::move(pc));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return costs;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,38 @@
+// Left-deep binary join plans: the "two-relations-at-a-time" strategy
+// favored by classical optimizers, which Section 3 of the paper shows is
+// provably suboptimal on cyclic queries (it materializes intermediate
+// results asymptotically larger than the worst-case output).
+#ifndef TOPKJOIN_JOIN_BINARY_PLAN_H_
+#define TOPKJOIN_JOIN_BINARY_PLAN_H_
+
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/join/hash_join.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// Evaluates the query with a left-deep sequence of binary hash joins in
+/// the given atom order. Records every intermediate relation's size in
+/// `stats`. Returns the standard result relation.
+Relation LeftDeepJoin(const Database& db, const ConjunctiveQuery& query,
+                      const std::vector<size_t>& atom_order, JoinStats* stats);
+
+/// Per-order cost report for OrderSurvey.
+struct PlanCost {
+  std::vector<size_t> atom_order;
+  int64_t max_intermediate = 0;
+  int64_t total_intermediate = 0;
+};
+
+/// Evaluates the query under every atom permutation (query sizes here are
+/// tiny) and reports each order's intermediate-result cost. Used by the
+/// E1 bench to demonstrate the paper's "no matter the join order" claim
+/// for the AGM-hard triangle instance.
+std::vector<PlanCost> OrderSurvey(const Database& db,
+                                  const ConjunctiveQuery& query);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_BINARY_PLAN_H_

@@ -1,0 +1,93 @@
+#include "src/join/hash_join.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "src/data/hash_index.h"
+#include "src/join/result.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+VarRelation HashJoinVar(const VarRelation& left, const VarRelation& right,
+                        JoinStats* stats) {
+  // Shared variables and their column positions on both sides.
+  std::vector<size_t> left_key_cols, right_key_cols;
+  std::vector<bool> right_col_shared(right.vars.size(), false);
+  for (size_t lc = 0; lc < left.vars.size(); ++lc) {
+    for (size_t rc = 0; rc < right.vars.size(); ++rc) {
+      if (left.vars[lc] == right.vars[rc]) {
+        left_key_cols.push_back(lc);
+        right_key_cols.push_back(rc);
+        right_col_shared[rc] = true;
+      }
+    }
+  }
+
+  VarRelation out;
+  std::vector<std::string> attrs;
+  out.vars = left.vars;
+  for (size_t rc = 0; rc < right.vars.size(); ++rc) {
+    if (!right_col_shared[rc]) out.vars.push_back(right.vars[rc]);
+  }
+  attrs.reserve(out.vars.size());
+  for (VarId v : out.vars) attrs.push_back("x" + std::to_string(v));
+  out.rel = Relation("join", std::move(attrs));
+
+  // Build on the right side; probe with the left. (Callers control plan
+  // shape; build-side choice only affects constants.)
+  HashIndex index(right.rel, right_key_cols);
+  std::vector<Value> key(left_key_cols.size());
+  std::vector<Value> out_tuple(out.vars.size());
+  for (RowId lr = 0; lr < left.rel.NumTuples(); ++lr) {
+    const auto lt = left.rel.Tuple(lr);
+    for (size_t i = 0; i < left_key_cols.size(); ++i) {
+      key[i] = lt[left_key_cols[i]];
+    }
+    if (stats != nullptr) ++stats->probes;
+    for (RowId rr : index.Probe(key)) {
+      const auto rt = right.rel.Tuple(rr);
+      size_t c = 0;
+      for (size_t lc = 0; lc < left.vars.size(); ++lc) out_tuple[c++] = lt[lc];
+      for (size_t rc = 0; rc < right.vars.size(); ++rc) {
+        if (!right_col_shared[rc]) out_tuple[c++] = rt[rc];
+      }
+      out.rel.AddTuple(out_tuple,
+                       left.rel.TupleWeight(lr) + right.rel.TupleWeight(rr));
+    }
+  }
+  return out;
+}
+
+VarRelation AtomVarRelation(const Database& db, const ConjunctiveQuery& query,
+                            size_t atom_idx) {
+  const Atom& atom = query.atom(atom_idx);
+  VarRelation vr;
+  vr.rel = db.relation(atom.relation);
+  vr.vars = atom.vars;
+  return vr;
+}
+
+Relation FinalizeResult(const VarRelation& vr, const ConjunctiveQuery& query) {
+  TOPKJOIN_CHECK(static_cast<int>(vr.vars.size()) == query.num_vars());
+  // Column positions in var order.
+  std::vector<size_t> col_of_var(static_cast<size_t>(query.num_vars()));
+  std::vector<bool> seen(static_cast<size_t>(query.num_vars()), false);
+  for (size_t c = 0; c < vr.vars.size(); ++c) {
+    const auto v = static_cast<size_t>(vr.vars[c]);
+    TOPKJOIN_CHECK(!seen[v]);
+    seen[v] = true;
+    col_of_var[v] = c;
+  }
+  Relation out = MakeResultRelation(query);
+  std::vector<Value> tuple(static_cast<size_t>(query.num_vars()));
+  for (RowId r = 0; r < vr.rel.NumTuples(); ++r) {
+    const auto t = vr.rel.Tuple(r);
+    for (size_t v = 0; v < tuple.size(); ++v) tuple[v] = t[col_of_var[v]];
+    out.AddTuple(tuple, vr.rel.TupleWeight(r));
+  }
+  return out;
+}
+
+}  // namespace topkjoin

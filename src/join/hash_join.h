@@ -1,0 +1,37 @@
+// Binary hash join on intermediate relations with variable bindings.
+#ifndef TOPKJOIN_JOIN_HASH_JOIN_H_
+#define TOPKJOIN_JOIN_HASH_JOIN_H_
+
+#include <vector>
+
+#include "src/data/relation.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// A relation whose columns are bound to query variables: the shape of
+/// intermediate results in binary join plans.
+struct VarRelation {
+  Relation rel = Relation::WithArity("vr", 0);
+  std::vector<VarId> vars;  // vars[c] = variable bound to column c
+};
+
+/// Natural (equi-)join of `left` and `right` on their shared variables.
+/// Output columns: left's vars then right's non-shared vars. Output
+/// weight: sum of the two input weights. Uses a hash table on the
+/// smaller input. Bag semantics.
+VarRelation HashJoinVar(const VarRelation& left, const VarRelation& right,
+                        JoinStats* stats);
+
+/// Wraps an atom's base relation as a VarRelation (copies the data).
+VarRelation AtomVarRelation(const Database& db, const ConjunctiveQuery& query,
+                            size_t atom_idx);
+
+/// Reorders a fully-bound VarRelation's columns into ascending VarId
+/// order, producing the library's standard result shape (see result.h).
+Relation FinalizeResult(const VarRelation& vr, const ConjunctiveQuery& query);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_HASH_JOIN_H_

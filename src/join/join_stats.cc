@@ -1,0 +1,30 @@
+#include "src/join/join_stats.h"
+
+#include <algorithm>
+
+namespace topkjoin {
+
+JoinStats& JoinStats::operator+=(const JoinStats& other) {
+  intermediate_tuples += other.intermediate_tuples;
+  max_intermediate_size =
+      std::max(max_intermediate_size, other.max_intermediate_size);
+  output_tuples += other.output_tuples;
+  probes += other.probes;
+  comparisons += other.comparisons;
+  return *this;
+}
+
+void JoinStats::RecordIntermediate(int64_t size) {
+  intermediate_tuples += size;
+  max_intermediate_size = std::max(max_intermediate_size, size);
+}
+
+std::string JoinStats::DebugString() const {
+  return "intermediate=" + std::to_string(intermediate_tuples) +
+         " max_intermediate=" + std::to_string(max_intermediate_size) +
+         " output=" + std::to_string(output_tuples) +
+         " probes=" + std::to_string(probes) +
+         " comparisons=" + std::to_string(comparisons);
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,36 @@
+// RAM-model instrumentation for join processing.
+//
+// The paper's central methodological point (Sections 1-2) is that cost
+// must be measured in the RAM model, charging for intermediate results,
+// not only for input accesses. Every operator in this library therefore
+// reports the tuples it materializes and the index operations it issues.
+#ifndef TOPKJOIN_JOIN_JOIN_STATS_H_
+#define TOPKJOIN_JOIN_JOIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace topkjoin {
+
+/// Counters accumulated by join operators. All costs are in "tuples" or
+/// "operations", i.e., RAM-model units rather than wall-clock.
+struct JoinStats {
+  /// Tuples written into intermediate (non-output) relations.
+  int64_t intermediate_tuples = 0;
+  /// Largest single intermediate relation produced.
+  int64_t max_intermediate_size = 0;
+  /// Tuples emitted as final output.
+  int64_t output_tuples = 0;
+  /// Hash/trie probes issued.
+  int64_t probes = 0;
+  /// Tuple comparisons (sorting, leapfrog seeks).
+  int64_t comparisons = 0;
+
+  JoinStats& operator+=(const JoinStats& other);
+  void RecordIntermediate(int64_t size);
+  std::string DebugString() const;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_JOIN_STATS_H_

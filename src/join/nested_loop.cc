@@ -1,0 +1,50 @@
+#include "src/join/nested_loop.h"
+
+#include <vector>
+
+namespace topkjoin {
+
+namespace {
+
+void Recurse(const Database& db, const ConjunctiveQuery& query, size_t atom_idx,
+             std::vector<Value>& assignment, std::vector<bool>& bound,
+             Weight weight_so_far, Relation* out) {
+  if (atom_idx == query.NumAtoms()) {
+    out->AddTuple(assignment, weight_so_far);
+    return;
+  }
+  const Atom& atom = query.atom(atom_idx);
+  const Relation& rel = db.relation(atom.relation);
+  for (RowId r = 0; r < rel.NumTuples(); ++r) {
+    const auto tuple = rel.Tuple(r);
+    bool consistent = true;
+    std::vector<VarId> newly_bound;
+    for (size_t c = 0; c < atom.vars.size() && consistent; ++c) {
+      const VarId v = atom.vars[c];
+      if (bound[static_cast<size_t>(v)]) {
+        consistent = assignment[static_cast<size_t>(v)] == tuple[c];
+      } else {
+        bound[static_cast<size_t>(v)] = true;
+        assignment[static_cast<size_t>(v)] = tuple[c];
+        newly_bound.push_back(v);
+      }
+    }
+    if (consistent) {
+      Recurse(db, query, atom_idx + 1, assignment, bound,
+              weight_so_far + rel.TupleWeight(r), out);
+    }
+    for (VarId v : newly_bound) bound[static_cast<size_t>(v)] = false;
+  }
+}
+
+}  // namespace
+
+Relation NestedLoopJoin(const Database& db, const ConjunctiveQuery& query) {
+  Relation out = MakeResultRelation(query, "nested_loop_result");
+  std::vector<Value> assignment(static_cast<size_t>(query.num_vars()), 0);
+  std::vector<bool> bound(static_cast<size_t>(query.num_vars()), false);
+  Recurse(db, query, 0, assignment, bound, 0.0, &out);
+  return out;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,20 @@
+// Naive nested-loop evaluation: the differential-testing oracle.
+#ifndef TOPKJOIN_JOIN_NESTED_LOOP_H_
+#define TOPKJOIN_JOIN_NESTED_LOOP_H_
+
+#include "src/data/database.h"
+#include "src/join/result.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// Evaluates the query by trying every combination of one tuple per atom
+/// and keeping the consistent ones. Exponential in query size and input
+/// size; use only on small instances (tests). Bag semantics: duplicate
+/// input tuples yield duplicate outputs. Weight of an output = sum of
+/// the participating tuples' weights.
+Relation NestedLoopJoin(const Database& db, const ConjunctiveQuery& query);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_NESTED_LOOP_H_

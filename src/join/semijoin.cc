@@ -1,0 +1,81 @@
+#include "src/join/semijoin.h"
+
+#include <unordered_set>
+
+#include "src/util/common.h"
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
+                    const Relation& filter,
+                    const std::vector<size_t>& filter_cols, JoinStats* stats) {
+  TOPKJOIN_CHECK(target_cols.size() == filter_cols.size());
+  if (target_cols.empty()) {
+    // No shared variables: the filter acts as an existence check.
+    if (filter.Empty()) {
+      std::vector<bool> keep(target->NumTuples(), false);
+      target->Filter(keep);
+    }
+    return;
+  }
+  std::unordered_set<ValueKey, ValueKeyHash> keys;
+  keys.reserve(filter.NumTuples());
+  ValueKey key;
+  key.values.resize(filter_cols.size());
+  for (RowId r = 0; r < filter.NumTuples(); ++r) {
+    for (size_t i = 0; i < filter_cols.size(); ++i) {
+      key.values[i] = filter.At(r, filter_cols[i]);
+    }
+    keys.insert(key);
+  }
+  std::vector<bool> keep(target->NumTuples());
+  for (RowId r = 0; r < target->NumTuples(); ++r) {
+    for (size_t i = 0; i < target_cols.size(); ++i) {
+      key.values[i] = target->At(r, target_cols[i]);
+    }
+    if (stats != nullptr) ++stats->probes;
+    keep[r] = keys.contains(key);
+  }
+  target->Filter(keep);
+}
+
+ReducedInstance MakeInstance(const Database& db,
+                             const ConjunctiveQuery& query) {
+  ReducedInstance instance;
+  instance.atom_relations.reserve(query.NumAtoms());
+  for (const Atom& atom : query.atoms()) {
+    instance.atom_relations.push_back(db.relation(atom.relation));
+  }
+  return instance;
+}
+
+void FullReducer(const ConjunctiveQuery& query, const JoinTree& tree,
+                 ReducedInstance* instance, JoinStats* stats) {
+  TOPKJOIN_CHECK(instance->atom_relations.size() == query.NumAtoms());
+  // Bottom-up: visit atoms in reverse preorder; semijoin each parent by
+  // the (already reduced) child.
+  for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+    const size_t child = *it;
+    const int parent = tree.parent[child];
+    if (parent < 0) continue;
+    const auto shared = query.SharedVars(static_cast<size_t>(parent), child);
+    SemijoinReduce(&instance->atom_relations[static_cast<size_t>(parent)],
+                   query.ColumnsOf(static_cast<size_t>(parent), shared),
+                   instance->atom_relations[child],
+                   query.ColumnsOf(child, shared), stats);
+  }
+  // Top-down: visit atoms in preorder; semijoin each child by its parent.
+  for (const size_t child : tree.order) {
+    const int parent = tree.parent[child];
+    if (parent < 0) continue;
+    const auto shared = query.SharedVars(static_cast<size_t>(parent), child);
+    SemijoinReduce(&instance->atom_relations[child],
+                   query.ColumnsOf(child, shared),
+                   instance->atom_relations[static_cast<size_t>(parent)],
+                   query.ColumnsOf(static_cast<size_t>(parent), shared),
+                   stats);
+  }
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,47 @@
+// Semi-join reductions and the Yannakakis full reducer.
+//
+// After a full-reducer pass along a join tree (Bernstein-Chiu semijoin
+// program), the database is globally consistent: every remaining tuple
+// participates in at least one join result (Section 3 of the paper).
+// This is the property that gives Yannakakis its O~(n + r) bound and
+// gives the any-k dynamic programs dangling-free state spaces.
+#ifndef TOPKJOIN_JOIN_SEMIJOIN_H_
+#define TOPKJOIN_JOIN_SEMIJOIN_H_
+
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/query/hypergraph.h"
+
+namespace topkjoin {
+
+/// target := target semijoin filter, matching target columns
+/// `target_cols` against filter columns `filter_cols`. Keeps only target
+/// tuples whose key appears in the filter.
+void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
+                    const Relation& filter,
+                    const std::vector<size_t>& filter_cols, JoinStats* stats);
+
+/// A database restricted to one (possibly reduced) relation copy per
+/// query atom, so self-joins can be reduced per-atom independently.
+struct ReducedInstance {
+  /// One relation copy per atom, index-aligned with query.atoms().
+  std::vector<Relation> atom_relations;
+};
+
+/// Copies each atom's relation out of `db` (no reduction yet).
+ReducedInstance MakeInstance(const Database& db,
+                             const ConjunctiveQuery& query);
+
+/// Runs the full reducer over the join tree: a bottom-up pass (each
+/// parent semijoined by each child) followed by a top-down pass (each
+/// child semijoined by its parent). After this, the instance is globally
+/// consistent w.r.t. the acyclic query.
+void FullReducer(const ConjunctiveQuery& query, const JoinTree& tree,
+                 ReducedInstance* instance, JoinStats* stats);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_SEMIJOIN_H_

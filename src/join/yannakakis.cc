@@ -1,0 +1,68 @@
+#include "src/join/yannakakis.h"
+
+#include <utility>
+
+#include "src/join/hash_join.h"
+#include "src/join/result.h"
+#include "src/join/semijoin.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+Relation YannakakisJoin(const Database& db, const ConjunctiveQuery& query,
+                        JoinStats* stats) {
+  const auto tree = GyoJoinTree(query);
+  TOPKJOIN_CHECK(tree.has_value());
+
+  ReducedInstance instance = MakeInstance(db, query);
+  FullReducer(query, *tree, &instance, stats);
+
+  // Bottom-up join: fold each atom into its parent in reverse preorder.
+  // Thanks to global consistency every intermediate tuple extends to an
+  // output tuple, so intermediate sizes are bounded by |Q| * r.
+  std::vector<VarRelation> partial(query.NumAtoms());
+  for (size_t i = 0; i < query.NumAtoms(); ++i) {
+    partial[i].rel = std::move(instance.atom_relations[i]);
+    partial[i].vars = query.atom(i).vars;
+  }
+  size_t folds_left = query.NumAtoms() - 1;
+  for (auto it = tree->order.rbegin(); it != tree->order.rend(); ++it) {
+    const size_t child = *it;
+    const int parent = tree->parent[child];
+    if (parent < 0) continue;
+    const auto p = static_cast<size_t>(parent);
+    partial[p] = HashJoinVar(partial[p], partial[child], stats);
+    --folds_left;
+    if (stats != nullptr && folds_left > 0) {
+      stats->RecordIntermediate(
+          static_cast<int64_t>(partial[p].rel.NumTuples()));
+    }
+  }
+  VarRelation& root = partial[tree->root];
+  if (stats != nullptr) {
+    stats->output_tuples += static_cast<int64_t>(root.rel.NumTuples());
+  }
+  return FinalizeResult(root, query);
+}
+
+bool YannakakisBoolean(const Database& db, const ConjunctiveQuery& query,
+                       JoinStats* stats) {
+  const auto tree = GyoJoinTree(query);
+  TOPKJOIN_CHECK(tree.has_value());
+  ReducedInstance instance = MakeInstance(db, query);
+  // Bottom-up semijoin sweep only: the root is non-empty afterwards iff
+  // the query has at least one answer.
+  for (auto it = tree->order.rbegin(); it != tree->order.rend(); ++it) {
+    const size_t child = *it;
+    const int parent = tree->parent[child];
+    if (parent < 0) continue;
+    const auto shared = query.SharedVars(static_cast<size_t>(parent), child);
+    SemijoinReduce(&instance.atom_relations[static_cast<size_t>(parent)],
+                   query.ColumnsOf(static_cast<size_t>(parent), shared),
+                   instance.atom_relations[child], query.ColumnsOf(child, shared),
+                   stats);
+  }
+  return !instance.atom_relations[tree->root].Empty();
+}
+
+}  // namespace topkjoin

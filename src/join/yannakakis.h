@@ -1,0 +1,29 @@
+// The Yannakakis algorithm (VLDB 1981) for acyclic full conjunctive
+// queries: full reducer + bottom-up joins, with O~(n + r) running time
+// (Section 3 of the paper -- "essentially matching the lower bound").
+#ifndef TOPKJOIN_JOIN_YANNAKAKIS_H_
+#define TOPKJOIN_JOIN_YANNAKAKIS_H_
+
+#include <optional>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/query/hypergraph.h"
+
+namespace topkjoin {
+
+/// Evaluates an acyclic full CQ with the Yannakakis algorithm. CHECK-
+/// fails if the query is cyclic (callers decompose first; see
+/// query/decomposition.h). Returns the standard result relation.
+Relation YannakakisJoin(const Database& db, const ConjunctiveQuery& query,
+                        JoinStats* stats);
+
+/// Boolean version: is the output non-empty? Runs only the bottom-up
+/// semijoin sweep, O~(n).
+bool YannakakisBoolean(const Database& db, const ConjunctiveQuery& query,
+                       JoinStats* stats);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_JOIN_YANNAKAKIS_H_

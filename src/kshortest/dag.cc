@@ -1,0 +1,30 @@
+#include "src/kshortest/dag.h"
+
+#include <vector>
+
+namespace topkjoin {
+
+std::vector<size_t> Dag::TopologicalOrder() const {
+  const size_t n = adj_.size();
+  std::vector<size_t> indegree(n, 0);
+  for (const auto& arcs : adj_) {
+    for (const Arc& a : arcs) ++indegree[a.to];
+  }
+  std::vector<size_t> queue;
+  for (size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const size_t v = queue[head];
+    order.push_back(v);
+    for (const Arc& a : adj_[v]) {
+      if (--indegree[a.to] == 0) queue.push_back(a.to);
+    }
+  }
+  TOPKJOIN_CHECK(order.size() == n);  // otherwise the graph has a cycle
+  return order;
+}
+
+}  // namespace topkjoin

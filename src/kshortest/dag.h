@@ -1,0 +1,55 @@
+// Weighted DAGs for k-shortest-path enumeration.
+//
+// Part 3 of the paper traces the two any-k techniques back to k-shortest
+// paths: the Lawler-Murty partitioning procedure (Lawler 1972, Murty
+// 1968, Hoffman-Pavley 1959) and the Recursive Enumeration Algorithm
+// lineage (Bellman-Kalaba 1960, Dreyfus 1969, Jimenez-Marzal 1999).
+// This module implements both on an explicit DAG, serving as (a) a
+// standalone example, (b) a differential-testing oracle for the join
+// any-k engines (a serial path query IS a k-shortest-path instance).
+#ifndef TOPKJOIN_KSHORTEST_DAG_H_
+#define TOPKJOIN_KSHORTEST_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// A directed acyclic graph with weighted edges. Node ids are dense in
+/// [0, num_nodes). Edges may be added in any order; algorithms verify
+/// acyclicity via topological sort.
+class Dag {
+ public:
+  explicit Dag(size_t num_nodes) : adj_(num_nodes) {}
+
+  void AddEdge(size_t from, size_t to, double weight) {
+    TOPKJOIN_CHECK(from < adj_.size() && to < adj_.size());
+    adj_[from].push_back({to, weight});
+  }
+
+  size_t NumNodes() const { return adj_.size(); }
+
+  struct Arc {
+    size_t to = 0;
+    double weight = 0.0;
+  };
+  const std::vector<Arc>& OutArcs(size_t node) const { return adj_[node]; }
+
+  /// Topological order; CHECK-fails when the graph has a cycle.
+  std::vector<size_t> TopologicalOrder() const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+/// A path as a node sequence plus its total weight.
+struct WeightedPath {
+  std::vector<size_t> nodes;
+  double weight = 0.0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_KSHORTEST_DAG_H_

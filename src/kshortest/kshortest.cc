@@ -1,0 +1,271 @@
+#include "src/kshortest/kshortest.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace topkjoin {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shortest suffix distance from every node to `target` (DP over reverse
+// topological order).
+std::vector<double> SuffixDistances(const Dag& dag, size_t target) {
+  const auto order = dag.TopologicalOrder();
+  std::vector<double> dist(dag.NumNodes(), kInf);
+  dist[target] = 0.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const size_t v = *it;
+    for (const Dag::Arc& a : dag.OutArcs(v)) {
+      dist[v] = std::min(dist[v], a.weight + dist[a.to]);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ REA
+
+namespace {
+
+// Lazily materialized sorted stream of suffix paths from one node.
+struct NodeStream {
+  // A suffix path choice: which out-arc, and which rank of the successor
+  // stream it continues with.
+  struct Sol {
+    uint32_t arc = 0;       // index into OutArcs(node); unused at target
+    uint32_t next_rank = 0;
+    double cost = 0.0;
+    bool terminal = false;  // the empty path at the target node
+  };
+  struct Order {
+    bool operator()(const Sol& a, const Sol& b) const {
+      return a.cost > b.cost;
+    }
+  };
+  std::vector<Sol> materialized;
+  std::priority_queue<Sol, std::vector<Sol>, Order> frontier;
+  bool seeded = false;
+};
+
+class ReaEngine {
+ public:
+  ReaEngine(const Dag& dag, size_t target)
+      : dag_(dag), target_(target), streams_(dag.NumNodes()) {}
+
+  // rank-th best suffix path from `node`; nullptr when exhausted.
+  const NodeStream::Sol* GetSol(size_t node, size_t rank) {
+    NodeStream& st = streams_[node];
+    if (!st.seeded) {
+      st.seeded = true;
+      if (node == target_) {
+        NodeStream::Sol empty;
+        empty.terminal = true;
+        st.frontier.push(empty);
+      }
+      for (uint32_t ai = 0; ai < dag_.OutArcs(node).size(); ++ai) {
+        const Dag::Arc& arc = dag_.OutArcs(node)[ai];
+        const NodeStream::Sol* best = GetSol(arc.to, 0);
+        if (best == nullptr) continue;
+        NodeStream::Sol s;
+        s.arc = ai;
+        s.next_rank = 0;
+        s.cost = arc.weight + best->cost;
+        st.frontier.push(s);
+      }
+    }
+    while (st.materialized.size() <= rank) {
+      if (st.frontier.empty()) return nullptr;
+      NodeStream::Sol sol = st.frontier.top();
+      st.frontier.pop();
+      // Successor: same arc, next rank of the successor stream.
+      if (!sol.terminal) {
+        const Dag::Arc& arc = dag_.OutArcs(node)[sol.arc];
+        const NodeStream::Sol* next = GetSol(arc.to, sol.next_rank + 1);
+        if (next != nullptr) {
+          NodeStream::Sol succ;
+          succ.arc = sol.arc;
+          succ.next_rank = sol.next_rank + 1;
+          succ.cost = arc.weight + next->cost;
+          st.frontier.push(succ);
+        }
+      }
+      st.materialized.push_back(sol);
+    }
+    return &st.materialized[rank];
+  }
+
+  WeightedPath ExpandPath(size_t node, size_t rank) {
+    WeightedPath path;
+    size_t v = node;
+    size_t r = rank;
+    while (true) {
+      path.nodes.push_back(v);
+      const NodeStream::Sol* sol = GetSol(v, r);
+      TOPKJOIN_CHECK(sol != nullptr);
+      if (sol->terminal) break;
+      const Dag::Arc& arc = dag_.OutArcs(v)[sol->arc];
+      path.weight += arc.weight;
+      v = arc.to;
+      r = sol->next_rank;
+    }
+    return path;
+  }
+
+ private:
+  const Dag& dag_;
+  size_t target_;
+  std::vector<NodeStream> streams_;
+};
+
+}  // namespace
+
+std::vector<WeightedPath> KShortestPathsRea(const Dag& dag, size_t source,
+                                            size_t target, size_t k) {
+  ReaEngine engine(dag, target);
+  std::vector<WeightedPath> out;
+  for (size_t rank = 0; rank < k; ++rank) {
+    if (engine.GetSol(source, rank) == nullptr) break;
+    out.push_back(engine.ExpandPath(source, rank));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Lawler
+
+std::vector<WeightedPath> KShortestPathsLawler(const Dag& dag, size_t source,
+                                               size_t target, size_t k) {
+  const std::vector<double> suffix = SuffixDistances(dag, target);
+  std::vector<WeightedPath> out;
+  if (suffix[source] == kInf) return out;
+
+  // Per node: out-arc indices with finite suffix, ranked by
+  // (arc weight + suffix distance) -- rank 0 is the optimal
+  // continuation. Deviations bump the RANK at one position, which (as in
+  // ANYK-PART) generates every path exactly once and never cheaper than
+  // its parent.
+  std::vector<std::vector<uint32_t>> ranked_arcs(dag.NumNodes());
+  for (size_t v = 0; v < dag.NumNodes(); ++v) {
+    for (uint32_t ai = 0; ai < dag.OutArcs(v).size(); ++ai) {
+      if (suffix[dag.OutArcs(v)[ai].to] < kInf) ranked_arcs[v].push_back(ai);
+    }
+    std::sort(ranked_arcs[v].begin(), ranked_arcs[v].end(),
+              [&](uint32_t x, uint32_t y) {
+                const Dag::Arc& a = dag.OutArcs(v)[x];
+                const Dag::Arc& b = dag.OutArcs(v)[y];
+                const double ca = a.weight + suffix[a.to];
+                const double cb = b.weight + suffix[b.to];
+                if (ca != cb) return ca < cb;
+                return x < y;
+              });
+  }
+
+  // Candidate: per-position arc ranks along the path (suffix after
+  // dev_pos is all rank-0 by construction).
+  struct Candidate {
+    std::vector<uint32_t> ranks;
+    double weight = 0.0;
+    size_t dev_pos = 0;
+    bool operator>(const Candidate& o) const { return weight > o.weight; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+
+  // Materializes ranks into a node path; returns false when some rank is
+  // out of range. Fills the exact weight.
+  auto evaluate = [&](Candidate* c) {
+    c->weight = 0.0;
+    size_t v = source;
+    for (size_t j = 0;; ++j) {
+      if (v == target && j == c->ranks.size()) return true;
+      if (j >= c->ranks.size()) {
+        // Extend with rank-0 arcs until the target.
+        if (v == target) return true;
+        c->ranks.push_back(0);
+      }
+      if (c->ranks[j] >= ranked_arcs[v].size()) return false;
+      const Dag::Arc& a = dag.OutArcs(v)[ranked_arcs[v][c->ranks[j]]];
+      c->weight += a.weight;
+      v = a.to;
+    }
+  };
+  auto to_path = [&](const Candidate& c) {
+    WeightedPath path;
+    path.weight = c.weight;
+    size_t v = source;
+    path.nodes.push_back(v);
+    for (const uint32_t rank : c.ranks) {
+      const Dag::Arc& a = dag.OutArcs(v)[ranked_arcs[v][rank]];
+      v = a.to;
+      path.nodes.push_back(v);
+    }
+    return path;
+  };
+
+  Candidate seed;
+  seed.dev_pos = 0;
+  TOPKJOIN_CHECK(evaluate(&seed));
+  pq.push(std::move(seed));
+
+  while (!pq.empty() && out.size() < k) {
+    Candidate top = pq.top();
+    pq.pop();
+    for (size_t j = top.dev_pos; j < top.ranks.size(); ++j) {
+      Candidate dev;
+      dev.ranks.assign(top.ranks.begin(),
+                       top.ranks.begin() + static_cast<ptrdiff_t>(j + 1));
+      ++dev.ranks[j];
+      dev.dev_pos = j;
+      if (evaluate(&dev)) pq.push(std::move(dev));
+    }
+    out.push_back(to_path(top));
+  }
+  return out;
+}
+
+std::vector<WeightedPath> AllPathsSorted(const Dag& dag, size_t source,
+                                         size_t target) {
+  std::vector<WeightedPath> out;
+  WeightedPath current;
+  current.nodes = {source};
+
+  // Depth-first enumeration.
+  struct Frame {
+    size_t node;
+    size_t arc_idx;
+  };
+  std::vector<Frame> stack = {{source, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.node == target && f.arc_idx == 0) {
+      out.push_back(current);
+    }
+    if (f.arc_idx < dag.OutArcs(f.node).size()) {
+      const Dag::Arc& a = dag.OutArcs(f.node)[f.arc_idx];
+      ++f.arc_idx;
+      current.nodes.push_back(a.to);
+      current.weight += a.weight;
+      stack.push_back({a.to, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        current.nodes.pop_back();
+        // Undo the weight of the arc that led here.
+        const Frame& parent = stack.back();
+        const Dag::Arc& a = dag.OutArcs(parent.node)[parent.arc_idx - 1];
+        current.weight -= a.weight;
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const WeightedPath& a, const WeightedPath& b) {
+                     return a.weight < b.weight;
+                   });
+  return out;
+}
+
+}  // namespace topkjoin

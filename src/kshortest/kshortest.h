@@ -1,0 +1,34 @@
+// k-shortest s-t paths in a DAG, by both techniques the paper connects
+// to any-k join enumeration.
+#ifndef TOPKJOIN_KSHORTEST_KSHORTEST_H_
+#define TOPKJOIN_KSHORTEST_KSHORTEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kshortest/dag.h"
+
+namespace topkjoin {
+
+/// REA (Jimenez-Marzal 1999): every node lazily maintains the sorted
+/// list of its best suffix paths to t; the k-th path at a node merges
+/// the (k')-th paths of its successors via a per-node heap -- the exact
+/// structure ANYK-REC generalizes to join trees.
+std::vector<WeightedPath> KShortestPathsRea(const Dag& dag, size_t source,
+                                            size_t target, size_t k);
+
+/// Lawler-style deviations (Lawler 1972 / Hoffman-Pavley 1959): a global
+/// priority queue of paths; popping a path spawns deviations at every
+/// position past its deviation point, each completed optimally via the
+/// shortest-suffix table -- the structure ANYK-PART generalizes.
+std::vector<WeightedPath> KShortestPathsLawler(const Dag& dag, size_t source,
+                                               size_t target, size_t k);
+
+/// Exhaustive oracle for tests: all s-t paths sorted by weight
+/// (exponential; small DAGs only).
+std::vector<WeightedPath> AllPathsSorted(const Dag& dag, size_t source,
+                                         size_t target);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_KSHORTEST_KSHORTEST_H_

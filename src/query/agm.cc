@@ -1,0 +1,62 @@
+#include "src/query/agm.h"
+
+#include <cmath>
+
+#include "src/util/simplex.h"
+
+namespace topkjoin {
+
+namespace {
+
+// Builds the covering LP: minimize `objective` subject to, for each
+// variable v, sum over atoms containing v of x_atom >= 1.
+LinearProgram CoverLp(const ConjunctiveQuery& query,
+                      std::vector<double> objective) {
+  LinearProgram lp;
+  lp.objective = std::move(objective);
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    LinearConstraint c;
+    c.coeffs.assign(query.NumAtoms(), 0.0);
+    for (size_t i = 0; i < query.NumAtoms(); ++i) {
+      for (VarId w : query.atom(i).vars) {
+        if (w == v) c.coeffs[i] = 1.0;
+      }
+    }
+    c.sense = ConstraintSense::kGreaterEqual;
+    c.rhs = 1.0;
+    lp.constraints.push_back(std::move(c));
+  }
+  return lp;
+}
+
+}  // namespace
+
+StatusOr<FractionalEdgeCover> MinFractionalEdgeCover(
+    const ConjunctiveQuery& query) {
+  auto solved = SolveLp(CoverLp(query, std::vector<double>(query.NumAtoms(), 1.0)));
+  if (!solved.ok()) return solved.status();
+  FractionalEdgeCover cover;
+  cover.weights = solved.value().x;
+  cover.total_weight = solved.value().objective_value;
+  return cover;
+}
+
+StatusOr<double> AgmBound(const ConjunctiveQuery& query, const Database& db) {
+  // Empty relation anywhere covering a variable forces output 0 only if
+  // that atom must be used; more simply, an empty atom's join is empty.
+  for (const Atom& a : query.atoms()) {
+    if (db.relation(a.relation).Empty()) return 0.0;
+  }
+  std::vector<double> objective(query.NumAtoms());
+  for (size_t i = 0; i < query.NumAtoms(); ++i) {
+    const double size =
+        static_cast<double>(db.relation(query.atom(i).relation).NumTuples());
+    objective[i] = std::log(size);
+  }
+  // Singleton relations have log 0; the LP handles zero coefficients fine.
+  auto solved = SolveLp(CoverLp(query, std::move(objective)));
+  if (!solved.ok()) return solved.status();
+  return std::exp(solved.value().objective_value);
+}
+
+}  // namespace topkjoin

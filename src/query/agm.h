@@ -1,0 +1,35 @@
+// Fractional edge covers and the AGM output-size bound
+// (Atserias-Grohe-Marx, SIAM J. Comput. 2013; Section 3 of the paper).
+#ifndef TOPKJOIN_QUERY_AGM_H_
+#define TOPKJOIN_QUERY_AGM_H_
+
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/query/cq.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+/// A fractional edge cover: weight x_i >= 0 per atom such that for every
+/// variable v, the atoms containing v have total weight >= 1.
+struct FractionalEdgeCover {
+  std::vector<double> weights;
+  double total_weight = 0.0;  // sum of weights (= rho* when optimal)
+};
+
+/// Minimum fractional edge cover number rho*(Q): min sum x_i. For the
+/// triangle query this is 1.5; for the 4-cycle, 2.
+StatusOr<FractionalEdgeCover> MinFractionalEdgeCover(
+    const ConjunctiveQuery& query);
+
+/// The AGM bound for the given instance:
+///     |Q(D)| <= prod_i |R_i|^{x_i}
+/// minimized over fractional covers x (equivalently, the LP with
+/// objective sum x_i * log|R_i|). Returns the bound as a double
+/// (+infinity never arises: empty relations give bound 0).
+StatusOr<double> AgmBound(const ConjunctiveQuery& query, const Database& db);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_QUERY_AGM_H_

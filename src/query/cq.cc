@@ -1,0 +1,79 @@
+#include "src/query/cq.h"
+
+#include <algorithm>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+size_t ConjunctiveQuery::AddAtom(RelationId relation, std::vector<VarId> vars) {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    TOPKJOIN_CHECK(vars[i] >= 0);
+    for (size_t j = i + 1; j < vars.size(); ++j) {
+      TOPKJOIN_CHECK(vars[i] != vars[j]);  // repeated vars unsupported
+    }
+    num_vars_ = std::max(num_vars_, vars[i] + 1);
+  }
+  atoms_.push_back(Atom{relation, std::move(vars)});
+  return atoms_.size() - 1;
+}
+
+std::vector<VarId> ConjunctiveQuery::SharedVars(size_t i, size_t j) const {
+  std::vector<VarId> a = atoms_[i].vars, b = atoms_[j].vars;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<VarId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool ConjunctiveQuery::IsEarWithWitness(size_t i, size_t j,
+                                        const std::vector<bool>& alive) const {
+  TOPKJOIN_DCHECK(i != j && alive[i] && alive[j]);
+  for (VarId v : atoms_[i].vars) {
+    // Is v shared with any other alive atom?
+    bool shared = false;
+    for (size_t k = 0; k < atoms_.size() && !shared; ++k) {
+      if (k == i || !alive[k]) continue;
+      shared = std::find(atoms_[k].vars.begin(), atoms_[k].vars.end(), v) !=
+               atoms_[k].vars.end();
+    }
+    if (!shared) continue;  // v is private to atom i
+    const bool in_witness =
+        std::find(atoms_[j].vars.begin(), atoms_[j].vars.end(), v) !=
+        atoms_[j].vars.end();
+    if (!in_witness) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> ConjunctiveQuery::ColumnsOf(
+    size_t i, const std::vector<VarId>& vars) const {
+  std::vector<size_t> cols;
+  cols.reserve(vars.size());
+  for (VarId v : vars) {
+    const auto& avars = atoms_[i].vars;
+    const auto it = std::find(avars.begin(), avars.end(), v);
+    TOPKJOIN_CHECK(it != avars.end());
+    cols.push_back(static_cast<size_t>(it - avars.begin()));
+  }
+  return cols;
+}
+
+std::string ConjunctiveQuery::DebugString(const Database& db) const {
+  std::string s = "Q() :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += db.relation(atoms_[i].relation).name();
+    s += "(";
+    for (size_t j = 0; j < atoms_[i].vars.size(); ++j) {
+      if (j > 0) s += ",";
+      s += "x" + std::to_string(atoms_[i].vars[j]);
+    }
+    s += ")";
+  }
+  return s;
+}
+
+}  // namespace topkjoin

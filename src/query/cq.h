@@ -1,0 +1,67 @@
+// Conjunctive-query representation.
+//
+// Queries are full (no projection) natural-join conjunctive queries over
+// a Database: each atom references a relation and binds its columns to
+// query variables. Self-joins are expressed by atoms sharing a
+// RelationId, exactly as the paper expresses graph-pattern queries as
+// self-joins of the edge set (Section 1).
+#ifndef TOPKJOIN_QUERY_CQ_H_
+#define TOPKJOIN_QUERY_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/database.h"
+
+namespace topkjoin {
+
+/// Query variable identifier, dense in [0, num_vars).
+using VarId = int;
+
+/// One atom R(x_{i1}, ..., x_{ia}): relation `relation` with its a-th
+/// column bound to variable vars[a]. Variables within one atom must be
+/// distinct (standard for the algorithms surveyed; equalities within an
+/// atom can be pre-filtered into the relation).
+struct Atom {
+  RelationId relation = 0;
+  std::vector<VarId> vars;
+};
+
+/// A full conjunctive query: a set of atoms over variables 0..num_vars-1.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  /// Adds an atom; extends num_vars to cover its variables. Returns the
+  /// atom's index.
+  size_t AddAtom(RelationId relation, std::vector<VarId> vars);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+  size_t NumAtoms() const { return atoms_.size(); }
+  int num_vars() const { return num_vars_; }
+
+  /// Variables shared between atoms i and j (sorted).
+  std::vector<VarId> SharedVars(size_t i, size_t j) const;
+
+  /// True when every variable of atom i that also occurs in another atom
+  /// occurs in atom j (the GYO "ear" condition with witness j).
+  bool IsEarWithWitness(size_t i, size_t j,
+                        const std::vector<bool>& alive) const;
+
+  /// Positions (columns) of the given variables within atom i, in the
+  /// order the variables are listed. CHECK-fails if one is absent.
+  std::vector<size_t> ColumnsOf(size_t i,
+                                const std::vector<VarId>& vars) const;
+
+  /// Human-readable rendering, e.g. "Q() :- R(x0,x1), S(x1,x2)".
+  std::string DebugString(const Database& db) const;
+
+ private:
+  std::vector<Atom> atoms_;
+  int num_vars_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_QUERY_CQ_H_

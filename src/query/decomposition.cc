@@ -1,0 +1,120 @@
+#include "src/query/decomposition.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "src/join/binary_plan.h"
+#include "src/join/hash_join.h"
+#include "src/query/hypergraph.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+namespace {
+
+std::vector<VarId> GroupVars(const ConjunctiveQuery& query,
+                             const std::vector<size_t>& group) {
+  std::set<VarId> vars;
+  for (size_t a : group) {
+    for (VarId v : query.atom(a).vars) vars.insert(v);
+  }
+  return {vars.begin(), vars.end()};
+}
+
+// Builds the bag query skeleton (no relations) for acyclicity checking:
+// one atom per group over a dummy relation id.
+ConjunctiveQuery BagSkeleton(const ConjunctiveQuery& query,
+                             const AtomGrouping& grouping) {
+  ConjunctiveQuery bag_query;
+  for (const auto& group : grouping.groups) {
+    bag_query.AddAtom(0, GroupVars(query, group));
+  }
+  return bag_query;
+}
+
+}  // namespace
+
+bool IsAcyclicGrouping(const ConjunctiveQuery& query,
+                       const AtomGrouping& grouping) {
+  return IsAcyclic(BagSkeleton(query, grouping));
+}
+
+DecomposedQuery MaterializeGrouping(const Database& db,
+                                    const ConjunctiveQuery& query,
+                                    const AtomGrouping& grouping,
+                                    JoinStats* stats) {
+  // Validate: the grouping must partition the atom set.
+  std::vector<bool> seen(query.NumAtoms(), false);
+  for (const auto& group : grouping.groups) {
+    TOPKJOIN_CHECK(!group.empty());
+    for (size_t a : group) {
+      TOPKJOIN_CHECK(a < query.NumAtoms() && !seen[a]);
+      seen[a] = true;
+    }
+  }
+  for (bool s : seen) TOPKJOIN_CHECK(s);
+
+  DecomposedQuery out;
+  for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    const auto& group = grouping.groups[g];
+    VarRelation acc = AtomVarRelation(db, query, group[0]);
+    for (size_t i = 1; i < group.size(); ++i) {
+      acc = HashJoinVar(acc, AtomVarRelation(db, query, group[i]), stats);
+    }
+    if (stats != nullptr) {
+      stats->RecordIntermediate(static_cast<int64_t>(acc.rel.NumTuples()));
+    }
+    Relation bag("bag" + std::to_string(g), acc.rel.attribute_names());
+    for (RowId r = 0; r < acc.rel.NumTuples(); ++r) {
+      bag.AddTuple(acc.rel.Tuple(r), acc.rel.TupleWeight(r));
+    }
+    const RelationId rid = out.db.Add(std::move(bag));
+    out.query.AddAtom(rid, acc.vars);
+  }
+  TOPKJOIN_CHECK(out.query.num_vars() == query.num_vars());
+  return out;
+}
+
+std::optional<AtomGrouping> FindAcyclicGrouping(
+    const ConjunctiveQuery& query) {
+  if (query.NumAtoms() == 0) return std::nullopt;
+  AtomGrouping grouping;
+  for (size_t i = 0; i < query.NumAtoms(); ++i) grouping.groups.push_back({i});
+
+  while (!IsAcyclicGrouping(query, grouping)) {
+    TOPKJOIN_CHECK(grouping.groups.size() > 1);
+    // Merge the two groups sharing the most variables (ties: smallest
+    // combined atom count, then lowest indices, for determinism).
+    size_t best_i = 0, best_j = 1;
+    int best_shared = -1;
+    size_t best_size = SIZE_MAX;
+    for (size_t i = 0; i < grouping.groups.size(); ++i) {
+      for (size_t j = i + 1; j < grouping.groups.size(); ++j) {
+        const auto vi = GroupVars(query, grouping.groups[i]);
+        const auto vj = GroupVars(query, grouping.groups[j]);
+        std::vector<VarId> shared;
+        std::set_intersection(vi.begin(), vi.end(), vj.begin(), vj.end(),
+                              std::back_inserter(shared));
+        const int s = static_cast<int>(shared.size());
+        const size_t size =
+            grouping.groups[i].size() + grouping.groups[j].size();
+        if (s > best_shared || (s == best_shared && size < best_size)) {
+          best_shared = s;
+          best_size = size;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    auto& gi = grouping.groups[best_i];
+    auto& gj = grouping.groups[best_j];
+    gi.insert(gi.end(), gj.begin(), gj.end());
+    std::sort(gi.begin(), gi.end());
+    grouping.groups.erase(grouping.groups.begin() +
+                          static_cast<ptrdiff_t>(best_j));
+  }
+  return grouping;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,59 @@
+// Decompositions of cyclic queries into acyclic queries over
+// materialized "bag" relations (Section 3 of the paper: hypertree-style
+// decompositions; the cost of the largest materialized bag determines
+// the width-dependent O~(n^d + r) term).
+//
+// A decomposition here is a grouping of the query's atoms: each group
+// becomes one bag whose relation is the (binary-plan) join of its member
+// atoms and whose variables are the union of member variables. The
+// grouping is valid when the resulting bag query is alpha-acyclic.
+// Because every atom belongs to exactly one group, each input tuple's
+// weight is counted exactly once -- which keeps ranked enumeration over
+// the decomposed query faithful to the original ranking function.
+#ifndef TOPKJOIN_QUERY_DECOMPOSITION_H_
+#define TOPKJOIN_QUERY_DECOMPOSITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// A partition of atom indices into groups.
+struct AtomGrouping {
+  std::vector<std::vector<size_t>> groups;
+};
+
+/// The bag query produced by materializing a grouping: a fresh database
+/// holding one relation per bag and the acyclic query over them.
+struct DecomposedQuery {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+/// True when the grouping's bag hypergraph (one edge per group = union
+/// of member variables) is alpha-acyclic.
+bool IsAcyclicGrouping(const ConjunctiveQuery& query,
+                       const AtomGrouping& grouping);
+
+/// Materializes each group with a left-deep hash-join of its members.
+/// Bag tuple weight = sum of member-tuple weights. Bag sizes are
+/// recorded in `stats` as intermediate results (they are the O~(n^d)
+/// cost the paper attributes to single-tree decompositions).
+DecomposedQuery MaterializeGrouping(const Database& db,
+                                    const ConjunctiveQuery& query,
+                                    const AtomGrouping& grouping,
+                                    JoinStats* stats);
+
+/// Greedy search for an acyclic grouping: starts from singleton groups
+/// and repeatedly merges the two groups sharing the most variables until
+/// the grouping becomes acyclic. Always terminates (a single group is
+/// trivially acyclic). Returns nullopt only for empty queries.
+std::optional<AtomGrouping> FindAcyclicGrouping(const ConjunctiveQuery& query);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_QUERY_DECOMPOSITION_H_

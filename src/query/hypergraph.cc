@@ -1,0 +1,64 @@
+#include "src/query/hypergraph.h"
+
+#include <algorithm>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+std::vector<std::vector<size_t>> JoinTree::Children() const {
+  std::vector<std::vector<size_t>> children(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] >= 0) children[static_cast<size_t>(parent[i])].push_back(i);
+  }
+  return children;
+}
+
+std::optional<JoinTree> GyoJoinTree(const ConjunctiveQuery& query) {
+  const size_t m = query.NumAtoms();
+  TOPKJOIN_CHECK(m > 0);
+  std::vector<bool> alive(m, true);
+  std::vector<int> parent(m, -1);
+  std::vector<size_t> removal_order;
+  size_t remaining = m;
+
+  while (remaining > 1) {
+    bool removed = false;
+    for (size_t i = 0; i < m && !removed; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = 0; j < m; ++j) {
+        if (j == i || !alive[j]) continue;
+        if (query.IsEarWithWitness(i, j, alive)) {
+          parent[i] = static_cast<int>(j);
+          alive[i] = false;
+          removal_order.push_back(i);
+          --remaining;
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (!removed) return std::nullopt;  // no ear => cyclic
+  }
+
+  JoinTree tree;
+  tree.parent = std::move(parent);
+  for (size_t i = 0; i < m; ++i) {
+    if (alive[i]) tree.root = i;
+  }
+  // Preorder: the root, then ears in reverse removal order. An ear's
+  // witness is removed after it (or is the root), so reversing removal
+  // order lists every parent before its children.
+  tree.order.push_back(tree.root);
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    tree.order.push_back(*it);
+  }
+  TOPKJOIN_CHECK(tree.order.size() == m);
+  return tree;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& query) {
+  return GyoJoinTree(query).has_value();
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,39 @@
+// Query hypergraph utilities: GYO acyclicity test and join trees.
+//
+// The GYO (Graham / Yu-Ozsoyoglu) reduction repeatedly removes "ears":
+// atoms whose shared variables are covered by a single witness atom. A
+// query is alpha-acyclic iff the reduction consumes all atoms; the
+// ear-to-witness edges form a join tree, the structure both Yannakakis
+// (Section 3 of the paper) and the any-k dynamic programs (Section 4)
+// operate on.
+#ifndef TOPKJOIN_QUERY_HYPERGRAPH_H_
+#define TOPKJOIN_QUERY_HYPERGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// A rooted join tree over a query's atoms. parent[i] is the atom index
+/// of atom i's parent, or -1 for the root. Children are derivable;
+/// `order` is a topological order with the root first.
+struct JoinTree {
+  std::vector<int> parent;
+  size_t root = 0;
+  std::vector<size_t> order;  // preorder: parents before children
+
+  std::vector<std::vector<size_t>> Children() const;
+};
+
+/// Runs the GYO reduction. Returns the join tree when the query is
+/// alpha-acyclic, std::nullopt otherwise.
+std::optional<JoinTree> GyoJoinTree(const ConjunctiveQuery& query);
+
+/// Convenience: true iff the query is alpha-acyclic.
+bool IsAcyclic(const ConjunctiveQuery& query);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,19 @@
+#include "src/ranking/cost_model.h"
+
+namespace topkjoin {
+
+const char* CostModelName(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kSum:
+      return SumCost::kName;
+    case CostModelKind::kMax:
+      return MaxCost::kName;
+    case CostModelKind::kProd:
+      return ProdCost::kName;
+    case CostModelKind::kLex:
+      return LexCost::kName;
+  }
+  return "unknown";
+}
+
+}  // namespace topkjoin

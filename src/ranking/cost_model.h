@@ -1,0 +1,90 @@
+// Ranking functions as ordered commutative monoids (selective dioids).
+//
+// Part 3 of the paper asks "what types of ranking functions can be
+// supported efficiently?" The any-k dynamic programs work for any cost
+// structure with (1) an associative, commutative Combine with identity,
+// (2) a total order, and (3) monotonicity: a <= a' implies
+// Combine(a,b) <= Combine(a',b). Each policy below supplies that
+// structure; the any-k engines are templates over the policy.
+#ifndef TOPKJOIN_RANKING_COST_MODEL_H_
+#define TOPKJOIN_RANKING_COST_MODEL_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// SUM: the tropical (min, +) semiring -- total weight of the join
+/// result, "lighter is better". The paper's running example (top-k
+/// lightest 4-cycles).
+struct SumCost {
+  using CostT = double;
+  static constexpr const char* kName = "sum";
+  static CostT Identity() { return 0.0; }
+  static CostT FromWeight(Weight w) { return w; }
+  static CostT Combine(const CostT& a, const CostT& b) { return a + b; }
+  static bool Less(const CostT& a, const CostT& b) { return a < b; }
+  static double ToDouble(const CostT& c) { return c; }
+};
+
+/// MAX: bottleneck ranking -- the heaviest participating tuple decides.
+struct MaxCost {
+  using CostT = double;
+  static constexpr const char* kName = "max";
+  static CostT Identity() { return -std::numeric_limits<double>::infinity(); }
+  static CostT FromWeight(Weight w) { return w; }
+  static CostT Combine(const CostT& a, const CostT& b) {
+    return std::max(a, b);
+  }
+  static bool Less(const CostT& a, const CostT& b) { return a < b; }
+  static double ToDouble(const CostT& c) { return c; }
+};
+
+/// PROD: multiplicative ranking over nonnegative weights (e.g.,
+/// probabilities). Monotone because all costs are >= 0.
+struct ProdCost {
+  using CostT = double;
+  static constexpr const char* kName = "prod";
+  static CostT Identity() { return 1.0; }
+  static CostT FromWeight(Weight w) {
+    TOPKJOIN_DCHECK(w >= 0.0);
+    return w;
+  }
+  static CostT Combine(const CostT& a, const CostT& b) { return a * b; }
+  static bool Less(const CostT& a, const CostT& b) { return a < b; }
+  static double ToDouble(const CostT& c) { return c; }
+};
+
+/// LEX: lexicographic ranking by per-stage weights in combination order.
+/// Combine concatenates; comparison is lexicographic with shorter
+/// sequences treated as padded with -infinity (so prefixes compare
+/// before their extensions, which never matters for equal-length
+/// comparisons inside one query).
+struct LexCost {
+  using CostT = std::vector<double>;
+  static constexpr const char* kName = "lex";
+  static CostT Identity() { return {}; }
+  static CostT FromWeight(Weight w) { return {w}; }
+  static CostT Combine(const CostT& a, const CostT& b) {
+    CostT out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+  static bool Less(const CostT& a, const CostT& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+  static double ToDouble(const CostT& c) { return c.empty() ? 0.0 : c[0]; }
+};
+
+/// Runtime tag for benches/examples that select a model dynamically.
+enum class CostModelKind { kSum, kMax, kProd, kLex };
+
+const char* CostModelName(CostModelKind kind);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_RANKING_COST_MODEL_H_

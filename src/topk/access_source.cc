@@ -1,0 +1,92 @@
+#include "src/topk/access_source.h"
+
+#include <algorithm>
+#include <map>
+
+namespace topkjoin {
+
+ScoredList::ScoredList(std::vector<std::pair<ObjectId, double>> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  by_id_.reserve(entries_.size());
+  for (const auto& [id, score] : entries_) {
+    const bool inserted = by_id_.emplace(id, score).second;
+    TOPKJOIN_CHECK(inserted);  // one score per object per list
+  }
+}
+
+std::pair<ObjectId, double> ScoredList::SortedAccess(size_t r) const {
+  TOPKJOIN_CHECK(r < entries_.size());
+  ++sorted_accesses_;
+  return entries_[r];
+}
+
+std::optional<double> ScoredList::RandomAccess(ObjectId id) const {
+  ++random_accesses_;
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ScoredList::ResetCounters() const {
+  sorted_accesses_ = 0;
+  random_accesses_ = 0;
+}
+
+std::vector<ScoredList> GenerateLists(size_t m, size_t num_objects,
+                                      ListCorrelation corr, Rng& rng) {
+  // Base quality per object drives correlation patterns.
+  std::vector<double> quality(num_objects);
+  for (double& q : quality) q = rng.NextDouble();
+
+  std::vector<ScoredList> lists;
+  lists.reserve(m);
+  for (size_t l = 0; l < m; ++l) {
+    std::vector<std::pair<ObjectId, double>> entries;
+    entries.reserve(num_objects);
+    for (size_t o = 0; o < num_objects; ++o) {
+      double score = 0.0;
+      switch (corr) {
+        case ListCorrelation::kIndependent:
+          score = rng.NextDouble();
+          break;
+        case ListCorrelation::kCorrelated:
+          // Quality plus small independent noise.
+          score = 0.9 * quality[o] + 0.1 * rng.NextDouble();
+          break;
+        case ListCorrelation::kAntiCorrelated:
+          // Alternate lists prefer opposite ends of the quality scale.
+          score = (l % 2 == 0 ? quality[o] : 1.0 - quality[o]) * 0.9 +
+                  0.1 * rng.NextDouble();
+          break;
+      }
+      entries.emplace_back(static_cast<ObjectId>(o), score);
+    }
+    lists.emplace_back(std::move(entries));
+  }
+  return lists;
+}
+
+std::vector<std::pair<ObjectId, double>> BruteForceTopK(
+    const std::vector<ScoredList>& lists, size_t k) {
+  std::map<ObjectId, double> totals;
+  for (const ScoredList& list : lists) {
+    for (size_t r = 0; r < list.size(); ++r) {
+      const auto [id, score] = list.Peek(r);
+      totals[id] += score;
+    }
+  }
+  std::vector<std::pair<ObjectId, double>> all(totals.begin(), totals.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace topkjoin

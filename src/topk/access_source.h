@@ -1,0 +1,86 @@
+// The middleware cost model of classic top-k (Section 2 of the paper).
+//
+// A single conceptual table is vertically partitioned into m scored
+// lists managed by external sources. The middleware can issue
+//   - sorted access: "give me the next object in your score order", and
+//   - random access: "give me object o's score",
+// and is charged per access; computation is free in this model. The
+// paper's point is to revisit these algorithms in the RAM model, so the
+// sources also expose their access counters for reporting.
+#ifndef TOPKJOIN_TOPK_ACCESS_SOURCE_H_
+#define TOPKJOIN_TOPK_ACCESS_SOURCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/common.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+
+/// Identifier of an object in the vertically partitioned table.
+using ObjectId = Value;
+
+/// One vertical partition: objects with local scores, served in
+/// descending score order (classic TA setting: higher is better).
+class ScoredList {
+ public:
+  /// Takes (object, score) pairs; sorts descending by score (ties by
+  /// ascending id for determinism).
+  explicit ScoredList(std::vector<std::pair<ObjectId, double>> entries);
+
+  size_t size() const { return entries_.size(); }
+
+  /// Sorted access to rank `r` (0 = best). Counts one sorted access.
+  std::pair<ObjectId, double> SortedAccess(size_t r) const;
+
+  /// Random access by object id. Counts one random access. Returns
+  /// nullopt when the object is missing from this partition.
+  std::optional<double> RandomAccess(ObjectId id) const;
+
+  /// Score at rank r without charging an access (for test oracles).
+  std::pair<ObjectId, double> Peek(size_t r) const { return entries_[r]; }
+
+  int64_t sorted_accesses() const { return sorted_accesses_; }
+  int64_t random_accesses() const { return random_accesses_; }
+  void ResetCounters() const;
+
+ private:
+  std::vector<std::pair<ObjectId, double>> entries_;  // sorted desc
+  std::unordered_map<ObjectId, double> by_id_;
+  mutable int64_t sorted_accesses_ = 0;
+  mutable int64_t random_accesses_ = 0;
+};
+
+/// Result of a middleware top-k computation.
+struct MiddlewareTopK {
+  /// The k best (object, aggregate score) pairs, best first.
+  std::vector<std::pair<ObjectId, double>> entries;
+  int64_t sorted_accesses = 0;
+  int64_t random_accesses = 0;
+  /// Deepest sorted rank reached in any list.
+  int64_t max_depth = 0;
+};
+
+/// How scores correlate across lists, for the synthetic generators used
+/// by experiment E4.
+enum class ListCorrelation { kIndependent, kCorrelated, kAntiCorrelated };
+
+/// Generates m lists over `num_objects` objects with the given
+/// correlation pattern. Correlated: a good object is good everywhere
+/// (top-k algorithms shine); anti-correlated: good in one list, bad in
+/// others (they must dig deep).
+std::vector<ScoredList> GenerateLists(size_t m, size_t num_objects,
+                                      ListCorrelation corr, Rng& rng);
+
+/// Brute-force oracle: aggregate = sum over all lists (objects missing
+/// from a list contribute 0); returns the k best, best first.
+std::vector<std::pair<ObjectId, double>> BruteForceTopK(
+    const std::vector<ScoredList>& lists, size_t k);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOPK_ACCESS_SOURCE_H_

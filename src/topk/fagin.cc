@@ -1,0 +1,59 @@
+#include "src/topk/fagin.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+MiddlewareTopK FaginTopK(const std::vector<ScoredList>& lists, size_t k) {
+  TOPKJOIN_CHECK(!lists.empty());
+  for (const ScoredList& l : lists) l.ResetCounters();
+  const size_t m = lists.size();
+
+  // Phase 1: round-robin sorted access until >= k objects were seen in
+  // all m lists.
+  std::unordered_map<ObjectId, size_t> seen_count;
+  size_t fully_seen = 0;
+  size_t depth = 0;
+  const size_t max_len = lists[0].size();
+  while (fully_seen < k && depth < max_len) {
+    for (size_t l = 0; l < m; ++l) {
+      const auto [id, score] = lists[l].SortedAccess(depth);
+      (void)score;
+      if (++seen_count[id] == m) ++fully_seen;
+    }
+    ++depth;
+  }
+
+  // Phase 2: random access to complete every seen object's score.
+  std::vector<std::pair<ObjectId, double>> totals;
+  totals.reserve(seen_count.size());
+  for (const auto& [id, count] : seen_count) {
+    (void)count;
+    double total = 0.0;
+    for (const ScoredList& l : lists) {
+      const auto s = l.RandomAccess(id);
+      if (s.has_value()) total += *s;
+    }
+    totals.emplace_back(id, total);
+  }
+  std::sort(totals.begin(), totals.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (totals.size() > k) totals.resize(k);
+
+  MiddlewareTopK out;
+  out.entries = std::move(totals);
+  out.max_depth = static_cast<int64_t>(depth);
+  for (const ScoredList& l : lists) {
+    out.sorted_accesses += l.sorted_accesses();
+    out.random_accesses += l.random_accesses();
+  }
+  return out;
+}
+
+}  // namespace topkjoin

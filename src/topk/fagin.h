@@ -1,0 +1,21 @@
+// Fagin's Algorithm (FA) [27-29]: the pre-TA top-k aggregation
+// algorithm. Sorted-access all lists round-robin until at least k
+// objects have been seen in EVERY list; then random-access every seen
+// object to complete its score. Correct for monotone aggregates, but
+// without TA's instance optimality (Section 2 of the paper).
+#ifndef TOPKJOIN_TOPK_FAGIN_H_
+#define TOPKJOIN_TOPK_FAGIN_H_
+
+#include <vector>
+
+#include "src/topk/access_source.h"
+
+namespace topkjoin {
+
+/// Runs FA over the lists with SUM aggregation. Lists must cover the
+/// same object universe. Resets and then reports access counters.
+MiddlewareTopK FaginTopK(const std::vector<ScoredList>& lists, size_t k);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOPK_FAGIN_H_

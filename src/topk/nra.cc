@@ -1,0 +1,114 @@
+#include "src/topk/nra.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+namespace {
+
+struct Candidate {
+  double lower = 0.0;                 // sum of seen scores
+  std::vector<bool> seen_in;          // which lists contributed
+  size_t seen_count = 0;
+};
+
+}  // namespace
+
+MiddlewareTopK NraTopK(const std::vector<ScoredList>& lists, size_t k) {
+  TOPKJOIN_CHECK(!lists.empty());
+  for (const ScoredList& l : lists) l.ResetCounters();
+  const size_t m = lists.size();
+  const size_t max_len = lists[0].size();
+
+  std::unordered_map<ObjectId, Candidate> cands;
+  std::vector<double> last_seen(m, 1.0);
+
+  auto upper_of = [&](const Candidate& c) {
+    double u = c.lower;
+    for (size_t l = 0; l < m; ++l) {
+      if (!c.seen_in[l]) u += last_seen[l];
+    }
+    return u;
+  };
+
+  size_t depth = 0;
+  // The termination test scans all candidates (O(#candidates)); running
+  // it every round makes NRA quadratic in depth. Amortize by checking on
+  // a doubling schedule -- correctness is unaffected, the algorithm may
+  // only read slightly deeper than strictly necessary.
+  size_t next_check = 1;
+  while (depth < max_len) {
+    for (size_t l = 0; l < m; ++l) {
+      const auto [id, score] = lists[l].SortedAccess(depth);
+      last_seen[l] = score;
+      Candidate& c = cands[id];
+      if (c.seen_in.empty()) c.seen_in.assign(m, false);
+      if (!c.seen_in[l]) {
+        c.seen_in[l] = true;
+        c.lower += score;
+        ++c.seen_count;
+      }
+    }
+    ++depth;
+
+    if (depth < next_check && depth < max_len) continue;
+    next_check = depth + 1 + depth / 4;
+    if (cands.size() < k) continue;
+    // k-th largest lower bound among candidates.
+    std::vector<std::pair<double, ObjectId>> lowers;
+    lowers.reserve(cands.size());
+    for (const auto& [id, c] : cands) lowers.emplace_back(c.lower, id);
+    std::nth_element(
+        lowers.begin(), lowers.begin() + static_cast<ptrdiff_t>(k - 1),
+        lowers.end(), [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        });
+    const double kth_lower = lowers[k - 1].first;
+    // Unseen objects are bounded by the sum of last-seen scores.
+    double unseen_upper = 0.0;
+    for (double s : last_seen) unseen_upper += s;
+    bool done = kth_lower >= unseen_upper;
+    if (done) {
+      // Every candidate outside the current top-k must be dominated.
+      std::vector<ObjectId> topk_ids;
+      for (size_t i = 0; i < k; ++i) topk_ids.push_back(lowers[i].second);
+      for (const auto& [id, c] : cands) {
+        if (std::find(topk_ids.begin(), topk_ids.end(), id) !=
+            topk_ids.end()) {
+          continue;
+        }
+        if (upper_of(c) > kth_lower) {
+          done = false;
+          break;
+        }
+      }
+    }
+    if (done) break;
+  }
+
+  // Final selection by lower bound (exact when the loop proved
+  // domination; best-effort when the lists ran out).
+  std::vector<std::pair<ObjectId, double>> result;
+  result.reserve(cands.size());
+  for (const auto& [id, c] : cands) result.emplace_back(id, c.lower);
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (result.size() > k) result.resize(k);
+
+  MiddlewareTopK out;
+  out.entries = std::move(result);
+  out.max_depth = static_cast<int64_t>(depth);
+  for (const ScoredList& l : lists) {
+    out.sorted_accesses += l.sorted_accesses();
+    out.random_accesses += l.random_accesses();
+  }
+  return out;
+}
+
+}  // namespace topkjoin

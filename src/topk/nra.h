@@ -1,0 +1,25 @@
+// NRA (No Random Access), from the TA paper [30]: for sources that only
+// support sorted access. Maintains lower/upper score bounds per seen
+// object; stops when the k-th best lower bound dominates every other
+// candidate's upper bound (including wholly unseen objects). Typically
+// needs more sorted accesses than TA -- the trade-off experiment E4
+// measures.
+#ifndef TOPKJOIN_TOPK_NRA_H_
+#define TOPKJOIN_TOPK_NRA_H_
+
+#include <vector>
+
+#include "src/topk/access_source.h"
+
+namespace topkjoin {
+
+/// Runs NRA with SUM aggregation over scores assumed to lie in [0, 1]
+/// (the classic setting; the unseen-list contribution is bounded below
+/// by 0 and above by the list's last-seen score). Reports access
+/// counters; `entries` carries exact totals for the returned objects
+/// (computed for reporting, not charged as accesses).
+MiddlewareTopK NraTopK(const std::vector<ScoredList>& lists, size_t k);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOPK_NRA_H_

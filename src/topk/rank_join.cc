@@ -1,0 +1,257 @@
+#include "src/topk/rank_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "src/util/common.h"
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// ---------------------------------------------------------------- leaf
+
+RelationScanSource::RelationScanSource(const Relation& relation,
+                                       std::vector<VarId> vars)
+    : relation_(relation), vars_(std::move(vars)) {
+  TOPKJOIN_CHECK(vars_.size() == relation.arity());
+  order_.resize(relation.NumTuples());
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](RowId a, RowId b) {
+    if (relation.TupleWeight(a) != relation.TupleWeight(b)) {
+      return relation.TupleWeight(a) < relation.TupleWeight(b);
+    }
+    return a < b;
+  });
+}
+
+std::optional<RankedTuple> RelationScanSource::Next() {
+  if (pos_ >= order_.size()) return std::nullopt;
+  const RowId r = order_[pos_++];
+  RankedTuple out;
+  const auto t = relation_.Tuple(r);
+  out.values.assign(t.begin(), t.end());
+  out.cost = relation_.TupleWeight(r);
+  return out;
+}
+
+double RelationScanSource::NextLowerBound() {
+  if (pos_ >= order_.size()) return kInf;
+  return relation_.TupleWeight(order_[pos_]);
+}
+
+// ---------------------------------------------------------------- hrjn
+
+struct HrjnOperator::Impl {
+  std::unique_ptr<RankedSource> left, right;
+  std::vector<VarId> out_vars;
+  // Join key: positions in left vars / right vars of the shared vars.
+  std::vector<size_t> left_key_cols, right_key_cols;
+  std::vector<size_t> right_payload_cols;  // non-shared right positions
+
+  struct Buffered {
+    std::vector<Value> values;
+    double cost = 0.0;
+  };
+  std::vector<Buffered> lbuf, rbuf;
+  std::unordered_map<ValueKey, std::vector<size_t>, ValueKeyHash> lindex,
+      rindex;
+  double lmin = kInf, rmin = kInf;  // min cost read per side
+  bool lexhausted = false, rexhausted = false;
+
+  struct Out {
+    RankedTuple tuple;
+    bool operator>(const Out& o) const { return tuple.cost > o.tuple.cost; }
+  };
+  std::priority_queue<Out, std::vector<Out>, std::greater<Out>> outq;
+
+  ValueKey KeyOf(const std::vector<Value>& values,
+                 const std::vector<size_t>& cols) const {
+    ValueKey k;
+    k.values.reserve(cols.size());
+    for (size_t c : cols) k.values.push_back(values[c]);
+    return k;
+  }
+
+  void EmitJoin(const Buffered& l, const Buffered& r) {
+    Out o;
+    o.tuple.values = l.values;
+    for (size_t c : right_payload_cols) o.tuple.values.push_back(r.values[c]);
+    o.tuple.cost = l.cost + r.cost;
+    outq.push(std::move(o));
+  }
+
+  // Pulls one tuple from the chosen side, updating buffers and queue.
+  void Pull(bool from_left) {
+    RankedSource* src = from_left ? left.get() : right.get();
+    auto t = src->Next();
+    if (!t.has_value()) {
+      (from_left ? lexhausted : rexhausted) = true;
+      return;
+    }
+    Buffered b;
+    b.values = std::move(t->values);
+    b.cost = t->cost;
+    if (from_left) {
+      lmin = std::min(lmin, b.cost);
+      const ValueKey key = KeyOf(b.values, left_key_cols);
+      lbuf.push_back(b);
+      lindex[key].push_back(lbuf.size() - 1);
+      const auto it = rindex.find(key);
+      if (it != rindex.end()) {
+        for (size_t ri : it->second) EmitJoin(lbuf.back(), rbuf[ri]);
+      }
+    } else {
+      rmin = std::min(rmin, b.cost);
+      const ValueKey key = KeyOf(b.values, right_key_cols);
+      rbuf.push_back(b);
+      rindex[key].push_back(rbuf.size() - 1);
+      const auto it = lindex.find(key);
+      if (it != lindex.end()) {
+        for (size_t li : it->second) EmitJoin(lbuf[li], rbuf.back());
+      }
+    }
+  }
+
+  // Lower bound on any output involving at least one unread input tuple.
+  double Threshold() {
+    const double lnext = left->NextLowerBound();
+    const double rnext = right->NextLowerBound();
+    const double left_min = std::min(lmin, lnext);
+    const double right_min = std::min(rmin, rnext);
+    return std::min(lnext + right_min, left_min + rnext);
+  }
+};
+
+HrjnOperator::HrjnOperator(std::unique_ptr<RankedSource> left,
+                           std::unique_ptr<RankedSource> right)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->left = std::move(left);
+  impl_->right = std::move(right);
+  const auto& lvars = impl_->left->vars();
+  const auto& rvars = impl_->right->vars();
+  impl_->out_vars = lvars;
+  for (size_t rc = 0; rc < rvars.size(); ++rc) {
+    bool shared = false;
+    for (size_t lc = 0; lc < lvars.size(); ++lc) {
+      if (lvars[lc] == rvars[rc]) {
+        impl_->left_key_cols.push_back(lc);
+        impl_->right_key_cols.push_back(rc);
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) {
+      impl_->right_payload_cols.push_back(rc);
+      impl_->out_vars.push_back(rvars[rc]);
+    }
+  }
+}
+
+HrjnOperator::~HrjnOperator() = default;
+
+const std::vector<VarId>& HrjnOperator::vars() const {
+  return impl_->out_vars;
+}
+
+std::optional<RankedTuple> HrjnOperator::Next() {
+  Impl& im = *impl_;
+  while (true) {
+    const double threshold = im.Threshold();
+    if (!im.outq.empty() && im.outq.top().tuple.cost <= threshold) {
+      RankedTuple out = im.outq.top().tuple;
+      im.outq.pop();
+      return out;
+    }
+    // Need to read more input. HRJN* strategy: pull from the side whose
+    // next tuple is cheaper (balances the two bounds).
+    const bool lok = !im.lexhausted && im.left->NextLowerBound() < kInf;
+    const bool rok = !im.rexhausted && im.right->NextLowerBound() < kInf;
+    if (!lok && !rok) {
+      // Inputs dry: drain the queue.
+      if (im.outq.empty()) return std::nullopt;
+      RankedTuple out = im.outq.top().tuple;
+      im.outq.pop();
+      return out;
+    }
+    if (lok && (!rok || im.left->NextLowerBound() <=
+                            im.right->NextLowerBound())) {
+      im.Pull(/*from_left=*/true);
+    } else {
+      im.Pull(/*from_left=*/false);
+    }
+  }
+}
+
+double HrjnOperator::NextLowerBound() {
+  Impl& im = *impl_;
+  double bound = im.Threshold();
+  if (!im.outq.empty()) bound = std::min(bound, im.outq.top().tuple.cost);
+  return bound;
+}
+
+int64_t HrjnOperator::buffered_tuples() const {
+  return static_cast<int64_t>(impl_->lbuf.size() + impl_->rbuf.size());
+}
+
+int64_t HrjnOperator::queued_results() const {
+  return static_cast<int64_t>(impl_->outq.size());
+}
+
+// ---------------------------------------------------------------- plan
+
+RankJoinPlan::RankJoinPlan(const Database& db, const ConjunctiveQuery& query,
+                           const std::vector<size_t>& atom_order)
+    : query_(&query) {
+  TOPKJOIN_CHECK(atom_order.size() == query.NumAtoms());
+  auto make_leaf = [&](size_t atom_idx) {
+    const Atom& atom = query.atom(atom_idx);
+    auto leaf = std::make_unique<RelationScanSource>(
+        db.relation(atom.relation), atom.vars);
+    leaves_.push_back(leaf.get());
+    return leaf;
+  };
+  std::unique_ptr<RankedSource> acc = make_leaf(atom_order[0]);
+  for (size_t i = 1; i < atom_order.size(); ++i) {
+    auto op = std::make_unique<HrjnOperator>(std::move(acc),
+                                             make_leaf(atom_order[i]));
+    operators_.push_back(op.get());
+    acc = std::move(op);
+  }
+  root_ = std::move(acc);
+}
+
+RankJoinPlan::~RankJoinPlan() = default;
+
+std::optional<std::pair<std::vector<Value>, double>> RankJoinPlan::Next() {
+  auto t = root_->Next();
+  if (!t.has_value()) return std::nullopt;
+  std::vector<Value> assignment(static_cast<size_t>(query_->num_vars()), 0);
+  const auto& vars = root_->vars();
+  for (size_t c = 0; c < vars.size(); ++c) {
+    assignment[static_cast<size_t>(vars[c])] = t->values[c];
+  }
+  return std::make_pair(std::move(assignment), t->cost);
+}
+
+int64_t RankJoinPlan::TotalTuplesRead() const {
+  int64_t total = 0;
+  for (const RelationScanSource* leaf : leaves_) total += leaf->tuples_read();
+  return total;
+}
+
+int64_t RankJoinPlan::TotalBuffered() const {
+  int64_t total = 0;
+  for (const HrjnOperator* op : operators_) {
+    total += op->buffered_tuples() + op->queued_results();
+  }
+  return total;
+}
+
+}  // namespace topkjoin

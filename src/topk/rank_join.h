@@ -1,0 +1,114 @@
+// Rank join: HRJN / HRJN* (Ilyas, Aref, Elmagarmid, VLDB J. 2004) --
+// the classic top-k join operator over inputs pre-sorted by score
+// (Section 2 of the paper).
+//
+// We use MIN-SUM semantics throughout (lighter is better), matching the
+// paper's top-k lightest patterns. A binary HRJN operator pulls from two
+// ranked inputs, buffers everything it has read (hash-partitioned on the
+// join key), emits buffered join results from a priority queue, and
+// stops pulling when the queue's best result is at most the threshold --
+// a lower bound on any result involving a yet-unread input tuple:
+//     T = min( L.next + Rmin , Lmin + R.next ).
+// The operators compose into left-deep trees for multiway queries.
+//
+// The paper's RAM-model critique is visible in the exposed statistics:
+// the buffered tuples ARE intermediate results, and on adversarial
+// inputs (winners at the bottom) or cyclic queries they blow up --
+// experiment E5.
+#ifndef TOPKJOIN_TOPK_RANK_JOIN_H_
+#define TOPKJOIN_TOPK_RANK_JOIN_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/data/database.h"
+#include "src/query/cq.h"
+
+namespace topkjoin {
+
+/// One ranked (ascending-cost) output tuple of a rank-join operator.
+struct RankedTuple {
+  std::vector<Value> values;  // aligned with the source's vars()
+  double cost = 0.0;
+};
+
+/// Pull-based ranked stream over a fixed variable list.
+class RankedSource {
+ public:
+  virtual ~RankedSource() = default;
+  virtual const std::vector<VarId>& vars() const = 0;
+  /// Next output in non-decreasing cost order.
+  virtual std::optional<RankedTuple> Next() = 0;
+  /// Lower bound on the cost of any output not yet returned by Next()
+  /// (including internally buffered ones); +infinity when exhausted.
+  virtual double NextLowerBound() = 0;
+};
+
+/// Leaf: scans a relation in ascending weight order.
+class RelationScanSource : public RankedSource {
+ public:
+  RelationScanSource(const Relation& relation, std::vector<VarId> vars);
+  const std::vector<VarId>& vars() const override { return vars_; }
+  std::optional<RankedTuple> Next() override;
+  double NextLowerBound() override;
+
+  /// Sorted depth reached (tuples read) -- the classic rank-join metric.
+  int64_t tuples_read() const { return static_cast<int64_t>(pos_); }
+
+ private:
+  const Relation& relation_;
+  std::vector<VarId> vars_;
+  std::vector<RowId> order_;  // rows sorted by weight ascending
+  size_t pos_ = 0;
+};
+
+/// Binary HRJN operator; owns its two inputs.
+class HrjnOperator : public RankedSource {
+ public:
+  HrjnOperator(std::unique_ptr<RankedSource> left,
+               std::unique_ptr<RankedSource> right);
+  ~HrjnOperator() override;
+
+  const std::vector<VarId>& vars() const override;
+  std::optional<RankedTuple> Next() override;
+  double NextLowerBound() override;
+
+  /// Tuples currently buffered on both sides (intermediate state).
+  int64_t buffered_tuples() const;
+  /// Results sitting in the output queue (also intermediate state).
+  int64_t queued_results() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A left-deep tree of HRJN operators for a full CQ (atom order as
+/// given). Works for cyclic queries too -- join conditions accumulate on
+/// the left input. Exposes plan-wide statistics.
+class RankJoinPlan {
+ public:
+  RankJoinPlan(const Database& db, const ConjunctiveQuery& query,
+               const std::vector<size_t>& atom_order);
+  ~RankJoinPlan();
+
+  /// Next result in ascending total weight: assignment indexed by VarId.
+  std::optional<std::pair<std::vector<Value>, double>> Next();
+
+  /// Total base-relation tuples read so far across all leaves ("depth").
+  int64_t TotalTuplesRead() const;
+  /// Total tuples buffered inside all HRJN operators right now.
+  int64_t TotalBuffered() const;
+
+ private:
+  const ConjunctiveQuery* query_;
+  std::unique_ptr<RankedSource> root_;
+  std::vector<RelationScanSource*> leaves_;    // owned by the tree
+  std::vector<HrjnOperator*> operators_;       // owned by the tree
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOPK_RANK_JOIN_H_

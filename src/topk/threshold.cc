@@ -1,0 +1,61 @@
+#include "src/topk/threshold.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+MiddlewareTopK ThresholdTopK(const std::vector<ScoredList>& lists, size_t k) {
+  TOPKJOIN_CHECK(!lists.empty());
+  for (const ScoredList& l : lists) l.ResetCounters();
+  const size_t m = lists.size();
+  const size_t max_len = lists[0].size();
+
+  std::unordered_set<ObjectId> scored;  // objects fully scored already
+  // Current top-k (entries sorted descending, size <= k).
+  std::vector<std::pair<ObjectId, double>> top;
+  auto insert_top = [&](ObjectId id, double total) {
+    top.emplace_back(id, total);
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (top.size() > k) top.resize(k);
+  };
+
+  size_t depth = 0;
+  std::vector<double> last_seen(m, 0.0);
+  while (depth < max_len) {
+    for (size_t l = 0; l < m; ++l) {
+      const auto [id, score] = lists[l].SortedAccess(depth);
+      last_seen[l] = score;
+      if (scored.insert(id).second) {
+        double total = score;
+        for (size_t l2 = 0; l2 < m; ++l2) {
+          if (l2 == l) continue;
+          const auto s = lists[l2].RandomAccess(id);
+          if (s.has_value()) total += *s;
+        }
+        insert_top(id, total);
+      }
+    }
+    ++depth;
+    // Threshold: best possible total of any not-yet-seen object.
+    double tau = 0.0;
+    for (double s : last_seen) tau += s;
+    if (top.size() >= k && top[k - 1].second >= tau) break;
+  }
+
+  MiddlewareTopK out;
+  out.entries = std::move(top);
+  out.max_depth = static_cast<int64_t>(depth);
+  for (const ScoredList& l : lists) {
+    out.sorted_accesses += l.sorted_accesses();
+    out.random_accesses += l.random_accesses();
+  }
+  return out;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,22 @@
+// The Threshold Algorithm (TA) of Fagin, Lotem and Naor [30] -- the
+// 2014 Goedel Prize work whose instance optimality (in number of
+// accesses) anchors Part 1 of the paper. After each round of sorted
+// accesses, the threshold tau aggregates the last score seen in each
+// list; once the k-th best fully-scored object reaches tau, no unseen
+// object can do better and TA stops.
+#ifndef TOPKJOIN_TOPK_THRESHOLD_H_
+#define TOPKJOIN_TOPK_THRESHOLD_H_
+
+#include <vector>
+
+#include "src/topk/access_source.h"
+
+namespace topkjoin {
+
+/// Runs TA over the lists with SUM aggregation. Resets and then reports
+/// access counters.
+MiddlewareTopK ThresholdTopK(const std::vector<ScoredList>& lists, size_t k);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOPK_THRESHOLD_H_

@@ -1,0 +1,51 @@
+// Common assertion and logging macros used across the library.
+//
+// Per the project style we do not use C++ exceptions; invariant violations
+// abort with a readable message via CHECK, and recoverable failures are
+// reported through util::Status (see status.h).
+#ifndef TOPKJOIN_UTIL_COMMON_H_
+#define TOPKJOIN_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace topkjoin {
+
+/// Domain values of relation attributes. All join attributes are
+/// dictionary-encoded 64-bit integers, as is standard in the in-memory
+/// join-processing literature the paper surveys.
+using Value = int64_t;
+
+/// Per-tuple weights used by ranking functions ("lighter is better"
+/// throughout, matching the paper's top-k lightest 4-cycles example).
+using Weight = double;
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+
+#define TOPKJOIN_CHECK(expr)                                       \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::topkjoin::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                              \
+  } while (0)
+
+#ifndef NDEBUG
+#define TOPKJOIN_DCHECK(expr) TOPKJOIN_CHECK(expr)
+#else
+#define TOPKJOIN_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#endif
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_COMMON_H_

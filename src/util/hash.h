@@ -1,0 +1,45 @@
+// Hashing helpers for composite join keys.
+#ifndef TOPKJOIN_UTIL_HASH_H_
+#define TOPKJOIN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// Mixes a 64-bit value into a running hash (splitmix64 finalizer).
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (v ^ (v >> 31));
+}
+
+/// Hash of a sequence of domain values (a composite join key).
+inline uint64_t HashValues(std::span<const Value> values) {
+  uint64_t h = 0x51ab42ae5c1970ffULL;
+  for (Value v : values) h = HashMix(h, static_cast<uint64_t>(v));
+  return h;
+}
+
+/// A composite key: a small vector of values with hashing and equality,
+/// usable as an unordered_map key.
+struct ValueKey {
+  std::vector<Value> values;
+
+  bool operator==(const ValueKey& other) const = default;
+};
+
+struct ValueKeyHash {
+  size_t operator()(const ValueKey& k) const {
+    return static_cast<size_t>(HashValues(k.values));
+  }
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_HASH_H_

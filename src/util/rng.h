@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All synthetic workload generators take an explicit Rng so experiments
+// are reproducible from a seed, as the benchmarking methodology in the
+// reproduced paper's companion experiments requires.
+#ifndef TOPKJOIN_UTIL_RNG_H_
+#define TOPKJOIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// xoshiro256** generator. Not cryptographic; fast and high quality for
+/// simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_RNG_H_

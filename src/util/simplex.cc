@@ -1,0 +1,182 @@
+#include "src/util/simplex.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau over equality-form constraints
+//   A x = b,  x >= 0,  b >= 0,
+// with an explicit basis. Row 0..m-1 are constraints; the objective is
+// maintained separately as reduced costs.
+class Tableau {
+ public:
+  Tableau(size_t num_rows, size_t num_cols)
+      : m_(num_rows),
+        n_(num_cols),
+        a_(num_rows, std::vector<double>(num_cols, 0.0)),
+        b_(num_rows, 0.0),
+        basis_(num_rows, 0) {}
+
+  std::vector<std::vector<double>>& a() { return a_; }
+  std::vector<double>& b() { return b_; }
+  std::vector<size_t>& basis() { return basis_; }
+  size_t m() const { return m_; }
+  size_t n() const { return n_; }
+
+  // Runs primal simplex with Bland's rule for objective `cost`
+  // (minimization). Returns false when unbounded.
+  bool Minimize(const std::vector<double>& cost) {
+    while (true) {
+      // Reduced costs: c_j - c_B . B^{-1} A_j. Because we keep the
+      // tableau in canonical form (basis columns are unit vectors), the
+      // reduced cost is cost[j] - sum_i cost[basis[i]] * a[i][j].
+      size_t entering = n_;
+      for (size_t j = 0; j < n_; ++j) {
+        double reduced = cost[j];
+        for (size_t i = 0; i < m_; ++i) reduced -= cost[basis_[i]] * a_[i][j];
+        if (reduced < -kEps) {
+          entering = j;  // Bland: smallest index with negative reduced cost
+          break;
+        }
+      }
+      if (entering == n_) return true;  // optimal
+
+      // Ratio test, Bland tie-break on basis variable index.
+      size_t leaving = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        if (a_[i][entering] > kEps) {
+          const double ratio = b_[i] / a_[i][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving == m_ || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == m_) return false;  // unbounded
+
+      Pivot(leaving, entering);
+    }
+  }
+
+  void Pivot(size_t row, size_t col) {
+    const double pivot = a_[row][col];
+    TOPKJOIN_DCHECK(std::fabs(pivot) > kEps);
+    for (size_t j = 0; j < n_; ++j) a_[row][j] /= pivot;
+    b_[row] /= pivot;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (std::fabs(factor) < kEps) continue;
+      for (size_t j = 0; j < n_; ++j) a_[i][j] -= factor * a_[row][j];
+      b_[i] -= factor * b_[row];
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  size_t m_, n_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<size_t> basis_;
+};
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLp(const LinearProgram& lp) {
+  const size_t num_vars = lp.objective.size();
+  const size_t m = lp.constraints.size();
+  for (const auto& c : lp.constraints) {
+    TOPKJOIN_CHECK(c.coeffs.size() == num_vars);
+  }
+
+  // Count slack variables (one per inequality).
+  size_t num_slacks = 0;
+  for (const auto& c : lp.constraints) {
+    if (c.sense != ConstraintSense::kEqual) ++num_slacks;
+  }
+  // Columns: original | slacks | artificials (one per row).
+  const size_t n_total = num_vars + num_slacks + m;
+  Tableau t(m, n_total);
+
+  size_t slack_idx = num_vars;
+  for (size_t i = 0; i < m; ++i) {
+    const auto& c = lp.constraints[i];
+    double sign = 1.0;
+    // Normalize to nonnegative rhs.
+    if (c.rhs < 0) sign = -1.0;
+    for (size_t j = 0; j < num_vars; ++j) t.a()[i][j] = sign * c.coeffs[j];
+    t.b()[i] = sign * c.rhs;
+    ConstraintSense sense = c.sense;
+    if (sign < 0) {
+      if (sense == ConstraintSense::kLessEqual) {
+        sense = ConstraintSense::kGreaterEqual;
+      } else if (sense == ConstraintSense::kGreaterEqual) {
+        sense = ConstraintSense::kLessEqual;
+      }
+    }
+    if (sense == ConstraintSense::kLessEqual) {
+      t.a()[i][slack_idx++] = 1.0;  // + slack = rhs
+    } else if (sense == ConstraintSense::kGreaterEqual) {
+      t.a()[i][slack_idx++] = -1.0;  // - surplus = rhs
+    }
+    // Artificial variable for this row; starts basic.
+    t.a()[i][num_vars + num_slacks + i] = 1.0;
+    t.basis()[i] = num_vars + num_slacks + i;
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1_cost(n_total, 0.0);
+  for (size_t i = 0; i < m; ++i) phase1_cost[num_vars + num_slacks + i] = 1.0;
+  if (!t.Minimize(phase1_cost)) {
+    return Status::Error("phase-1 LP unbounded (should be impossible)");
+  }
+  double artificial_sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis()[i] >= num_vars + num_slacks) artificial_sum += t.b()[i];
+  }
+  if (artificial_sum > 1e-7) return Status::Error("infeasible LP");
+
+  // Drive any remaining (degenerate, zero-valued) artificials out of the
+  // basis when possible so phase 2 never pivots on them.
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis()[i] < num_vars + num_slacks) continue;
+    for (size_t j = 0; j < num_vars + num_slacks; ++j) {
+      if (std::fabs(t.a()[i][j]) > kEps) {
+        t.Pivot(i, j);
+        break;
+      }
+    }
+  }
+
+  // Phase 2: original objective; artificial columns get a prohibitive cost
+  // so they never re-enter.
+  std::vector<double> phase2_cost(n_total, 0.0);
+  for (size_t j = 0; j < num_vars; ++j) phase2_cost[j] = lp.objective[j];
+  for (size_t j = num_vars + num_slacks; j < n_total; ++j) {
+    phase2_cost[j] = 1e30;
+  }
+  if (!t.Minimize(phase2_cost)) return Status::Error("LP is unbounded");
+
+  LpSolution sol;
+  sol.x.assign(num_vars, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis()[i] < num_vars) sol.x[t.basis()[i]] = t.b()[i];
+  }
+  for (size_t j = 0; j < num_vars; ++j) {
+    sol.objective_value += lp.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace topkjoin

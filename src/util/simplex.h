@@ -1,0 +1,45 @@
+// A small, exact-enough dense LP solver (two-phase primal simplex with
+// Bland's rule) used to compute fractional edge covers and the AGM bound
+// (Atserias-Grohe-Marx, Section 3 of the paper).
+//
+// The LPs solved here are tiny (one variable per query atom, one
+// constraint per query variable), so a dense tableau with Bland's
+// anti-cycling rule is simple and fully adequate.
+#ifndef TOPKJOIN_UTIL_SIMPLEX_H_
+#define TOPKJOIN_UTIL_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+/// Relation of one linear constraint to its right-hand side.
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  (sense)  rhs.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  ConstraintSense sense = ConstraintSense::kGreaterEqual;
+  double rhs = 0.0;
+};
+
+/// min objective . x  subject to constraints and x >= 0.
+struct LinearProgram {
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+};
+
+/// Result of SolveLp: optimal objective value and a primal solution.
+struct LpSolution {
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. Returns an error Status when the program is infeasible
+/// or unbounded. All variables are implicitly nonnegative.
+StatusOr<LpSolution> SolveLp(const LinearProgram& lp);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_SIMPLEX_H_

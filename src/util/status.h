@@ -1,0 +1,67 @@
+// Minimal Status/StatusOr for exception-free error propagation.
+#ifndef TOPKJOIN_UTIL_STATUS_H_
+#define TOPKJOIN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// A lightweight success/error result. Errors carry a human-readable
+/// message; there is deliberately no error-code taxonomy because callers
+/// in this library never branch on the kind of failure.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}       // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    TOPKJOIN_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TOPKJOIN_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    TOPKJOIN_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    TOPKJOIN_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helper for benchmarks and examples.
+#ifndef TOPKJOIN_UTIL_TIMER_H_
+#define TOPKJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace topkjoin {
+
+/// Monotonic stopwatch. Started on construction; ElapsedSeconds() and
+/// ElapsedMicros() read without stopping, Restart() resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_TIMER_H_

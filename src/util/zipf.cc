@@ -1,0 +1,29 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  TOPKJOIN_CHECK(n > 0);
+  TOPKJOIN_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // guard against floating-point shortfall
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace topkjoin

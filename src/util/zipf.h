@@ -1,0 +1,35 @@
+// Zipf-distributed sampling for skewed workload generation.
+#ifndef TOPKJOIN_UTIL_ZIPF_H_
+#define TOPKJOIN_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace topkjoin {
+
+/// Samples ranks in [0, n) with probability proportional to
+/// 1 / (rank+1)^theta. theta = 0 is uniform; theta around 1 is the
+/// classic heavy skew used to stress join algorithms with high-degree
+/// values (the regime where binary join plans blow up, Section 3 of the
+/// paper).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n). Rank 0 is the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative distribution over ranks
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_ZIPF_H_

@@ -1,0 +1,111 @@
+// Contract tests: the library's CHECK-based preconditions must fire on
+// misuse (death tests), and Status-based APIs must report rather than
+// crash on representable failures.
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/data/relation.h"
+#include "src/query/agm.h"
+#include "src/query/cq.h"
+#include "src/query/hypergraph.h"
+#include "src/util/rng.h"
+#include "src/util/simplex.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, RelationArityMismatchAborts) {
+  Relation r = Relation::WithArity("R", 2);
+  EXPECT_DEATH(r.AddTuple({1, 2, 3}, 0.0), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, RepeatedVariableInAtomAborts) {
+  ConjunctiveQuery q;
+  EXPECT_DEATH(q.AddAtom(0, {0, 0}), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, NegativeVariableAborts) {
+  ConjunctiveQuery q;
+  EXPECT_DEATH(q.AddAtom(0, {-1, 0}), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, ColumnsOfMissingVariableAborts) {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {0, 1});
+  EXPECT_DEATH(q.ColumnsOf(0, {7}), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, FilterSizeMismatchAborts) {
+  Relation r = Relation::WithArity("R", 1);
+  r.AddTuple({1}, 0.0);
+  std::vector<bool> wrong_size(3, true);
+  EXPECT_DEATH(r.Filter(wrong_size), "CHECK failed");
+}
+
+TEST(ContractsDeathTest, RngZeroBoundAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "CHECK failed");
+}
+
+TEST(ContractsTest, StatusCarriesMessage) {
+  const Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(ContractsTest, StatusOrValueAndError) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(Status::Error("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "nope");
+}
+
+TEST(ContractsDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> bad(Status::Error("nope"));
+  EXPECT_DEATH((void)bad.value(), "CHECK failed");
+}
+
+TEST(ContractsTest, LpErrorsAreStatusNotCrash) {
+  // Infeasible and unbounded LPs return errors.
+  LinearProgram infeasible;
+  infeasible.objective = {1.0};
+  infeasible.constraints.push_back(
+      {{1.0}, ConstraintSense::kGreaterEqual, 2.0});
+  infeasible.constraints.push_back({{1.0}, ConstraintSense::kLessEqual, 1.0});
+  EXPECT_FALSE(SolveLp(infeasible).ok());
+
+  LinearProgram unbounded;
+  unbounded.objective = {-1.0};
+  unbounded.constraints.push_back(
+      {{1.0}, ConstraintSense::kGreaterEqual, 0.0});
+  EXPECT_FALSE(SolveLp(unbounded).ok());
+}
+
+TEST(ContractsTest, AgmOnSingleAtomIsRelationSize) {
+  Rng rng(1);
+  Database db;
+  const RelationId r = db.Add(UniformBinaryRelation("R", 37, 10, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(r, {0, 1});
+  const auto bound = AgmBound(q, db);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(bound.value(), 37.0, 1e-6);
+}
+
+TEST(ContractsTest, GyoSingleAtomIsAcyclic) {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {0, 1, 2});
+  const auto tree = GyoJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->root, 0u);
+  EXPECT_EQ(tree->parent[0], -1);
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -1,0 +1,272 @@
+// Tests for data/: relations, database, hash index, sorted tries, and
+// the synthetic generators.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/database.h"
+#include "src/data/generators.h"
+#include "src/data/hash_index.h"
+#include "src/data/relation.h"
+#include "src/data/trie.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+Relation SmallEdgeRelation() {
+  Relation r = Relation::WithArity("E", 2);
+  r.AddTuple({1, 2}, 0.5);
+  r.AddTuple({1, 3}, 0.25);
+  r.AddTuple({2, 3}, 1.0);
+  r.AddTuple({3, 1}, 0.75);
+  return r;
+}
+
+TEST(RelationTest, BasicAccessors) {
+  Relation r = SmallEdgeRelation();
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.NumTuples(), 4u);
+  EXPECT_EQ(r.At(0, 0), 1);
+  EXPECT_EQ(r.At(0, 1), 2);
+  EXPECT_DOUBLE_EQ(r.TupleWeight(1), 0.25);
+  const auto t = r.Tuple(3);
+  EXPECT_EQ(t[0], 3);
+  EXPECT_EQ(t[1], 1);
+}
+
+TEST(RelationTest, NamedAttributes) {
+  Relation r("R", {"src", "dst"});
+  EXPECT_EQ(r.attribute_names()[0], "src");
+  EXPECT_EQ(r.attribute_names()[1], "dst");
+  EXPECT_EQ(r.arity(), 2u);
+}
+
+TEST(RelationTest, SortByColumns) {
+  Relation r = SmallEdgeRelation();
+  const std::vector<size_t> cols = {1, 0};
+  r.SortByColumns(cols);
+  // Sorted by second column then first: (3,1),(1,2),(1,3),(2,3).
+  EXPECT_EQ(r.At(0, 0), 3);
+  EXPECT_EQ(r.At(1, 0), 1);
+  EXPECT_EQ(r.At(2, 0), 1);
+  EXPECT_EQ(r.At(3, 0), 2);
+  // Weights travel with their tuples.
+  EXPECT_DOUBLE_EQ(r.TupleWeight(0), 0.75);
+}
+
+TEST(RelationTest, DeduplicateKeepLightest) {
+  Relation r = Relation::WithArity("R", 2);
+  r.AddTuple({1, 1}, 0.9);
+  r.AddTuple({1, 1}, 0.2);
+  r.AddTuple({2, 2}, 0.5);
+  r.AddTuple({1, 1}, 0.7);
+  r.DeduplicateKeepLightest();
+  EXPECT_EQ(r.NumTuples(), 2u);
+  EXPECT_DOUBLE_EQ(r.TupleWeight(0), 0.2);  // lightest (1,1) survives
+}
+
+TEST(RelationTest, FilterKeepsSelected) {
+  Relation r = SmallEdgeRelation();
+  r.Filter({true, false, false, true});
+  EXPECT_EQ(r.NumTuples(), 2u);
+  EXPECT_EQ(r.At(0, 0), 1);
+  EXPECT_EQ(r.At(1, 0), 3);
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation r = Relation::WithArity("R", 3);
+  EXPECT_TRUE(r.Empty());
+  r.DeduplicateKeepLightest();
+  EXPECT_TRUE(r.Empty());
+  const std::vector<size_t> cols = {0, 1, 2};
+  r.SortByColumns(cols);
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(DatabaseTest, AddAndFind) {
+  Database db;
+  const RelationId id = db.Add(SmallEdgeRelation());
+  EXPECT_EQ(db.NumRelations(), 1u);
+  EXPECT_EQ(db.relation(id).name(), "E");
+  EXPECT_NE(db.Find("E"), nullptr);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_EQ(db.MaxRelationSize(), 4u);
+}
+
+TEST(HashIndexTest, ProbeSingleColumn) {
+  Relation r = SmallEdgeRelation();
+  HashIndex idx(r, {0});
+  const Value key1[] = {1};
+  auto rows = idx.Probe(key1);
+  EXPECT_EQ(rows.size(), 2u);
+  const Value key9[] = {9};
+  EXPECT_TRUE(idx.Probe(key9).empty());
+  EXPECT_EQ(idx.NumKeys(), 3u);
+  EXPECT_EQ(idx.MaxDegree(), 2u);
+}
+
+TEST(HashIndexTest, ProbeCompositeKey) {
+  Relation r = SmallEdgeRelation();
+  HashIndex idx(r, {0, 1});
+  const Value key[] = {2, 3};
+  auto rows = idx.Probe(key);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+}
+
+TEST(HashIndexTest, DuplicateRowsShareBucket) {
+  Relation r = Relation::WithArity("R", 1);
+  r.AddTuple({5}, 0.0);
+  r.AddTuple({5}, 1.0);
+  r.AddTuple({6}, 2.0);
+  HashIndex idx(r, {0});
+  const Value key[] = {5};
+  EXPECT_EQ(idx.Probe(key).size(), 2u);
+}
+
+TEST(TrieTest, SortedOrderRespectsColumnOrder) {
+  Relation r = SmallEdgeRelation();
+  SortedTrie trie(r, {1, 0});  // sort by dst, then src
+  const auto& rows = trie.sorted_rows();
+  // dst order: (3,1) then (1,2) then (1,3),(2,3).
+  EXPECT_EQ(r.At(rows[0], 1), 1);
+  EXPECT_EQ(r.At(rows[1], 1), 2);
+  EXPECT_EQ(r.At(rows[2], 1), 3);
+  EXPECT_EQ(r.At(rows[3], 1), 3);
+}
+
+TEST(TrieIteratorTest, WalkAllLevels) {
+  Relation r = SmallEdgeRelation();
+  SortedTrie trie(r, {0, 1});
+  TrieIterator it(trie);
+  it.Open();  // level 0: keys 1, 2, 3
+  std::vector<Value> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<Value>{1, 2, 3}));
+}
+
+TEST(TrieIteratorTest, OpenDescendsIntoGroup) {
+  Relation r = SmallEdgeRelation();
+  SortedTrie trie(r, {0, 1});
+  TrieIterator it(trie);
+  it.Open();
+  EXPECT_EQ(it.Key(), 1);
+  it.Open();  // children of src=1: dst in {2, 3}
+  std::vector<Value> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<Value>{2, 3}));
+  it.Up();
+  EXPECT_EQ(it.Key(), 1);  // back at level 0
+}
+
+TEST(TrieIteratorTest, SeekGeq) {
+  Relation r = Relation::WithArity("R", 1);
+  for (Value v : {2, 4, 4, 7, 9}) r.AddTuple({v}, 0.0);
+  SortedTrie trie(r, {0});
+  TrieIterator it(trie);
+  it.Open();
+  it.SeekGeq(4);
+  EXPECT_EQ(it.Key(), 4);
+  it.SeekGeq(5);
+  EXPECT_EQ(it.Key(), 7);
+  it.SeekGeq(10);
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIteratorTest, CurrentGroupCoversDuplicates) {
+  Relation r = Relation::WithArity("R", 1);
+  for (Value v : {3, 3, 3, 5}) r.AddTuple({v}, 0.0);
+  SortedTrie trie(r, {0});
+  TrieIterator it(trie);
+  it.Open();
+  EXPECT_EQ(it.Key(), 3);
+  const auto [b, e] = it.CurrentGroup();
+  EXPECT_EQ(e - b, 3u);
+  it.Next();
+  EXPECT_EQ(it.Key(), 5);
+  const auto [b2, e2] = it.CurrentGroup();
+  EXPECT_EQ(e2 - b2, 1u);
+}
+
+TEST(TrieIteratorTest, CurrentRowAtDeepestLevel) {
+  Relation r = SmallEdgeRelation();
+  SortedTrie trie(r, {0, 1});
+  TrieIterator it(trie);
+  it.Open();
+  it.SeekGeq(2);
+  it.Open();
+  EXPECT_EQ(it.Key(), 3);
+  const RowId row = it.CurrentRow();
+  EXPECT_EQ(r.At(row, 0), 2);
+  EXPECT_EQ(r.At(row, 1), 3);
+}
+
+TEST(TrieIteratorTest, EmptyRelation) {
+  Relation r = Relation::WithArity("R", 2);
+  SortedTrie trie(r, {0, 1});
+  TrieIterator it(trie);
+  it.Open();
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(GeneratorsTest, UniformBinaryShape) {
+  Rng rng(1);
+  Relation r = UniformBinaryRelation("R", 100, 10, rng);
+  EXPECT_EQ(r.NumTuples(), 100u);
+  for (RowId i = 0; i < r.NumTuples(); ++i) {
+    EXPECT_GE(r.At(i, 0), 0);
+    EXPECT_LT(r.At(i, 0), 10);
+    EXPECT_GE(r.TupleWeight(i), 0.0);
+    EXPECT_LT(r.TupleWeight(i), 1.0);
+  }
+}
+
+TEST(GeneratorsTest, AgmHardShape) {
+  Rng rng(2);
+  Relation r = AgmHardRelation("R", 20, rng);
+  EXPECT_EQ(r.NumTuples(), 21u);  // n/2 + 1 hub-in, n/2 hub-out
+  // Every tuple touches the hub value 0 on one side.
+  for (RowId i = 0; i < r.NumTuples(); ++i) {
+    EXPECT_TRUE(r.At(i, 0) == 0 || r.At(i, 1) == 0);
+  }
+}
+
+TEST(GeneratorsTest, SkewedFirstColumn) {
+  Rng rng(3);
+  Relation r = SkewedBinaryRelation("R", 5000, 100, 1.2, rng);
+  // Value 0 (the heaviest Zipf rank) should dominate column 0.
+  int zero_count = 0;
+  for (RowId i = 0; i < r.NumTuples(); ++i) zero_count += (r.At(i, 0) == 0);
+  EXPECT_GT(zero_count, 500);
+}
+
+TEST(GeneratorsTest, LayeredStageFanout) {
+  Rng rng(4);
+  Relation r = LayeredStageRelation("R", 50, 3, rng);
+  EXPECT_EQ(r.NumTuples(), 150u);
+  // Each left value appears exactly `fanout` times.
+  std::vector<int> deg(50, 0);
+  for (RowId i = 0; i < r.NumTuples(); ++i) ++deg[r.At(i, 0)];
+  for (int d : deg) EXPECT_EQ(d, 3);
+}
+
+TEST(GeneratorsTest, DanglingChainShape) {
+  Rng rng(5);
+  Relation r1 = Relation::WithArity("x", 0), r2 = r1, r3 = r1;
+  DanglingChainInstance(100, 0.1, rng, &r1, &r2, &r3);
+  EXPECT_EQ(r1.NumTuples(), 100u);
+  EXPECT_EQ(r2.NumTuples(), 100u);
+  EXPECT_EQ(r3.NumTuples(), 10u);
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -1,0 +1,275 @@
+// Cross-module integration tests: end-to-end scenarios wiring graphs,
+// pattern queries, every join engine, every ranked-enumeration engine,
+// and the middleware/rank-join stacks against each other.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/anyk/anyk.h"
+#include "src/anyk/batch.h"
+#include "src/anyk/tdp.h"
+#include "src/cycles/cycle_queries.h"
+#include "src/cycles/fourcycle.h"
+#include "src/data/generators.h"
+#include "src/graph/graph_generators.h"
+#include "src/graph/patterns.h"
+#include "src/join/acyclic_count.h"
+#include "src/join/binary_plan.h"
+#include "src/join/generic_join.h"
+#include "src/join/leapfrog.h"
+#include "src/join/nested_loop.h"
+#include "src/join/yannakakis.h"
+#include "src/query/agm.h"
+#include "src/query/decomposition.h"
+#include "src/topk/jstar.h"
+#include "src/topk/rank_join.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+// --- Scenario 1: a social-graph path analysis end to end. -------------
+
+TEST(IntegrationTest, PathPatternAllEnginesAgree) {
+  Rng rng(101);
+  const Graph g = GnmRandomGraph(60, 400, rng);
+  Database db;
+  const RelationId e = db.Add(g.ToRelation());
+  for (size_t len : {2u, 3u}) {
+    const ConjunctiveQuery q = PathPatternQuery(e, len);
+    const Relation oracle = NestedLoopJoin(db, q);
+    EXPECT_TRUE(ResultsEqual(GenericJoinAll(db, q, nullptr), oracle, 1e-9));
+    EXPECT_TRUE(ResultsEqual(LeapfrogJoinAll(db, q, nullptr), oracle, 1e-9));
+    EXPECT_TRUE(ResultsEqual(YannakakisJoin(db, q, nullptr), oracle, 1e-9));
+    EXPECT_EQ(CountAcyclic(db, q, nullptr),
+              static_cast<int64_t>(oracle.NumTuples()));
+  }
+}
+
+TEST(IntegrationTest, PathTopKAcrossFiveEngines) {
+  // any-k (3 variants), rank join, and J* must produce identical cost
+  // prefixes on the same self-join path query.
+  Rng rng(102);
+  const Graph g = GnmRandomGraph(40, 300, rng);
+  Database db;
+  const RelationId e = db.Add(g.ToRelation());
+  const ConjunctiveQuery q = PathPatternQuery(e, 3);
+
+  auto rec = MakeAnyK(db, q, AnyKAlgorithm::kRec);
+  auto part = MakeAnyK(db, q, AnyKAlgorithm::kPartEager);
+  auto lazy = MakeAnyK(db, q, AnyKAlgorithm::kPartLazy);
+  RankJoinPlan hrjn(db, q, {0, 1, 2});
+  JStar jstar(db, q, {0, 1, 2});
+
+  for (int i = 0; i < 50; ++i) {
+    const auto a = rec->Next();
+    const auto b = part->Next();
+    const auto c = lazy->Next();
+    const auto d = hrjn.Next();
+    const auto f = jstar.Next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    ASSERT_EQ(a.has_value(), c.has_value());
+    ASSERT_EQ(a.has_value(), d.has_value());
+    ASSERT_EQ(a.has_value(), f.has_value());
+    if (!a.has_value()) break;
+    EXPECT_NEAR(a->cost, b->cost, 1e-9) << "rank " << i;
+    EXPECT_NEAR(a->cost, c->cost, 1e-9) << "rank " << i;
+    EXPECT_NEAR(a->cost, d->second, 1e-9) << "rank " << i;
+    EXPECT_NEAR(a->cost, f->second, 1e-9) << "rank " << i;
+  }
+}
+
+// --- Scenario 2: 4-cycle evaluation, self-join vs distinct copies. ----
+
+TEST(IntegrationTest, FourCycleSelfJoinVsDistinctRelations) {
+  Rng rng(103);
+  const Relation edges = UniformBinaryRelation("E", 80, 7, rng);
+  // Self-join form.
+  Database db1;
+  const RelationId e1 = db1.Add(edges);
+  const ConjunctiveQuery q1 = FourCycleQuery(e1);
+  // Four independent copies.
+  Database db2;
+  ConjunctiveQuery q2;
+  for (int i = 0; i < 4; ++i) {
+    Relation copy("E" + std::to_string(i), edges.attribute_names());
+    for (RowId r = 0; r < edges.NumTuples(); ++r) {
+      copy.AddTuple(edges.Tuple(r), edges.TupleWeight(r));
+    }
+    const RelationId id = db2.Add(std::move(copy));
+    q2.AddAtom(id, {i, (i + 1) % 4});
+  }
+  EXPECT_EQ(CountFourCycles(db1, q1, nullptr),
+            CountFourCycles(db2, q2, nullptr));
+  EXPECT_EQ(FourCycleBoolean(db1, q1, nullptr),
+            FourCycleBoolean(db2, q2, nullptr));
+}
+
+TEST(IntegrationTest, FourCycleThreeWaysAgreeOnCount) {
+  for (uint64_t seed = 200; seed < 205; ++seed) {
+    Rng rng(seed);
+    const Graph g = SkewedGraph(50, 400, 0.8, rng);
+    Database db;
+    const RelationId e = db.Add(g.ToRelation());
+    const ConjunctiveQuery q = FourCycleQuery(e);
+    // (a) mini-PANDA counting.
+    const int64_t panda = CountFourCycles(db, q, nullptr);
+    // (b) fhw=2 decomposition counting.
+    const DecomposedQuery fhw2 = FourCycleFhw2(db, q, nullptr);
+    const int64_t fhw = CountAcyclic(fhw2.db, fhw2.query, nullptr);
+    // (c) WCO enumeration.
+    JoinStats stats;
+    const int64_t wco =
+        static_cast<int64_t>(GenericJoinAll(db, q, &stats).NumTuples());
+    EXPECT_EQ(panda, fhw) << "seed " << seed;
+    EXPECT_EQ(panda, wco) << "seed " << seed;
+  }
+}
+
+TEST(IntegrationTest, TopKLightestFourCyclesMatchBruteForce) {
+  Rng rng(104);
+  Graph g = GnmRandomGraph(40, 250, rng);
+  g = PlantFourCycles(std::move(g), 2, 0.0, 0.001, rng);
+  Database db;
+  const RelationId e = db.Add(g.ToRelation());
+  const ConjunctiveQuery q = FourCycleQuery(e);
+
+  const CycleListing listing = BruteForceCycles(db.relation(e), 4);
+  std::vector<double> expected = listing.weights;
+  std::sort(expected.begin(), expected.end());
+
+  auto it = MakeFourCycleAnyK(db, q, AnyKAlgorithm::kPartLazy, nullptr);
+  for (size_t i = 0; i < std::min<size_t>(expected.size(), 64); ++i) {
+    const auto r = it->Next();
+    ASSERT_TRUE(r.has_value()) << "ended at " << i;
+    EXPECT_NEAR(r->cost, expected[i], 1e-9) << "rank " << i;
+  }
+  // The two planted ultra-light cycles dominate the top-8 (4 rotations
+  // each).
+  EXPECT_LT(expected[7], 0.005);
+}
+
+// --- Scenario 3: AGM bound vs all evaluators on cyclic queries. -------
+
+TEST(IntegrationTest, AgmBoundHoldsForTriangleAndFourCycle) {
+  for (uint64_t seed = 300; seed < 305; ++seed) {
+    Rng rng(seed);
+    Database db;
+    const RelationId e = db.Add(UniformBinaryRelation("E", 50, 6, rng));
+    db.mutable_relation(e).DeduplicateKeepLightest();
+    for (const ConjunctiveQuery& q :
+         {TrianglePatternQuery(e), FourCycleQuery(e)}) {
+      const auto bound = AgmBound(q, db);
+      ASSERT_TRUE(bound.ok());
+      JoinStats stats;
+      const double actual =
+          static_cast<double>(GenericJoinAll(db, q, &stats).NumTuples());
+      EXPECT_LE(actual, bound.value() + 1e-6) << "seed " << seed;
+    }
+  }
+}
+
+// --- Scenario 4: decomposition pipeline on a 5-cycle. ------------------
+
+TEST(IntegrationTest, FiveCycleRankedEnumerationViaArcs) {
+  Rng rng(105);
+  Database db;
+  const RelationId e = db.Add(UniformBinaryRelation("E", 45, 5, rng));
+  const ConjunctiveQuery q = CycleQuery(e, 5);
+  const AtomGrouping arcs = CycleArcGrouping(5);
+  ASSERT_TRUE(IsAcyclicGrouping(q, arcs));
+  JoinStats stats;
+  const DecomposedQuery dq = MaterializeGrouping(db, q, arcs, &stats);
+
+  auto it = MakeAnyK(dq.db, dq.query, AnyKAlgorithm::kRec);
+  std::vector<double> costs;
+  double prev = -1e300;
+  while (auto r = it->Next()) {
+    EXPECT_GE(r->cost, prev - 1e-12);
+    prev = r->cost;
+    costs.push_back(r->cost);
+  }
+  const CycleListing listing = BruteForceCycles(db.relation(e), 5);
+  std::vector<double> expected = listing.weights;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(costs.size(), expected.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_NEAR(costs[i], expected[i], 1e-9) << "rank " << i;
+  }
+}
+
+// --- Scenario 5: weight handling and determinism. ----------------------
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Rng rng(106);
+    const Graph g = GnmRandomGraph(30, 200, rng);
+    Database db;
+    const RelationId e = db.Add(g.ToRelation());
+    const ConjunctiveQuery q = PathPatternQuery(e, 3);
+    auto it = MakeAnyK(db, q, AnyKAlgorithm::kRec);
+    std::vector<double> costs;
+    for (int i = 0; i < 20; ++i) {
+      const auto r = it->Next();
+      if (!r.has_value()) break;
+      costs.push_back(r->cost);
+    }
+    return costs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, NegativeWeightsSupportedBySum) {
+  // SUM ranking tolerates negative weights (it needs no monotone
+  // pruning, only the DP's principle of optimality).
+  Database db;
+  Relation r = Relation::WithArity("R", 2);
+  r.AddTuple({1, 2}, -5.0);
+  r.AddTuple({1, 3}, 1.0);
+  Relation s = Relation::WithArity("S", 2);
+  s.AddTuple({2, 4}, 2.0);
+  s.AddTuple({3, 4}, -3.0);
+  const RelationId rid = db.Add(std::move(r)), sid = db.Add(std::move(s));
+  ConjunctiveQuery q;
+  q.AddAtom(rid, {0, 1});
+  q.AddAtom(sid, {1, 2});
+  auto it = MakeAnyK(db, q, AnyKAlgorithm::kRec);
+  const auto first = it->Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->cost, -3.0);  // (1,2,4): -5 + 2
+  const auto second = it->Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->cost, -2.0);  // (1,3,4): 1 - 3
+}
+
+TEST(IntegrationTest, LargeStarQueryStressesGrouping) {
+  // A 5-ray star has one shared variable with high fan-in: many groups,
+  // deep cross-products per center value.
+  Rng rng(107);
+  Database db;
+  ConjunctiveQuery q;
+  for (int i = 0; i < 5; ++i) {
+    const RelationId id =
+        db.Add(UniformBinaryRelation("S" + std::to_string(i), 40, 4, rng));
+    q.AddAtom(id, {0, i + 1});
+  }
+  Tdp<SumCost> tdp(db, q, SortMode::kEager, nullptr);
+  BatchSorted<SumCost> batch(&tdp);
+  const Relation oracle = NestedLoopJoin(db, q);
+  EXPECT_EQ(batch.TotalResults(), oracle.NumTuples());
+  auto it = MakeAnyK(db, q, AnyKAlgorithm::kRec);
+  size_t count = 0;
+  double prev = -1e300;
+  while (auto r = it->Next()) {
+    EXPECT_GE(r->cost, prev - 1e-12);
+    prev = r->cost;
+    ++count;
+  }
+  EXPECT_EQ(count, oracle.NumTuples());
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -1,0 +1,176 @@
+// Tests for kshortest/: REA and Lawler k-shortest paths on DAGs,
+// differential against exhaustive enumeration, plus the structural
+// correspondence with any-k on serial path queries.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/anyk/anyk.h"
+#include "src/data/generators.h"
+#include "src/kshortest/dag.h"
+#include "src/kshortest/kshortest.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+// Random layered DAG: `layers` layers of `width` nodes, edges between
+// consecutive layers with probability `p`. Source = extra node 0 wired
+// to layer 0, target = extra node wired from the last layer.
+Dag RandomLayeredDag(size_t layers, size_t width, double p, uint64_t seed,
+                     size_t* source, size_t* target) {
+  Rng rng(seed);
+  const size_t n = layers * width + 2;
+  Dag dag(n);
+  *source = n - 2;
+  *target = n - 1;
+  auto node = [&](size_t layer, size_t i) { return layer * width + i; };
+  for (size_t i = 0; i < width; ++i) {
+    dag.AddEdge(*source, node(0, i), rng.NextDouble());
+    dag.AddEdge(node(layers - 1, i), *target, rng.NextDouble());
+  }
+  for (size_t l = 0; l + 1 < layers; ++l) {
+    for (size_t i = 0; i < width; ++i) {
+      for (size_t j = 0; j < width; ++j) {
+        if (rng.NextDouble() < p) {
+          dag.AddEdge(node(l, i), node(l + 1, j), rng.NextDouble());
+        }
+      }
+    }
+  }
+  return dag;
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag(4);
+  dag.AddEdge(2, 0, 1.0);
+  dag.AddEdge(0, 1, 1.0);
+  dag.AddEdge(1, 3, 1.0);
+  const auto order = dag.TopologicalOrder();
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[2], pos[0]);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[3]);
+}
+
+TEST(KShortestTest, TinyHandComputedExample) {
+  //      0 --1.0--> 1 --1.0--> 3
+  //       \--0.5--> 2 --2.0--/
+  Dag dag(4);
+  dag.AddEdge(0, 1, 1.0);
+  dag.AddEdge(0, 2, 0.5);
+  dag.AddEdge(1, 3, 1.0);
+  dag.AddEdge(2, 3, 2.0);
+  for (auto* fn : {&KShortestPathsRea, &KShortestPathsLawler}) {
+    const auto paths = (*fn)(dag, 0, 3, 10);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_DOUBLE_EQ(paths[0].weight, 2.0);
+    EXPECT_EQ(paths[0].nodes, (std::vector<size_t>{0, 1, 3}));
+    EXPECT_DOUBLE_EQ(paths[1].weight, 2.5);
+    EXPECT_EQ(paths[1].nodes, (std::vector<size_t>{0, 2, 3}));
+  }
+}
+
+TEST(KShortestTest, NoPathYieldsEmpty) {
+  Dag dag(3);
+  dag.AddEdge(0, 1, 1.0);  // node 2 unreachable
+  EXPECT_TRUE(KShortestPathsRea(dag, 0, 2, 5).empty());
+  EXPECT_TRUE(KShortestPathsLawler(dag, 0, 2, 5).empty());
+}
+
+TEST(KShortestTest, SourceEqualsTarget) {
+  Dag dag(2);
+  dag.AddEdge(0, 1, 1.0);
+  const auto rea = KShortestPathsRea(dag, 0, 0, 3);
+  ASSERT_EQ(rea.size(), 1u);
+  EXPECT_EQ(rea[0].nodes, (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(rea[0].weight, 0.0);
+  const auto lawler = KShortestPathsLawler(dag, 0, 0, 3);
+  ASSERT_EQ(lawler.size(), 1u);
+  EXPECT_DOUBLE_EQ(lawler[0].weight, 0.0);
+}
+
+class KShortestSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KShortestSweep, BothAlgorithmsMatchExhaustiveEnumeration) {
+  size_t source = 0, target = 0;
+  const Dag dag =
+      RandomLayeredDag(4, 4, 0.6, GetParam(), &source, &target);
+  const auto all = AllPathsSorted(dag, source, target);
+  const size_t k = all.size() + 3;  // ask for more than exists
+  const auto rea = KShortestPathsRea(dag, source, target, k);
+  const auto lawler = KShortestPathsLawler(dag, source, target, k);
+  ASSERT_EQ(rea.size(), all.size());
+  ASSERT_EQ(lawler.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(rea[i].weight, all[i].weight, 1e-9) << "REA rank " << i;
+    EXPECT_NEAR(lawler[i].weight, all[i].weight, 1e-9)
+        << "Lawler rank " << i;
+    // Paths themselves must be valid s-t walks along DAG arcs.
+    EXPECT_EQ(rea[i].nodes.front(), source);
+    EXPECT_EQ(rea[i].nodes.back(), target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KShortestSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KShortestTest, LawlerPathsAreDistinct) {
+  size_t source = 0, target = 0;
+  const Dag dag = RandomLayeredDag(3, 5, 0.7, 99, &source, &target);
+  const auto paths = KShortestPathsLawler(dag, source, target, 1000);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].nodes, paths[j].nodes)
+          << "duplicate path at ranks " << i << "," << j;
+    }
+  }
+}
+
+// The correspondence the tutorial highlights: an l-path join query over
+// layered relations IS a k-shortest-path instance. Costs from any-k must
+// match REA on the equivalent DAG.
+TEST(KShortestTest, AnyKOnPathQueryMatchesReaOnEquivalentDag) {
+  const size_t domain = 12;
+  const size_t stages = 3;
+  Rng rng(123);
+  Database db;
+  ConjunctiveQuery q;
+  std::vector<Relation> rels;
+  for (size_t i = 0; i < stages; ++i) {
+    const RelationId id =
+        db.Add(LayeredStageRelation("R" + std::to_string(i), domain, 3, rng));
+    q.AddAtom(id, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  // Equivalent DAG: nodes (stage, value) plus source/target; tuple
+  // (a, b) of stage i becomes an arc (i,a) -> (i+1,b) of that weight.
+  const size_t layer_nodes = (stages + 1) * domain;
+  Dag dag(layer_nodes + 2);
+  const size_t source = layer_nodes, target = layer_nodes + 1;
+  auto node = [&](size_t stage, Value v) {
+    return stage * domain + static_cast<size_t>(v);
+  };
+  for (size_t i = 0; i < stages; ++i) {
+    const Relation& rel = db.relation(q.atom(i).relation);
+    for (RowId r = 0; r < rel.NumTuples(); ++r) {
+      dag.AddEdge(node(i, rel.At(r, 0)), node(i + 1, rel.At(r, 1)),
+                  rel.TupleWeight(r));
+    }
+  }
+  for (Value v = 0; v < static_cast<Value>(domain); ++v) {
+    dag.AddEdge(source, node(0, v), 0.0);
+    dag.AddEdge(node(stages, v), target, 0.0);
+  }
+  const auto paths = KShortestPathsRea(dag, source, target, 50);
+  auto anyk = MakeAnyK(db, q, AnyKAlgorithm::kRec);
+  for (size_t i = 0; i < paths.size() && i < 50; ++i) {
+    const auto r = anyk->Next();
+    ASSERT_TRUE(r.has_value()) << "any-k ended early at " << i;
+    EXPECT_NEAR(r->cost, paths[i].weight, 1e-9) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -1,0 +1,245 @@
+// Tests for query/: CQ construction, GYO acyclicity, join trees, the
+// fractional edge cover / AGM bound, and decompositions.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/join/nested_loop.h"
+#include "src/query/agm.h"
+#include "src/query/cq.h"
+#include "src/query/decomposition.h"
+#include "src/query/hypergraph.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+// Builds Q() :- E(x0,x1), E(x1,x2), ..., a chain of `length` atoms over
+// one shared relation id 0.
+ConjunctiveQuery PathQueryShape(size_t length) {
+  ConjunctiveQuery q;
+  for (size_t i = 0; i < length; ++i) {
+    q.AddAtom(0, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  return q;
+}
+
+ConjunctiveQuery TriangleShape() {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {0, 1});
+  q.AddAtom(0, {1, 2});
+  q.AddAtom(0, {2, 0});
+  return q;
+}
+
+ConjunctiveQuery FourCycleShape() {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {0, 1});
+  q.AddAtom(0, {1, 2});
+  q.AddAtom(0, {2, 3});
+  q.AddAtom(0, {3, 0});
+  return q;
+}
+
+TEST(CqTest, AddAtomTracksVars) {
+  ConjunctiveQuery q = PathQueryShape(3);
+  EXPECT_EQ(q.NumAtoms(), 3u);
+  EXPECT_EQ(q.num_vars(), 4);
+}
+
+TEST(CqTest, SharedVars) {
+  ConjunctiveQuery q = TriangleShape();
+  EXPECT_EQ(q.SharedVars(0, 1), (std::vector<VarId>{1}));
+  EXPECT_EQ(q.SharedVars(0, 2), (std::vector<VarId>{0}));
+  ConjunctiveQuery p = PathQueryShape(3);
+  EXPECT_TRUE(p.SharedVars(0, 2).empty());
+}
+
+TEST(CqTest, ColumnsOf) {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {3, 1, 2});
+  const auto cols = q.ColumnsOf(0, {2, 3});
+  EXPECT_EQ(cols, (std::vector<size_t>{2, 0}));
+}
+
+TEST(GyoTest, PathIsAcyclic) {
+  for (size_t len : {1u, 2u, 3u, 5u, 8u}) {
+    EXPECT_TRUE(IsAcyclic(PathQueryShape(len))) << "len=" << len;
+  }
+}
+
+TEST(GyoTest, TriangleIsCyclic) { EXPECT_FALSE(IsAcyclic(TriangleShape())); }
+
+TEST(GyoTest, FourCycleIsCyclic) {
+  EXPECT_FALSE(IsAcyclic(FourCycleShape()));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  ConjunctiveQuery q;
+  q.AddAtom(0, {0, 1});
+  q.AddAtom(0, {0, 2});
+  q.AddAtom(0, {0, 3});
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(GyoTest, TriangleWithCoveringAtomIsAcyclic) {
+  // Adding an atom covering all three variables makes the triangle
+  // alpha-acyclic (the big atom is the join-tree root).
+  ConjunctiveQuery q = TriangleShape();
+  q.AddAtom(1, {0, 1, 2});
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(GyoTest, JoinTreePreorderParentsFirst) {
+  ConjunctiveQuery q = PathQueryShape(4);
+  const auto tree = GyoJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->order.size(), 4u);
+  EXPECT_EQ(tree->order[0], tree->root);
+  std::vector<bool> seen(4, false);
+  for (size_t a : tree->order) {
+    if (tree->parent[a] >= 0) {
+      EXPECT_TRUE(seen[static_cast<size_t>(tree->parent[a])]);
+    }
+    seen[a] = true;
+  }
+}
+
+TEST(GyoTest, JoinTreeConnectsOnSharedVars) {
+  ConjunctiveQuery q = PathQueryShape(5);
+  const auto tree = GyoJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  for (size_t a = 0; a < q.NumAtoms(); ++a) {
+    if (tree->parent[a] < 0) continue;
+    EXPECT_FALSE(
+        q.SharedVars(a, static_cast<size_t>(tree->parent[a])).empty());
+  }
+}
+
+TEST(AgmTest, TriangleCoverIsOnePointFive) {
+  const auto cover = MinFractionalEdgeCover(TriangleShape());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover.value().total_weight, 1.5, 1e-6);
+}
+
+TEST(AgmTest, FourCycleCoverIsTwo) {
+  const auto cover = MinFractionalEdgeCover(FourCycleShape());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover.value().total_weight, 2.0, 1e-6);
+}
+
+TEST(AgmTest, PathCoverValues) {
+  // An l-atom chain: both endpoint variables are private to the first
+  // and last atom, forcing weight 1 there; interior atoms alternate.
+  // rho* = ceil((l+1)/2).
+  const auto c2 = MinFractionalEdgeCover(PathQueryShape(2));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NEAR(c2.value().total_weight, 2.0, 1e-6);
+  const auto c3 = MinFractionalEdgeCover(PathQueryShape(3));
+  ASSERT_TRUE(c3.ok());
+  EXPECT_NEAR(c3.value().total_weight, 2.0, 1e-6);
+  const auto c4 = MinFractionalEdgeCover(PathQueryShape(4));
+  ASSERT_TRUE(c4.ok());
+  EXPECT_NEAR(c4.value().total_weight, 3.0, 1e-6);
+}
+
+TEST(AgmTest, BoundMatchesNPowRhoStarOnEqualSizes) {
+  // Triangle over three relations of equal size n: AGM = n^1.5.
+  Rng rng(1);
+  Database db;
+  const RelationId r = db.Add(UniformBinaryRelation("R", 64, 8, rng));
+  const RelationId s = db.Add(UniformBinaryRelation("S", 64, 8, rng));
+  const RelationId t = db.Add(UniformBinaryRelation("T", 64, 8, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(r, {0, 1});
+  q.AddAtom(s, {1, 2});
+  q.AddAtom(t, {2, 0});
+  const auto bound = AgmBound(q, db);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(bound.value(), std::pow(64.0, 1.5), 1.0);
+}
+
+TEST(AgmTest, BoundIsZeroWithEmptyRelation) {
+  Database db;
+  Rng rng(2);
+  const RelationId r = db.Add(UniformBinaryRelation("R", 10, 4, rng));
+  const RelationId e = db.Add(Relation::WithArity("Empty", 2));
+  ConjunctiveQuery q;
+  q.AddAtom(r, {0, 1});
+  q.AddAtom(e, {1, 2});
+  const auto bound = AgmBound(q, db);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound.value(), 0.0);
+}
+
+TEST(AgmTest, BoundUpperBoundsActualOutputOnRandomInstances) {
+  // Property: |Q(D)| <= AGM(Q, D) on random triangle instances.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Database db;
+    const RelationId r = db.Add(UniformBinaryRelation("R", 40, 6, rng));
+    const RelationId s = db.Add(UniformBinaryRelation("S", 40, 6, rng));
+    const RelationId t = db.Add(UniformBinaryRelation("T", 40, 6, rng));
+    ConjunctiveQuery q;
+    q.AddAtom(r, {0, 1});
+    q.AddAtom(s, {1, 2});
+    q.AddAtom(t, {2, 0});
+    // Deduplicate to match AGM's set semantics.
+    for (RelationId id : {r, s, t}) {
+      db.mutable_relation(id).DeduplicateKeepLightest();
+    }
+    const Relation out = NestedLoopJoin(db, q);
+    const auto bound = AgmBound(q, db);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_LE(static_cast<double>(out.NumTuples()), bound.value() + 1e-6)
+        << "seed=" << seed;
+  }
+}
+
+TEST(DecompositionTest, FourCycleGroupsIntoTwoArcs) {
+  const auto grouping = FindAcyclicGrouping(FourCycleShape());
+  ASSERT_TRUE(grouping.has_value());
+  EXPECT_EQ(grouping->groups.size(), 2u);
+  EXPECT_TRUE(IsAcyclicGrouping(FourCycleShape(), *grouping));
+}
+
+TEST(DecompositionTest, AcyclicQueryStaysSingletons) {
+  const auto grouping = FindAcyclicGrouping(PathQueryShape(4));
+  ASSERT_TRUE(grouping.has_value());
+  EXPECT_EQ(grouping->groups.size(), 4u);
+}
+
+TEST(DecompositionTest, TriangleCollapses) {
+  const auto grouping = FindAcyclicGrouping(TriangleShape());
+  ASSERT_TRUE(grouping.has_value());
+  EXPECT_TRUE(IsAcyclicGrouping(TriangleShape(), *grouping));
+  EXPECT_LE(grouping->groups.size(), 2u);
+}
+
+TEST(DecompositionTest, MaterializedBagJoinEqualsDirectJoin) {
+  // Join over the decomposed (acyclic) query must equal the original
+  // cyclic query's output, including summed weights.
+  Rng rng(7);
+  Database db;
+  const RelationId e = db.Add(UniformBinaryRelation("E", 60, 6, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+  q.AddAtom(e, {1, 2});
+  q.AddAtom(e, {2, 3});
+  q.AddAtom(e, {3, 0});
+  const auto grouping = FindAcyclicGrouping(q);
+  ASSERT_TRUE(grouping.has_value());
+  JoinStats stats;
+  DecomposedQuery dq = MaterializeGrouping(db, q, *grouping, &stats);
+  EXPECT_TRUE(IsAcyclic(dq.query));
+  const Relation direct = NestedLoopJoin(db, q);
+  const Relation via_bags = NestedLoopJoin(dq.db, dq.query);
+  EXPECT_TRUE(ResultsEqual(direct, via_bags, 1e-9));
+  EXPECT_GT(stats.max_intermediate_size, 0);
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -1,0 +1,322 @@
+// Tests for topk/: the middleware model (FA, TA, NRA) and the rank-join
+// family (HRJN plans, J*), differentially tested against brute force and
+// against the batch-sorted join oracle.
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/anyk/anyk.h"
+#include "src/data/generators.h"
+#include "src/join/nested_loop.h"
+#include "src/topk/access_source.h"
+#include "src/topk/fagin.h"
+#include "src/topk/jstar.h"
+#include "src/topk/nra.h"
+#include "src/topk/rank_join.h"
+#include "src/topk/threshold.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+TEST(ScoredListTest, SortedDescendingAndCounted) {
+  ScoredList list({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  EXPECT_EQ(list.SortedAccess(0).first, 2);
+  EXPECT_EQ(list.SortedAccess(1).first, 3);
+  EXPECT_EQ(list.SortedAccess(2).first, 1);
+  EXPECT_EQ(list.sorted_accesses(), 3);
+  EXPECT_DOUBLE_EQ(*list.RandomAccess(1), 0.2);
+  EXPECT_FALSE(list.RandomAccess(99).has_value());
+  EXPECT_EQ(list.random_accesses(), 2);
+  list.ResetCounters();
+  EXPECT_EQ(list.sorted_accesses(), 0);
+}
+
+TEST(GenerateListsTest, ShapesAndDeterminism) {
+  Rng rng1(5), rng2(5);
+  const auto a = GenerateLists(3, 50, ListCorrelation::kIndependent, rng1);
+  const auto b = GenerateLists(3, 50, ListCorrelation::kIndependent, rng2);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].size(), 50u);
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a[1].Peek(r).first, b[1].Peek(r).first);
+  }
+}
+
+class MiddlewareSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MiddlewareSweep, AllThreeAlgorithmsFindTheTopK) {
+  const auto [m, num_objects, k, corr_i] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + num_objects + k));
+  const auto corr = static_cast<ListCorrelation>(corr_i);
+  const auto lists =
+      GenerateLists(static_cast<size_t>(m), static_cast<size_t>(num_objects),
+                    corr, rng);
+  const auto expected = BruteForceTopK(lists, static_cast<size_t>(k));
+
+  const auto fa = FaginTopK(lists, static_cast<size_t>(k));
+  ASSERT_EQ(fa.entries.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fa.entries[i].first, expected[i].first) << "FA rank " << i;
+    EXPECT_NEAR(fa.entries[i].second, expected[i].second, 1e-9);
+  }
+
+  const auto ta = ThresholdTopK(lists, static_cast<size_t>(k));
+  ASSERT_EQ(ta.entries.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(ta.entries[i].first, expected[i].first) << "TA rank " << i;
+    EXPECT_NEAR(ta.entries[i].second, expected[i].second, 1e-9);
+  }
+
+  // NRA guarantees the correct SET (order may be approximate when the
+  // run stops on bound domination).
+  const auto nra = NraTopK(lists, static_cast<size_t>(k));
+  std::set<ObjectId> nra_set, expected_set;
+  for (const auto& [id, s] : nra.entries) nra_set.insert(id);
+  for (const auto& [id, s] : expected) expected_set.insert(id);
+  EXPECT_EQ(nra_set, expected_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MiddlewareSweep,
+    ::testing::Values(std::make_tuple(2, 100, 5, 0),
+                      std::make_tuple(3, 100, 10, 0),
+                      std::make_tuple(2, 200, 1, 1),
+                      std::make_tuple(3, 150, 5, 1),
+                      std::make_tuple(2, 100, 5, 2),
+                      std::make_tuple(4, 120, 8, 2),
+                      std::make_tuple(3, 50, 25, 0)));
+
+TEST(ThresholdTest, StopsEarlierThanFaginOnCorrelatedData) {
+  Rng rng(77);
+  const auto lists = GenerateLists(3, 2000, ListCorrelation::kCorrelated, rng);
+  const auto ta = ThresholdTopK(lists, 10);
+  const auto fa = FaginTopK(lists, 10);
+  EXPECT_LT(ta.max_depth, fa.max_depth);
+  EXPECT_LT(ta.max_depth, 2000);  // far from scanning everything
+}
+
+TEST(ThresholdTest, AntiCorrelationForcesDepth) {
+  Rng rng(78);
+  const auto corr_lists =
+      GenerateLists(2, 1000, ListCorrelation::kCorrelated, rng);
+  const auto anti_lists =
+      GenerateLists(2, 1000, ListCorrelation::kAntiCorrelated, rng);
+  const auto corr = ThresholdTopK(corr_lists, 5);
+  const auto anti = ThresholdTopK(anti_lists, 5);
+  EXPECT_GT(anti.max_depth, corr.max_depth);
+}
+
+TEST(NraTest, UsesNoRandomAccess) {
+  Rng rng(79);
+  const auto lists = GenerateLists(3, 300, ListCorrelation::kIndependent, rng);
+  const auto nra = NraTopK(lists, 5);
+  EXPECT_EQ(nra.random_accesses, 0);
+  EXPECT_GT(nra.sorted_accesses, 0);
+}
+
+// ---- Rank join. ----
+
+struct JoinInstance {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+JoinInstance MakePathInstance(size_t len, size_t tuples, Value domain,
+                              uint64_t seed) {
+  JoinInstance t;
+  Rng rng(seed);
+  for (size_t i = 0; i < len; ++i) {
+    const RelationId id = t.db.Add(
+        UniformBinaryRelation("R" + std::to_string(i), tuples, domain, rng));
+    t.query.AddAtom(id, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  return t;
+}
+
+std::vector<double> OracleSortedCosts(const JoinInstance& t) {
+  const Relation out = NestedLoopJoin(t.db, t.query);
+  std::vector<double> costs;
+  for (RowId r = 0; r < out.NumTuples(); ++r) costs.push_back(out.TupleWeight(r));
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+TEST(RankJoinTest, FullDrainMatchesOracle) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    JoinInstance t = MakePathInstance(2, 25, 4, seed);
+    std::vector<size_t> order = {0, 1};
+    RankJoinPlan plan(t.db, t.query, order);
+    std::vector<double> costs;
+    double prev = -1e300;
+    while (auto r = plan.Next()) {
+      EXPECT_GE(r->second, prev - 1e-12);
+      prev = r->second;
+      costs.push_back(r->second);
+    }
+    const auto expected = OracleSortedCosts(t);
+    ASSERT_EQ(costs.size(), expected.size()) << "seed=" << seed;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      EXPECT_NEAR(costs[i], expected[i], 1e-9);
+    }
+  }
+}
+
+TEST(RankJoinTest, MultiwayLeftDeepMatchesOracle) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    JoinInstance t = MakePathInstance(3, 20, 4, seed);
+    RankJoinPlan plan(t.db, t.query, {0, 1, 2});
+    std::vector<double> costs;
+    while (auto r = plan.Next()) costs.push_back(r->second);
+    const auto expected = OracleSortedCosts(t);
+    ASSERT_EQ(costs.size(), expected.size()) << "seed=" << seed;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      EXPECT_NEAR(costs[i], expected[i], 1e-9) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(RankJoinTest, CyclicQuerySupported) {
+  Rng rng(31);
+  Database db;
+  const RelationId e = db.Add(UniformBinaryRelation("E", 40, 5, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+  q.AddAtom(e, {1, 2});
+  q.AddAtom(e, {2, 0});
+  JoinInstance t;
+  t.query = q;
+  RankJoinPlan plan(db, q, {0, 1, 2});
+  std::vector<double> costs;
+  while (auto r = plan.Next()) costs.push_back(r->second);
+  const Relation oracle = NestedLoopJoin(db, q);
+  std::vector<double> expected;
+  for (RowId r = 0; r < oracle.NumTuples(); ++r) {
+    expected.push_back(oracle.TupleWeight(r));
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(costs.size(), expected.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_NEAR(costs[i], expected[i], 1e-9);
+  }
+}
+
+TEST(RankJoinTest, EarlyTerminationReadsLessThanEverything) {
+  // Friendly instance: weights uniform; top-1 should not require reading
+  // all inputs.
+  JoinInstance t = MakePathInstance(2, 2000, 10, 41);
+  RankJoinPlan plan(t.db, t.query, {0, 1});
+  const auto first = plan.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_LT(plan.TotalTuplesRead(), 4000);
+}
+
+TEST(RankJoinTest, BottomWinnerForcesDeepReads) {
+  // Adversarial: the only joinable pair sits at the BOTTOM of both
+  // inputs (max weights). HRJN must read everything.
+  Database db;
+  Relation r = Relation::WithArity("R", 2);
+  Relation s = Relation::WithArity("S", 2);
+  const size_t n = 200;
+  for (size_t i = 0; i < n; ++i) {
+    // Non-joining filler with light weights: R's second column never
+    // matches S's first column (disjoint domains), except the planted
+    // heavy pair.
+    r.AddTuple({static_cast<Value>(i), static_cast<Value>(1000 + i)},
+               0.001 * static_cast<double>(i));
+    s.AddTuple({static_cast<Value>(5000 + i), static_cast<Value>(i)},
+               0.001 * static_cast<double>(i));
+  }
+  r.AddTuple({7, 9999}, 10.0);
+  s.AddTuple({9999, 8}, 10.0);
+  const RelationId rid = db.Add(std::move(r)), sid = db.Add(std::move(s));
+  ConjunctiveQuery q;
+  q.AddAtom(rid, {0, 1});
+  q.AddAtom(sid, {1, 2});
+  RankJoinPlan plan(db, q, {0, 1});
+  const auto first = plan.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NEAR(first->second, 20.0, 1e-9);
+  // Both inputs were read to the bottom and fully buffered.
+  EXPECT_EQ(plan.TotalTuplesRead(), static_cast<int64_t>(2 * (n + 1)));
+  EXPECT_GE(plan.TotalBuffered(), static_cast<int64_t>(2 * n));
+}
+
+// ---- J*. ----
+
+TEST(JStarTest, MatchesOracleOnPaths) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    JoinInstance t = MakePathInstance(3, 18, 4, seed);
+    JStar js(t.db, t.query, {0, 1, 2});
+    std::vector<double> costs;
+    double prev = -1e300;
+    while (auto r = js.Next()) {
+      EXPECT_GE(r->second, prev - 1e-12);
+      prev = r->second;
+      costs.push_back(r->second);
+    }
+    const auto expected = OracleSortedCosts(t);
+    ASSERT_EQ(costs.size(), expected.size()) << "seed=" << seed;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      EXPECT_NEAR(costs[i], expected[i], 1e-9);
+    }
+  }
+}
+
+TEST(JStarTest, MatchesOracleOnCyclicTriangle) {
+  Rng rng(53);
+  Database db;
+  const RelationId e = db.Add(UniformBinaryRelation("E", 30, 5, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+  q.AddAtom(e, {1, 2});
+  q.AddAtom(e, {2, 0});
+  JStar js(db, q, {0, 1, 2});
+  std::vector<double> costs;
+  while (auto r = js.Next()) costs.push_back(r->second);
+  const Relation oracle = NestedLoopJoin(db, q);
+  std::vector<double> expected;
+  for (RowId r = 0; r < oracle.NumTuples(); ++r) {
+    expected.push_back(oracle.TupleWeight(r));
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(costs.size(), expected.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_NEAR(costs[i], expected[i], 1e-9);
+  }
+}
+
+TEST(JStarTest, TopKAgreesWithAnyK) {
+  JoinInstance t = MakePathInstance(3, 40, 5, 61);
+  JStar js(t.db, t.query, {0, 1, 2});
+  auto anyk = MakeAnyK(t.db, t.query, AnyKAlgorithm::kRec);
+  for (int i = 0; i < 25; ++i) {
+    const auto a = js.Next();
+    const auto b = anyk->Next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_NEAR(a->second, b->cost, 1e-9) << "rank " << i;
+  }
+}
+
+TEST(JStarTest, EmptyJoin) {
+  Database db;
+  Relation r = Relation::WithArity("R", 2);
+  r.AddTuple({1, 2}, 0.1);
+  Relation s = Relation::WithArity("S", 2);
+  s.AddTuple({3, 4}, 0.1);
+  const RelationId rid = db.Add(std::move(r)), sid = db.Add(std::move(s));
+  ConjunctiveQuery q;
+  q.AddAtom(rid, {0, 1});
+  q.AddAtom(sid, {1, 2});
+  JStar js(db, q, {0, 1});
+  EXPECT_FALSE(js.Next().has_value());
+}
+
+}  // namespace
+}  // namespace topkjoin

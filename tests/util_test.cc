@@ -1,0 +1,195 @@
+// Tests for util/: RNG, Zipf, hashing, and the simplex LP solver.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/simplex.h"
+#include "src/util/zipf.h"
+
+namespace topkjoin {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniformBuckets) {
+  Rng rng(123);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.NextBounded(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(5);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnRankZero) {
+  Rng rng(6);
+  ZipfSampler zipf(1000, 1.2);
+  int rank0 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) rank0 += (zipf.Sample(rng) == 0);
+  // With theta=1.2 over 1000 ranks, rank 0 has probability well above 10%.
+  EXPECT_GT(rank0, n / 10);
+}
+
+TEST(ZipfTest, MonotoneDecreasingFrequencies) {
+  Rng rng(8);
+  ZipfSampler zipf(8, 1.0);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i - 1], counts[i] * 2 / 3);  // allow sampling noise
+  }
+  EXPECT_GT(counts[0], counts[7]);
+}
+
+TEST(HashTest, EqualKeysEqualHashes) {
+  ValueKey a{{1, 2, 3}}, b{{1, 2, 3}};
+  EXPECT_EQ(ValueKeyHash()(a), ValueKeyHash()(b));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(HashTest, OrderSensitive) {
+  ValueKey a{{1, 2}}, b{{2, 1}};
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(ValueKeyHash()(a), ValueKeyHash()(b));
+}
+
+TEST(SimplexTest, SimpleTwoVarProblem) {
+  // min x + y  s.t. x + 2y >= 4, 3x + y >= 6  => optimum at intersection
+  // (8/5, 6/5), value 14/5.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back({{1.0, 2.0}, ConstraintSense::kGreaterEqual, 4.0});
+  lp.constraints.push_back({{3.0, 1.0}, ConstraintSense::kGreaterEqual, 6.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective_value, 14.0 / 5.0, 1e-6);
+  EXPECT_NEAR(sol.value().x[0], 8.0 / 5.0, 1e-6);
+  EXPECT_NEAR(sol.value().x[1], 6.0 / 5.0, 1e-6);
+}
+
+TEST(SimplexTest, LessEqualAndMaximizeViaNegation) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ==  min -3x - 2y.
+  LinearProgram lp;
+  lp.objective = {-3.0, -2.0};
+  lp.constraints.push_back({{1.0, 1.0}, ConstraintSense::kLessEqual, 4.0});
+  lp.constraints.push_back({{1.0, 0.0}, ConstraintSense::kLessEqual, 2.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective_value, -(3.0 * 2 + 2.0 * 2), 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + y = 3, x >= 1 (as -x <= -1 i.e. x >= 1).
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back({{1.0, 1.0}, ConstraintSense::kEqual, 3.0});
+  lp.constraints.push_back({{1.0, 0.0}, ConstraintSense::kGreaterEqual, 1.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective_value, 3.0, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x >= 2 and x <= 1 simultaneously.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints.push_back({{1.0}, ConstraintSense::kGreaterEqual, 2.0});
+  lp.constraints.push_back({{1.0}, ConstraintSense::kLessEqual, 1.0});
+  auto sol = SolveLp(lp);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x with only x >= 0: unbounded below.
+  LinearProgram lp;
+  lp.objective = {-1.0};
+  lp.constraints.push_back({{1.0}, ConstraintSense::kGreaterEqual, 0.0});
+  auto sol = SolveLp(lp);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(SimplexTest, DegenerateVertexNoCycle) {
+  // Multiple constraints meeting at the same vertex; Bland's rule must
+  // terminate.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back({{1.0, 0.0}, ConstraintSense::kGreaterEqual, 1.0});
+  lp.constraints.push_back({{0.0, 1.0}, ConstraintSense::kGreaterEqual, 1.0});
+  lp.constraints.push_back({{1.0, 1.0}, ConstraintSense::kGreaterEqual, 2.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective_value, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, CoverLpForTriangleShape) {
+  // The triangle query's fractional edge cover LP: three vars, three
+  // edges, each edge covering two vars; optimum is 3 * 0.5 = 1.5.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0, 1.0};
+  lp.constraints.push_back(
+      {{1.0, 0.0, 1.0}, ConstraintSense::kGreaterEqual, 1.0});  // var A
+  lp.constraints.push_back(
+      {{1.0, 1.0, 0.0}, ConstraintSense::kGreaterEqual, 1.0});  // var B
+  lp.constraints.push_back(
+      {{0.0, 1.0, 1.0}, ConstraintSense::kGreaterEqual, 1.0});  // var C
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective_value, 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace topkjoin
