@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/cycles/fourcycle.h"
+#include "src/engine/engine.h"
 #include "src/graph/graph_generators.h"
 #include "src/join/generic_join.h"
 #include "src/util/rng.h"
@@ -51,6 +52,33 @@ void BM_MiniPandaAnyK(benchmark::State& state) {
     auto it = MakeFourCycleAnyK(t.db, t.query, AnyKAlgorithm::kRec, nullptr);
     for (size_t i = 0; i < kTopK; ++i) {
       const auto r = it->Next();
+      if (!r.has_value()) break;
+      kth = r->cost;
+    }
+  }
+  state.counters["edges"] = static_cast<double>(m);
+  state.counters["kth_cost"] = kth;
+}
+
+// Same mini-PANDA routing, but dispatched through Engine::Execute: the
+// planner detects the 4-cycle shape itself. Overhead vs BM_MiniPandaAnyK
+// is the engine's planning cost (see also bench_e10_engine).
+void BM_EngineFourCycle(benchmark::State& state) {
+  const auto m = static_cast<size_t>(state.range(0));
+  Instance t = CycleRichGraph(m, 23);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = kTopK;
+  opts.force_algorithm = AnyKAlgorithm::kRec;
+  double kth = 0.0;
+  for (auto _ : state) {
+    auto result = engine.Execute(t.db, t.query, {}, opts);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().message().c_str());
+      break;
+    }
+    for (size_t i = 0; i < kTopK; ++i) {
+      const auto r = result.value().stream->Next();
       if (!r.has_value()) break;
       kth = r->cost;
     }
@@ -99,6 +127,8 @@ void BM_EnumerateAndSort(benchmark::State& state) {
 }
 
 BENCHMARK(BM_MiniPandaAnyK)->Arg(2000)->Arg(8000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineFourCycle)->Arg(2000)->Arg(8000)->Arg(16000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fhw2AnyK)->Arg(2000)->Arg(8000)->Arg(16000)
     ->Unit(benchmark::kMillisecond);

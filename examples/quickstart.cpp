@@ -1,16 +1,14 @@
-// Quickstart: build a tiny database, run a join three ways, then stream
-// the results in ranking order with any-k.
+// Quickstart: build a tiny database, then let the unified engine plan,
+// explain, and stream the query's results in ranking order. Compare
+// with the hand-wired flow this replaces: pick an algorithm, check
+// acyclicity, wire the T-DP yourself -- Engine::Execute does all three.
 //
-//   cmake --build build && ./build/examples/quickstart
+//   cmake --build build && ./build/quickstart
 #include <cstdio>
 
-#include "src/anyk/anyk.h"
 #include "src/data/database.h"
-#include "src/join/join_stats.h"
-#include "src/join/yannakakis.h"
-#include "src/query/agm.h"
+#include "src/engine/engine.h"
 #include "src/query/cq.h"
-#include "src/query/hypergraph.h"
 
 using namespace topkjoin;
 
@@ -33,28 +31,46 @@ int main() {
   q.AddAtom(f, {1, 2});
   q.AddAtom(f, {2, 3});
 
+  Engine engine;
   std::printf("query: %s\n", q.DebugString(db).c_str());
-  std::printf("acyclic: %s\n", IsAcyclic(q) ? "yes" : "no");
-  const auto agm = AgmBound(q, db);
-  if (agm.ok()) std::printf("AGM output bound: %.1f\n", agm.value());
 
-  // Batch evaluation with Yannakakis (O~(n + r) for acyclic queries).
-  JoinStats stats;
-  const Relation all = YannakakisJoin(db, q, &stats);
-  std::printf("full output: %zu paths (max intermediate %lld)\n",
-              all.NumTuples(),
-              static_cast<long long>(stats.max_intermediate_size));
-
-  // Ranked enumeration: results stream lightest-first; stop any time.
-  auto anyk = MakeAnyK(db, q, AnyKAlgorithm::kRec);
-  std::printf("\n3-hop chains, lightest first:\n");
+  // Execute: one call from (db, query, ranking) to a ranked stream.
+  // The chosen plan rides along, so EXPLAIN output is free (use
+  // Engine::Explain to plan without executing).
+  auto result = engine.Execute(db, q, {CostModelKind::kSum}, {});
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().message().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", result.value().plan.DebugString().c_str());
+  std::printf("3-hop chains, lightest first:\n");
   int rank = 0;
-  while (auto r = anyk->Next()) {
+  while (auto r = result.value().stream->Next()) {
     std::printf("  #%d  %lld -> %lld -> %lld -> %lld   weight %.2f\n",
                 ++rank, static_cast<long long>(r->assignment[0]),
                 static_cast<long long>(r->assignment[1]),
                 static_cast<long long>(r->assignment[2]),
                 static_cast<long long>(r->assignment[3]), r->cost);
   }
+
+  // Serving-style access: a budgeted cursor, fetched in slices, resumes
+  // mid-enumeration without dropping or repeating results.
+  ExecutionOptions opts;
+  opts.k = 3;
+  auto id = engine.OpenCursor(db, q, {}, opts);
+  if (!id.ok()) {
+    std::printf("error: %s\n", id.status().message().c_str());
+    return 1;
+  }
+  Cursor* cursor = engine.cursor(id.value());
+  std::printf("\ncursor, top-3 in slices of 2:\n");
+  while (!cursor->Done()) {
+    for (const RankedResult& r : cursor->Fetch(2)) {
+      std::printf("  weight %.2f\n", r.cost);
+    }
+    std::printf("  -- slice done: emitted %zu so far, state %s\n",
+                cursor->results_emitted(), CursorStateName(cursor->state()));
+  }
+  engine.CloseCursor(id.value());
   return 0;
 }

@@ -1,33 +1,9 @@
 #include "src/anyk/anyk.h"
 
-#include <utility>
-
-#include "src/anyk/anyk_part.h"
-#include "src/anyk/anyk_rec.h"
-#include "src/anyk/batch.h"
-#include "src/anyk/tdp.h"
+#include "src/anyk/tree_pipeline.h"
 #include "src/ranking/cost_model.h"
 
 namespace topkjoin {
-
-namespace {
-
-// Owns the T-DP together with the algorithm that runs over it.
-template <typename Algo>
-class Owner : public RankedIterator {
- public:
-  Owner(const Database& db, const ConjunctiveQuery& query, SortMode mode,
-        JoinStats* stats)
-      : tdp_(db, query, mode, stats), algo_(&tdp_) {}
-
-  std::optional<RankedResult> Next() override { return algo_.Next(); }
-
- private:
-  Tdp<SumCost> tdp_;
-  Algo algo_;
-};
-
-}  // namespace
 
 const char* AnyKAlgorithmName(AnyKAlgorithm algorithm) {
   switch (algorithm) {
@@ -47,21 +23,7 @@ std::unique_ptr<RankedIterator> MakeAnyK(const Database& db,
                                          const ConjunctiveQuery& query,
                                          AnyKAlgorithm algorithm,
                                          JoinStats* stats) {
-  switch (algorithm) {
-    case AnyKAlgorithm::kRec:
-      return std::make_unique<Owner<AnyKRec<SumCost>>>(
-          db, query, SortMode::kLazy, stats);
-    case AnyKAlgorithm::kPartEager:
-      return std::make_unique<Owner<AnyKPart<SumCost>>>(
-          db, query, SortMode::kEager, stats);
-    case AnyKAlgorithm::kPartLazy:
-      return std::make_unique<Owner<AnyKPart<SumCost>>>(
-          db, query, SortMode::kLazy, stats);
-    case AnyKAlgorithm::kBatch:
-      return std::make_unique<Owner<BatchSorted<SumCost>>>(
-          db, query, SortMode::kEager, stats);
-  }
-  return nullptr;
+  return MakeTreeIterator<SumCost>(db, query, algorithm, stats);
 }
 
 }  // namespace topkjoin

@@ -146,7 +146,6 @@ class BatchSorted : public RankedIterator {
   void Recurse(size_t i, GroupId g, std::vector<RowId>* choice,
                std::vector<GroupId>* groups) {
     (*groups)[i] = g;
-    const auto& node = tdp_->node(i);
     for (size_t rank = 0;; ++rank) {
       RowId row = 0;
       if (!tdp_->GroupTuple(i, g, rank, &row)) break;

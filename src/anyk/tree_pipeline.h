@@ -1,0 +1,87 @@
+// The single dispatch table from (cost model, AnyKAlgorithm) to a
+// self-contained ranked-enumeration pipeline. Both the SUM-only
+// convenience factory (anyk/anyk.cc) and the engine executor
+// (engine/executor.cc) build trees through here, so algorithm/SortMode
+// pairings live in exactly one place.
+#ifndef TOPKJOIN_ANYK_TREE_PIPELINE_H_
+#define TOPKJOIN_ANYK_TREE_PIPELINE_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/anyk/anyk.h"
+#include "src/anyk/anyk_part.h"
+#include "src/anyk/anyk_rec.h"
+#include "src/anyk/batch.h"
+#include "src/anyk/ranked_iterator.h"
+#include "src/anyk/tdp.h"
+#include "src/data/database.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/query/decomposition.h"
+
+namespace topkjoin {
+
+/// Owns a copy of the query, the T-DP, and the algorithm running over
+/// it. The T-DP keeps a pointer to the query, so the copy must live
+/// here; the database is only read during Tdp construction -- the
+/// pipeline outlives both caller arguments.
+template <typename CM, typename Algo>
+class TreePipeline : public RankedIterator {
+ public:
+  TreePipeline(const Database& db, ConjunctiveQuery query, SortMode mode,
+               JoinStats* stats)
+      : query_(std::move(query)), tdp_(db, query_, mode, stats), algo_(&tdp_) {}
+
+  std::optional<RankedResult> Next() override { return algo_.Next(); }
+
+ private:
+  ConjunctiveQuery query_;
+  Tdp<CM> tdp_;
+  Algo algo_;
+};
+
+/// Builds the chosen algorithm over a fresh T-DP for an acyclic query,
+/// under any cost-model policy.
+template <typename CM>
+std::unique_ptr<RankedIterator> MakeTreeIterator(const Database& db,
+                                                 const ConjunctiveQuery& query,
+                                                 AnyKAlgorithm algorithm,
+                                                 JoinStats* stats) {
+  switch (algorithm) {
+    case AnyKAlgorithm::kRec:
+      return std::make_unique<TreePipeline<CM, AnyKRec<CM>>>(
+          db, query, SortMode::kLazy, stats);
+    case AnyKAlgorithm::kPartEager:
+      return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
+          db, query, SortMode::kEager, stats);
+    case AnyKAlgorithm::kPartLazy:
+      return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
+          db, query, SortMode::kLazy, stats);
+    case AnyKAlgorithm::kBatch:
+      return std::make_unique<TreePipeline<CM, BatchSorted<CM>>>(
+          db, query, SortMode::kEager, stats);
+  }
+  return nullptr;
+}
+
+/// Owns the bag database of a decomposed (cyclic) query together with
+/// the tree pipeline enumerating it -- the holder shape both the
+/// 4-cycle case plans and generic bag decompositions need.
+template <typename CM>
+class BagPipeline : public RankedIterator {
+ public:
+  BagPipeline(DecomposedQuery dq, AnyKAlgorithm algorithm, JoinStats* stats)
+      : dq_(std::move(dq)),
+        inner_(MakeTreeIterator<CM>(dq_.db, dq_.query, algorithm, stats)) {}
+
+  std::optional<RankedResult> Next() override { return inner_->Next(); }
+
+ private:
+  DecomposedQuery dq_;
+  std::unique_ptr<RankedIterator> inner_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_TREE_PIPELINE_H_

@@ -6,7 +6,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/anyk/tree_pipeline.h"
 #include "src/anyk/union_anyk.h"
+#include "src/ranking/cost_model.h"
 #include "src/data/hash_index.h"
 #include "src/join/acyclic_count.h"
 #include "src/join/yannakakis.h"
@@ -264,20 +266,11 @@ std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
   FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
   std::vector<std::unique_ptr<RankedIterator>> inputs;
   inputs.reserve(plans.cases.size());
-  // Each case plan owns its bag database; keep them alive by moving the
-  // DecomposedQuery into a holder iterator.
-  struct CaseHolder : RankedIterator {
-    explicit CaseHolder(DecomposedQuery dq_in, AnyKAlgorithm algorithm,
-                        JoinStats* stats)
-        : dq(std::move(dq_in)),
-          inner(MakeAnyK(dq.db, dq.query, algorithm, stats)) {}
-    std::optional<RankedResult> Next() override { return inner->Next(); }
-    DecomposedQuery dq;
-    std::unique_ptr<RankedIterator> inner;
-  };
+  // Each case plan owns its bag database; the BagPipeline holder keeps
+  // it alive alongside the per-case enumerator.
   for (DecomposedQuery& dq : plans.cases) {
-    inputs.push_back(
-        std::make_unique<CaseHolder>(std::move(dq), algorithm, stats));
+    inputs.push_back(std::make_unique<BagPipeline<SumCost>>(
+        std::move(dq), algorithm, stats));
   }
   return std::make_unique<UnionAnyK>(std::move(inputs));
 }

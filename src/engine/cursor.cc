@@ -1,0 +1,77 @@
+#include "src/engine/cursor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+const char* CursorStateName(CursorState state) {
+  switch (state) {
+    case CursorState::kActive:
+      return "active";
+    case CursorState::kExhausted:
+      return "exhausted";
+    case CursorState::kResultBudgetHit:
+      return "result-budget-hit";
+    case CursorState::kWorkBudgetHit:
+      return "work-budget-hit";
+  }
+  return "unknown";
+}
+
+Cursor::Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options)
+    : pipeline_(std::move(pipeline)), options_(options) {
+  TOPKJOIN_CHECK(pipeline_ != nullptr);
+}
+
+std::optional<RankedResult> Cursor::Next() {
+  if (state_ != CursorState::kActive) return std::nullopt;
+  if (options_.result_budget.has_value() &&
+      results_emitted_ >= *options_.result_budget) {
+    state_ = CursorState::kResultBudgetHit;
+    return std::nullopt;
+  }
+  if (options_.work_budget.has_value() && work_used_ >= *options_.work_budget) {
+    state_ = CursorState::kWorkBudgetHit;
+    return std::nullopt;
+  }
+  ++work_used_;
+  auto result = pipeline_->Next();
+  if (!result.has_value()) {
+    state_ = CursorState::kExhausted;
+    return std::nullopt;
+  }
+  ++results_emitted_;
+  return result;
+}
+
+std::vector<RankedResult> Cursor::Fetch(size_t max_results) {
+  std::vector<RankedResult> slice;
+  // max_results is caller-controlled and may be a "drain the rest"
+  // sentinel like SIZE_MAX; cap the reservation.
+  slice.reserve(std::min<size_t>(max_results, 1024));
+  while (slice.size() < max_results) {
+    auto result = Next();
+    if (!result.has_value()) break;
+    slice.push_back(std::move(*result));
+  }
+  return slice;
+}
+
+void Cursor::ExtendBudgets(size_t extra_results, size_t extra_work) {
+  if (options_.result_budget.has_value()) {
+    *options_.result_budget += extra_results;
+  }
+  if (options_.work_budget.has_value()) {
+    *options_.work_budget += extra_work;
+  }
+  // An exhausted stream stays exhausted; budget stops resume.
+  if (state_ == CursorState::kResultBudgetHit ||
+      state_ == CursorState::kWorkBudgetHit) {
+    state_ = CursorState::kActive;
+  }
+}
+
+}  // namespace topkjoin

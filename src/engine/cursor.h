@@ -1,0 +1,76 @@
+// Resumable enumeration cursors with per-cursor budgets.
+//
+// A Cursor wraps a ranked pipeline and meters it: callers pull results
+// in slices (Fetch) and may stop and resume at any point without losing
+// or repeating ranked results -- the iterator state is the resume token.
+// Budgets bound what one enumeration may consume over its lifetime:
+//   * result budget: total results the cursor may emit;
+//   * work budget:   total pipeline pulls (RAM-model "operations") the
+//     cursor may spend, charged one unit per Next() on the pipeline.
+// Budgets are what let a session manager interleave many concurrent
+// enumerations fairly (see engine.h) -- the first step toward the
+// serving story in ROADMAP.md.
+#ifndef TOPKJOIN_ENGINE_CURSOR_H_
+#define TOPKJOIN_ENGINE_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+
+namespace topkjoin {
+
+/// Lifetime limits for one cursor. nullopt = unlimited.
+struct CursorOptions {
+  std::optional<size_t> result_budget;
+  std::optional<size_t> work_budget;
+};
+
+enum class CursorState {
+  kActive,          // more results may follow
+  kExhausted,       // the underlying stream ran dry
+  kResultBudgetHit, // result budget spent; stream may hold more results
+  kWorkBudgetHit,   // work budget spent; stream may hold more results
+};
+
+const char* CursorStateName(CursorState state);
+
+/// A metered, resumable handle on a ranked stream. Not thread-safe; the
+/// engine serializes access per cursor.
+class Cursor {
+ public:
+  Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options);
+
+  /// Pulls the next result, or nullopt when the stream is exhausted or a
+  /// budget is hit (inspect state() to distinguish).
+  std::optional<RankedResult> Next();
+
+  /// Pulls up to `max_results` results in rank order. A shorter (or
+  /// empty) slice means exhaustion or a budget stop, never a skip:
+  /// calling Fetch again after an empty slice returns empty again unless
+  /// budgets are raised via ExtendBudgets.
+  std::vector<RankedResult> Fetch(size_t max_results);
+
+  /// Grants additional budget to a stopped (or active) cursor. A cursor
+  /// stopped on a budget becomes active again and resumes exactly where
+  /// it left off.
+  void ExtendBudgets(size_t extra_results, size_t extra_work);
+
+  CursorState state() const { return state_; }
+  bool Done() const { return state_ != CursorState::kActive; }
+  size_t results_emitted() const { return results_emitted_; }
+  size_t work_used() const { return work_used_; }
+
+ private:
+  std::unique_ptr<RankedIterator> pipeline_;
+  CursorOptions options_;
+  CursorState state_ = CursorState::kActive;
+  size_t results_emitted_ = 0;
+  size_t work_used_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ENGINE_CURSOR_H_

@@ -1,0 +1,69 @@
+#include "src/engine/engine.h"
+
+#include <utility>
+
+namespace topkjoin {
+
+StatusOr<ExecutionResult> Engine::Execute(const Database& db,
+                                          const ConjunctiveQuery& query,
+                                          const RankingSpec& ranking,
+                                          const ExecutionOptions& opts) {
+  auto plan = PlanQuery(db, query, ranking, opts);
+  if (!plan.ok()) return plan.status();
+
+  ExecutionResult result;
+  result.plan = std::move(plan).value();
+  auto stream = CompilePlan(db, query, result.plan, &result.preprocessing);
+  if (!stream.ok()) return stream.status();
+  result.stream = std::move(stream).value();
+  return result;
+}
+
+StatusOr<QueryPlan> Engine::Explain(const Database& db,
+                                    const ConjunctiveQuery& query,
+                                    const RankingSpec& ranking,
+                                    const ExecutionOptions& opts) const {
+  return PlanQuery(db, query, ranking, opts);
+}
+
+StatusOr<CursorId> Engine::OpenCursor(const Database& db,
+                                      const ConjunctiveQuery& query,
+                                      const RankingSpec& ranking,
+                                      const ExecutionOptions& opts,
+                                      CursorOptions cursor_options) {
+  auto result = Execute(db, query, ranking, opts);
+  if (!result.ok()) return result.status();
+  if (!cursor_options.result_budget.has_value() && opts.k.has_value()) {
+    cursor_options.result_budget = opts.k;
+  }
+  const CursorId id = next_cursor_id_++;
+  cursors_.emplace(id,
+                   std::make_unique<Cursor>(
+                       std::move(result.value().stream), cursor_options));
+  return id;
+}
+
+Cursor* Engine::cursor(CursorId id) {
+  const auto it = cursors_.find(id);
+  return it == cursors_.end() ? nullptr : it->second.get();
+}
+
+Status Engine::CloseCursor(CursorId id) {
+  if (cursors_.erase(id) == 0) {
+    return Status::Error("no open cursor with id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<CursorId, RankedResult>> Engine::StepAll(
+    size_t results_per_cursor) {
+  std::vector<std::pair<CursorId, RankedResult>> out;
+  for (auto& [id, cursor] : cursors_) {
+    for (RankedResult& r : cursor->Fetch(results_per_cursor)) {
+      out.emplace_back(id, std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace topkjoin

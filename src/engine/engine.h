@@ -1,0 +1,95 @@
+// The unified ranked-enumeration query engine: one entry point that
+// takes "a query + a ranking function" and produces ranked answers.
+//
+//   Engine engine;
+//   auto result = engine.Execute(db, query, {CostModelKind::kSum}, {});
+//   while (auto r = result.value().stream->Next()) { ... }
+//
+// Execute = plan (engine/planner) + compile (engine/executor). The
+// session layer (OpenCursor / Fetch / StepAll / CloseCursor) wraps the
+// same pipelines in resumable, budgeted cursors (engine/cursor) so many
+// concurrent enumerations can be interleaved -- the first step toward
+// serving many ranked-enumeration requests at once.
+#ifndef TOPKJOIN_ENGINE_ENGINE_H_
+#define TOPKJOIN_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/data/database.h"
+#include "src/engine/cursor.h"
+#include "src/engine/executor.h"
+#include "src/engine/planner.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+/// One-shot execution result: the (explainable) plan that was chosen,
+/// the ranked stream, and the preprocessing cost in RAM-model units.
+/// The stream is self-contained -- it outlives db/query.
+struct ExecutionResult {
+  QueryPlan plan;
+  std::unique_ptr<RankedIterator> stream;
+  JoinStats preprocessing;
+};
+
+/// Handle for a session cursor.
+using CursorId = uint64_t;
+
+/// The engine. Stateless for Execute; OpenCursor/CloseCursor maintain a
+/// cursor table for interleaved serving. Not thread-safe (one engine per
+/// serving thread for now).
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Plans and compiles in one step. On success the stream yields
+  /// results in non-decreasing rank order until exhaustion; opts.k is a
+  /// planning hint, not a truncation (use cursors for enforcement).
+  StatusOr<ExecutionResult> Execute(const Database& db,
+                                    const ConjunctiveQuery& query,
+                                    const RankingSpec& ranking = {},
+                                    const ExecutionOptions& opts = {});
+
+  /// Plans only -- for EXPLAIN-style introspection and tests.
+  StatusOr<QueryPlan> Explain(const Database& db,
+                              const ConjunctiveQuery& query,
+                              const RankingSpec& ranking = {},
+                              const ExecutionOptions& opts = {}) const;
+
+  /// Opens a budgeted, resumable cursor over the query's ranked stream.
+  /// When `cursor_options` has no result budget and opts.k is set, k is
+  /// adopted as the result budget.
+  StatusOr<CursorId> OpenCursor(const Database& db,
+                                const ConjunctiveQuery& query,
+                                const RankingSpec& ranking = {},
+                                const ExecutionOptions& opts = {},
+                                CursorOptions cursor_options = {});
+
+  /// The cursor behind an id; nullptr when closed/unknown.
+  Cursor* cursor(CursorId id);
+
+  Status CloseCursor(CursorId id);
+  size_t NumOpenCursors() const { return cursors_.size(); }
+
+  /// Round-robin scheduler step: pulls up to `results_per_cursor`
+  /// results from every open cursor that is still active, in cursor-id
+  /// order. Returns (cursor, result) pairs in the order produced.
+  /// Cursors that exhaust or hit budgets simply yield fewer results;
+  /// they stay open until closed.
+  std::vector<std::pair<CursorId, RankedResult>> StepAll(
+      size_t results_per_cursor);
+
+ private:
+  std::map<CursorId, std::unique_ptr<Cursor>> cursors_;
+  CursorId next_cursor_id_ = 1;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ENGINE_ENGINE_H_

@@ -1,0 +1,39 @@
+// Plan execution: compiles a QueryPlan into a pull-based RankedIterator
+// pipeline -- the one streaming interface the engine serves from. Today
+// the pipelines are built from the any-k operator family (direct trees,
+// bag decompositions, the 4-cycle union); routing the top-k middleware
+// operators (src/topk/) through the same interface is a ROADMAP item.
+//
+// The executor owns whatever the pipeline needs to stay alive --
+// materialized bag databases for decomposed plans live inside holder
+// iterators, exactly like cycles/fourcycle.cc does for its case plans.
+// Unlike MakeAnyK (SUM only), the direct acyclic path is instantiated
+// per cost-model policy, so MAX/PROD/LEX rankings run through the same
+// pipeline.
+#ifndef TOPKJOIN_ENGINE_EXECUTOR_H_
+#define TOPKJOIN_ENGINE_EXECUTOR_H_
+
+#include <memory>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/data/database.h"
+#include "src/engine/planner.h"
+#include "src/join/join_stats.h"
+#include "src/query/cq.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+/// Compiles `plan` (produced by PlanQuery for this db/query pair) into a
+/// ranked stream. Preprocessing cost (full reducer, bag materialization)
+/// is paid here and recorded in `stats` when provided; the returned
+/// iterator is pure enumeration. The pipeline owns a copy of `query`
+/// (and any materialized bag databases), so it does not retain `db`,
+/// `query`, or `stats` -- cursors may outlive all three.
+StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
+    const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
+    JoinStats* stats = nullptr);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ENGINE_EXECUTOR_H_

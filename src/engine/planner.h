@@ -1,0 +1,95 @@
+// Query planner for the unified ranked-enumeration engine.
+//
+// Given a full conjunctive query, a ranking specification, and an
+// optional result demand k, the planner routes the query to the right
+// algorithm family, the way the paper's tutorial framing implies:
+//
+//   * alpha-acyclic (GYO succeeds)  -> a single T-DP tree; choose among
+//     the any-k variants and the batch-then-sort baseline with simple
+//     cardinality/k heuristics (AGM output bound vs requested k).
+//   * cyclic, 4-cycle shaped        -> the heavy/light union-of-case
+//     plans (submodular-width style; O~(n^{1.5}) preprocessing).
+//   * cyclic, general               -> greedy acyclic grouping from
+//     query/decomposition; materialize bags, run any-k over the bag
+//     query (single-tree fhw-style plan).
+//
+// The emitted QueryPlan is a plain explainable object: it can be
+// printed, inspected in tests, and compiled by the executor.
+#ifndef TOPKJOIN_ENGINE_PLANNER_H_
+#define TOPKJOIN_ENGINE_PLANNER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/anyk/anyk.h"
+#include "src/data/database.h"
+#include "src/query/cq.h"
+#include "src/query/decomposition.h"
+#include "src/ranking/cost_model.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+/// What to rank by. The dioid kind selects the cost-model policy the
+/// executor instantiates the T-DP templates with.
+struct RankingSpec {
+  CostModelKind model = CostModelKind::kSum;
+};
+
+/// Caller-provided execution hints.
+struct ExecutionOptions {
+  /// Expected number of results the caller will consume; nullopt means
+  /// "unknown / possibly all" and keeps the anytime property.
+  std::optional<size_t> k;
+  /// Overrides the planner's tree-algorithm heuristic when set.
+  std::optional<AnyKAlgorithm> force_algorithm;
+};
+
+/// The structural family a plan belongs to.
+enum class PlanStrategy {
+  kAnyKDirect,   // acyclic: one T-DP over the query as written
+  kBatchSort,    // acyclic: full enumeration + sort (large-k regime)
+  kDecompose,    // cyclic: one acyclic grouping, materialized bags
+  kUnionCases,   // cyclic 4-cycle: heavy/light case plans + ranked union
+};
+
+const char* PlanStrategyName(PlanStrategy strategy);
+
+/// An explainable physical plan. `algorithm` is the per-tree ranked
+/// enumerator (also used inside decomposed/union plans); `grouping` is
+/// set only for kDecompose.
+struct QueryPlan {
+  PlanStrategy strategy = PlanStrategy::kAnyKDirect;
+  AnyKAlgorithm algorithm = AnyKAlgorithm::kRec;
+  RankingSpec ranking;
+  std::optional<size_t> k;
+  std::optional<AtomGrouping> grouping;
+  /// AGM output bound for the instance (0 when the LP is infeasible,
+  /// which does not arise for full CQs).
+  double estimated_output = 0.0;
+  /// Human-readable trace of every heuristic decision taken.
+  std::string rationale;
+
+  /// Multi-line rendering: strategy, algorithm, estimates, rationale.
+  std::string DebugString() const;
+};
+
+/// Above this many requested results (relative to the estimated output)
+/// the planner prefers batch-then-sort over any-k: the paper's Section 4
+/// trade-off between time-to-first and time-to-last result.
+inline constexpr double kBatchOutputFraction = 0.5;
+/// Requested k at or below this always stays any-k regardless of the
+/// estimate (time-to-first dominates).
+inline constexpr size_t kAlwaysAnyKThreshold = 128;
+
+/// Plans the query. Fails (Status) when the query is empty, references
+/// relations outside the database, or combines a non-SUM ranking with a
+/// cyclic query (bag weights only decompose additively).
+StatusOr<QueryPlan> PlanQuery(const Database& db,
+                              const ConjunctiveQuery& query,
+                              const RankingSpec& ranking,
+                              const ExecutionOptions& opts);
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ENGINE_PLANNER_H_

@@ -1,0 +1,425 @@
+// Tests for engine/: planner routing and heuristics, executor
+// correctness against direct MakeAnyK / batch-sort ground truth on the
+// paper's path, star, triangle, and 4-cycle queries, and the resumable
+// budgeted cursor / session layer.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/anyk/anyk.h"
+#include "src/cycles/fourcycle.h"
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/join/nested_loop.h"
+#include "src/query/hypergraph.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+namespace {
+
+struct Instance {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+// Q(x0..x_len) :- R0(x0,x1), ..., R_{len-1}(x_{len-1},x_len).
+Instance MakePathInstance(size_t len, size_t tuples, Value domain,
+                          uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  for (size_t i = 0; i < len; ++i) {
+    const RelationId id = t.db.Add(
+        UniformBinaryRelation("R" + std::to_string(i), tuples, domain, rng));
+    t.query.AddAtom(id, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
+  }
+  return t;
+}
+
+// Q(c,x1,x2,x3) :- R0(c,x1), R1(c,x2), R2(c,x3).
+Instance MakeStarInstance(size_t tuples, Value domain, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  for (int i = 0; i < 3; ++i) {
+    const RelationId id = t.db.Add(
+        UniformBinaryRelation("R" + std::to_string(i), tuples, domain, rng));
+    t.query.AddAtom(id, {0, i + 1});
+  }
+  return t;
+}
+
+Instance MakeFourCycleInstance(size_t edges, Value domain, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  const RelationId e = t.db.Add(UniformBinaryRelation("E", edges, domain, rng));
+  t.query = FourCycleQuery(e);
+  return t;
+}
+
+// Q(x0,x1,x2) :- R(x0,x1), S(x1,x2), T(x2,x0) -- cyclic, not 4-cycle.
+Instance MakeTriangleInstance(size_t tuples, Value domain, uint64_t seed) {
+  Instance t;
+  Rng rng(seed);
+  const RelationId r =
+      t.db.Add(UniformBinaryRelation("R", tuples, domain, rng));
+  const RelationId s =
+      t.db.Add(UniformBinaryRelation("S", tuples, domain, rng));
+  const RelationId w =
+      t.db.Add(UniformBinaryRelation("T", tuples, domain, rng));
+  t.query.AddAtom(r, {0, 1});
+  t.query.AddAtom(s, {1, 2});
+  t.query.AddAtom(w, {2, 0});
+  return t;
+}
+
+std::vector<RankedResult> Drain(RankedIterator* it) {
+  std::vector<RankedResult> out;
+  while (auto r = it->Next()) out.push_back(std::move(*r));
+  return out;
+}
+
+std::vector<double> OracleSortedCosts(const Instance& t) {
+  const Relation out = NestedLoopJoin(t.db, t.query);
+  std::vector<double> costs;
+  for (RowId r = 0; r < out.NumTuples(); ++r) {
+    costs.push_back(out.TupleWeight(r));
+  }
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+void ExpectSameRankedStream(const std::vector<RankedResult>& got,
+                            const std::vector<double>& want_costs) {
+  ASSERT_EQ(got.size(), want_costs.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].cost, want_costs[i], 1e-9) << "rank " << i;
+  }
+}
+
+// ---------------------------------------------------------------- plans
+
+TEST(PlannerTest, SmallKPicksAnyK) {
+  Instance t = MakePathInstance(3, 60, 5, 7);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = 5;
+  const auto plan = engine.Explain(t.db, t.query, {}, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kAnyKDirect);
+  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kPartLazy);
+  EXPECT_FALSE(plan.value().rationale.empty());
+}
+
+TEST(PlannerTest, LargeKPicksBatch) {
+  Instance t = MakePathInstance(3, 60, 5, 7);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = 1u << 22;  // far beyond any possible output
+  const auto plan = engine.Explain(t.db, t.query, {}, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kBatchSort);
+  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kBatch);
+}
+
+TEST(PlannerTest, UnknownKStaysAnytime) {
+  Instance t = MakePathInstance(3, 60, 5, 7);
+  Engine engine;
+  const auto plan = engine.Explain(t.db, t.query, {}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kAnyKDirect);
+  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kRec);
+}
+
+TEST(PlannerTest, ForcedAlgorithmWins) {
+  Instance t = MakePathInstance(3, 60, 5, 7);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = 5;
+  opts.force_algorithm = AnyKAlgorithm::kBatch;
+  const auto plan = engine.Explain(t.db, t.query, {}, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kBatchSort);
+}
+
+TEST(PlannerTest, FourCycleRoutesThroughUnionOfCases) {
+  Instance t = MakeFourCycleInstance(40, 6, 3);
+  Engine engine;
+  const auto plan = engine.Explain(t.db, t.query, {}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kUnionCases);
+}
+
+TEST(PlannerTest, TriangleRoutesThroughDecomposition) {
+  Instance t = MakeTriangleInstance(30, 5, 3);
+  Engine engine;
+  const auto plan = engine.Explain(t.db, t.query, {}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kDecompose);
+  ASSERT_TRUE(plan.value().grouping.has_value());
+  EXPECT_GE(plan.value().grouping->groups.size(), 1u);
+}
+
+TEST(PlannerTest, RejectsEmptyAndMalformedQueries) {
+  Database db;
+  ConjunctiveQuery empty;
+  Engine engine;
+  EXPECT_FALSE(engine.Explain(db, empty, {}, {}).ok());
+
+  ConjunctiveQuery bad_rel;
+  bad_rel.AddAtom(17, {0, 1});
+  EXPECT_FALSE(engine.Explain(db, bad_rel, {}, {}).ok());
+}
+
+TEST(PlannerTest, RejectsNonSumRankingOnCyclicQueries) {
+  Instance t = MakeFourCycleInstance(20, 5, 1);
+  Engine engine;
+  RankingSpec max_rank;
+  max_rank.model = CostModelKind::kMax;
+  EXPECT_FALSE(engine.Explain(t.db, t.query, max_rank, {}).ok());
+}
+
+TEST(PlannerTest, ExecutorRejectsHandBuiltNonSumDecomposedPlans) {
+  // PlanQuery never emits these, but CompilePlan is public: a non-SUM
+  // ranking over SUM-combined bag weights would stream in wrong order.
+  Instance t = MakeTriangleInstance(10, 4, 1);
+  QueryPlan decompose;
+  decompose.strategy = PlanStrategy::kDecompose;
+  decompose.ranking.model = CostModelKind::kMax;
+  decompose.grouping = FindAcyclicGrouping(t.query);
+  EXPECT_FALSE(CompilePlan(t.db, t.query, decompose).ok());
+
+  Instance c = MakeFourCycleInstance(10, 4, 1);
+  QueryPlan union_cases;
+  union_cases.strategy = PlanStrategy::kUnionCases;
+  union_cases.ranking.model = CostModelKind::kProd;
+  EXPECT_FALSE(CompilePlan(c.db, c.query, union_cases).ok());
+}
+
+TEST(PlannerTest, PlanDebugStringMentionsStrategy) {
+  Instance t = MakeFourCycleInstance(20, 5, 1);
+  Engine engine;
+  const auto plan = engine.Explain(t.db, t.query, {}, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value().DebugString().find("union-cases"), std::string::npos);
+}
+
+// ------------------------------------------------------------ execution
+
+TEST(EngineExecuteTest, PathMatchesDirectAnyK) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Instance t = MakePathInstance(3, 40, 4, seed);
+    auto direct = MakeAnyK(t.db, t.query, AnyKAlgorithm::kRec);
+    const auto direct_results = Drain(direct.get());
+
+    Engine engine;
+    auto result = engine.Execute(t.db, t.query);
+    ASSERT_TRUE(result.ok());
+    const auto engine_results = Drain(result.value().stream.get());
+
+    ASSERT_EQ(engine_results.size(), direct_results.size()) << "seed=" << seed;
+    for (size_t i = 0; i < engine_results.size(); ++i) {
+      EXPECT_NEAR(engine_results[i].cost, direct_results[i].cost, 1e-9);
+    }
+  }
+}
+
+TEST(EngineExecuteTest, StarMatchesBatchGroundTruth) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Instance t = MakeStarInstance(35, 4, seed);
+    Engine engine;
+    ExecutionOptions opts;
+    opts.k = 3;  // small k: any-k path
+    auto result = engine.Execute(t.db, t.query, {}, opts);
+    ASSERT_TRUE(result.ok());
+    ExpectSameRankedStream(Drain(result.value().stream.get()),
+                           OracleSortedCosts(t));
+  }
+}
+
+TEST(EngineExecuteTest, FourCycleMatchesBatchGroundTruth) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Instance t = MakeFourCycleInstance(50, 6, seed);
+    Engine engine;
+    auto result = engine.Execute(t.db, t.query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().plan.strategy, PlanStrategy::kUnionCases);
+    ExpectSameRankedStream(Drain(result.value().stream.get()),
+                           OracleSortedCosts(t));
+  }
+}
+
+TEST(EngineExecuteTest, TriangleDecompositionMatchesGroundTruth) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Instance t = MakeTriangleInstance(30, 5, seed);
+    Engine engine;
+    auto result = engine.Execute(t.db, t.query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().plan.strategy, PlanStrategy::kDecompose);
+    ExpectSameRankedStream(Drain(result.value().stream.get()),
+                           OracleSortedCosts(t));
+  }
+}
+
+TEST(EngineExecuteTest, BatchStrategyMatchesAnyKStrategy) {
+  Instance t = MakePathInstance(3, 40, 4, 11);
+  Engine engine;
+  ExecutionOptions batch_opts;
+  batch_opts.force_algorithm = AnyKAlgorithm::kBatch;
+  auto batch = engine.Execute(t.db, t.query, {}, batch_opts);
+  ASSERT_TRUE(batch.ok());
+  ExpectSameRankedStream(Drain(batch.value().stream.get()),
+                         OracleSortedCosts(t));
+}
+
+TEST(EngineExecuteTest, MaxRankingOrdersByBottleneck) {
+  Instance t = MakePathInstance(2, 30, 4, 5);
+  Engine engine;
+  RankingSpec max_rank;
+  max_rank.model = CostModelKind::kMax;
+  auto result = engine.Execute(t.db, t.query, max_rank, {});
+  ASSERT_TRUE(result.ok());
+  const auto results = Drain(result.value().stream.get());
+  ASSERT_FALSE(results.empty());
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].cost, results[i].cost + 1e-12);
+  }
+  // Same multiset of results as the SUM stream (order differs).
+  auto sum_result = engine.Execute(t.db, t.query);
+  ASSERT_TRUE(sum_result.ok());
+  EXPECT_EQ(Drain(sum_result.value().stream.get()).size(), results.size());
+}
+
+// The stream must outlive the query/database objects used to build it
+// (cursors cross request boundaries in the serving story).
+TEST(EngineExecuteTest, StreamOutlivesQueryObject) {
+  Instance t = MakePathInstance(3, 30, 4, 2);
+  Engine engine;
+  std::unique_ptr<RankedIterator> stream;
+  size_t expected = OracleSortedCosts(t).size();
+  {
+    ConjunctiveQuery query_copy = t.query;  // dies at scope end
+    auto result = engine.Execute(t.db, query_copy);
+    ASSERT_TRUE(result.ok());
+    stream = std::move(result.value().stream);
+  }
+  EXPECT_EQ(Drain(stream.get()).size(), expected);
+}
+
+// -------------------------------------------------------------- cursors
+
+TEST(CursorTest, ResumeMidEnumerationDropsNothing) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  const auto want = OracleSortedCosts(t);
+  ASSERT_GT(want.size(), 10u);
+
+  Engine engine;
+  auto id = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+  ASSERT_NE(cursor, nullptr);
+
+  // Pull in ragged slices; concatenation must equal the ground truth
+  // exactly -- no drops, no duplicates, order preserved.
+  std::vector<double> got;
+  for (size_t slice : {3u, 1u, 5u}) {
+    for (const RankedResult& r : cursor->Fetch(slice)) got.push_back(r.cost);
+  }
+  while (auto r = cursor->Next()) got.push_back(r->cost);
+  EXPECT_EQ(cursor->state(), CursorState::kExhausted);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << "rank " << i;
+  }
+}
+
+TEST(CursorTest, ResultBudgetStopsAndExtends) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+  CursorOptions limits;
+  limits.result_budget = 4;
+  auto id = engine.OpenCursor(t.db, t.query, {}, {}, limits);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+
+  EXPECT_EQ(cursor->Fetch(100).size(), 4u);
+  EXPECT_EQ(cursor->state(), CursorState::kResultBudgetHit);
+  EXPECT_TRUE(cursor->Fetch(100).empty());  // stays stopped
+
+  cursor->ExtendBudgets(/*extra_results=*/2, /*extra_work=*/0);
+  const auto more = cursor->Fetch(100);
+  EXPECT_EQ(more.size(), 2u);
+
+  // Results across the budget stop are still globally rank-correct.
+  const auto want = OracleSortedCosts(t);
+  ASSERT_GE(want.size(), 6u);
+  EXPECT_NEAR(more[1].cost, want[5], 1e-9);
+}
+
+TEST(CursorTest, WorkBudgetStops) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+  CursorOptions limits;
+  limits.work_budget = 3;
+  auto id = engine.OpenCursor(t.db, t.query, {}, {}, limits);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+  EXPECT_EQ(cursor->Fetch(100).size(), 3u);
+  EXPECT_EQ(cursor->state(), CursorState::kWorkBudgetHit);
+  EXPECT_EQ(cursor->work_used(), 3u);
+}
+
+TEST(CursorTest, OptsKBecomesResultBudget) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = 7;
+  auto id = engine.OpenCursor(t.db, t.query, {}, opts);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+  EXPECT_EQ(cursor->Fetch(1000).size(), 7u);
+  EXPECT_EQ(cursor->state(), CursorState::kResultBudgetHit);
+}
+
+TEST(EngineSessionTest, InterleavesManyCursors) {
+  Engine engine;
+  std::vector<Instance> instances;
+  std::vector<CursorId> ids;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    instances.push_back(MakePathInstance(3, 30, 4, seed));
+  }
+  for (const Instance& t : instances) {
+    auto id = engine.OpenCursor(t.db, t.query);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(engine.NumOpenCursors(), 3u);
+
+  // Round-robin until everything drains; per-cursor streams must stay
+  // rank-correct under interleaving.
+  std::map<CursorId, std::vector<double>> per_cursor;
+  while (true) {
+    const auto step = engine.StepAll(/*results_per_cursor=*/2);
+    if (step.empty()) break;
+    for (const auto& [id, r] : step) per_cursor[id].push_back(r.cost);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto want = OracleSortedCosts(instances[i]);
+    const auto& got = per_cursor[ids[i]];
+    ASSERT_EQ(got.size(), want.size()) << "cursor " << i;
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(got[j], want[j], 1e-9);
+    }
+  }
+
+  for (CursorId id : ids) EXPECT_TRUE(engine.CloseCursor(id).ok());
+  EXPECT_EQ(engine.NumOpenCursors(), 0u);
+  EXPECT_FALSE(engine.CloseCursor(ids[0]).ok());
+  EXPECT_EQ(engine.cursor(ids[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace topkjoin
