@@ -27,28 +27,30 @@ Cursor::Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options)
 }
 
 std::optional<RankedResult> Cursor::Next() {
-  if (state_ != CursorState::kActive) return std::nullopt;
+  if (state() != CursorState::kActive) return std::nullopt;
   if (options_.result_budget.has_value() &&
-      results_emitted_ >= *options_.result_budget) {
-    state_ = CursorState::kResultBudgetHit;
+      results_emitted() >= *options_.result_budget) {
+    state_.store(CursorState::kResultBudgetHit, std::memory_order_relaxed);
     return std::nullopt;
   }
-  if (options_.work_budget.has_value() && work_used_ >= *options_.work_budget) {
-    state_ = CursorState::kWorkBudgetHit;
+  if (options_.work_budget.has_value() &&
+      work_used() >= *options_.work_budget) {
+    state_.store(CursorState::kWorkBudgetHit, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++work_used_;
+  work_used_.fetch_add(1, std::memory_order_relaxed);
   auto result = pipeline_->Next();
   if (!result.has_value()) {
-    state_ = CursorState::kExhausted;
+    state_.store(CursorState::kExhausted, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++results_emitted_;
+  results_emitted_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 std::vector<RankedResult> Cursor::Fetch(size_t max_results) {
   std::vector<RankedResult> slice;
+  if (max_results == 0) return slice;
   // max_results is caller-controlled and may be a "drain the rest"
   // sentinel like SIZE_MAX; cap the reservation.
   slice.reserve(std::min<size_t>(max_results, 1024));
@@ -61,16 +63,27 @@ std::vector<RankedResult> Cursor::Fetch(size_t max_results) {
 }
 
 void Cursor::ExtendBudgets(size_t extra_results, size_t extra_work) {
-  if (options_.result_budget.has_value()) {
-    *options_.result_budget += extra_results;
-  }
-  if (options_.work_budget.has_value()) {
-    *options_.work_budget += extra_work;
-  }
-  // An exhausted stream stays exhausted; budget stops resume.
-  if (state_ == CursorState::kResultBudgetHit ||
-      state_ == CursorState::kWorkBudgetHit) {
-    state_ = CursorState::kActive;
+  // Saturating: a SIZE_MAX-ish "effectively unlimited" grant must not
+  // wrap the budget around to a tiny value.
+  const auto extend = [](std::optional<size_t>& budget, size_t extra) {
+    if (!budget.has_value()) return;
+    *budget = (static_cast<size_t>(-1) - *budget < extra)
+                  ? static_cast<size_t>(-1)
+                  : *budget + extra;
+  };
+  extend(options_.result_budget, extra_results);
+  extend(options_.work_budget, extra_work);
+  // An exhausted stream stays exhausted; a budget stop resumes only when
+  // the grant leaves headroom (ExtendBudgets(0, 0) must be a no-op).
+  const CursorState s = state();
+  if (s == CursorState::kResultBudgetHit &&
+      (!options_.result_budget.has_value() ||
+       results_emitted() < *options_.result_budget)) {
+    state_.store(CursorState::kActive, std::memory_order_relaxed);
+  } else if (s == CursorState::kWorkBudgetHit &&
+             (!options_.work_budget.has_value() ||
+              work_used() < *options_.work_budget)) {
+    state_.store(CursorState::kActive, std::memory_order_relaxed);
   }
 }
 

@@ -8,11 +8,19 @@
 //   * work budget:   total pipeline pulls (RAM-model "operations") the
 //     cursor may spend, charged one unit per Next() on the pipeline.
 // Budgets are what let a session manager interleave many concurrent
-// enumerations fairly (see engine.h) -- the first step toward the
-// serving story in ROADMAP.md.
+// enumerations fairly (see engine.h and serving/serving_engine.h).
+//
+// Thread-safety contract: the mutating operations (Next, Fetch,
+// ExtendBudgets) must be externally serialized per cursor -- Engine does
+// so trivially (single-threaded), ServingEngine via striped locks. The
+// observers state()/Done()/results_emitted()/work_used() are safe to
+// call concurrently with a mutator from any thread (e.g. a stats
+// thread); they read atomic snapshots that are individually consistent
+// but not mutually so.
 #ifndef TOPKJOIN_ENGINE_CURSOR_H_
 #define TOPKJOIN_ENGINE_CURSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -37,8 +45,9 @@ enum class CursorState {
 
 const char* CursorStateName(CursorState state);
 
-/// A metered, resumable handle on a ranked stream. Not thread-safe; the
-/// engine serializes access per cursor.
+/// A metered, resumable handle on a ranked stream. See the thread-safety
+/// contract in the file comment: one mutator at a time, any number of
+/// concurrent observer reads.
 class Cursor {
  public:
   Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options);
@@ -50,25 +59,34 @@ class Cursor {
   /// Pulls up to `max_results` results in rank order. A shorter (or
   /// empty) slice means exhaustion or a budget stop, never a skip:
   /// calling Fetch again after an empty slice returns empty again unless
-  /// budgets are raised via ExtendBudgets.
+  /// budgets are raised via ExtendBudgets. Fetch(0) is a no-op that
+  /// touches neither the pipeline nor the cursor state.
   std::vector<RankedResult> Fetch(size_t max_results);
 
   /// Grants additional budget to a stopped (or active) cursor. A cursor
-  /// stopped on a budget becomes active again and resumes exactly where
-  /// it left off.
+  /// stopped on a budget becomes active again -- and resumes exactly
+  /// where it left off -- only when the grant actually clears the stop:
+  /// ExtendBudgets(0, 0) preserves the state, and an exhausted cursor
+  /// stays exhausted no matter the grant.
   void ExtendBudgets(size_t extra_results, size_t extra_work);
 
-  CursorState state() const { return state_; }
-  bool Done() const { return state_ != CursorState::kActive; }
-  size_t results_emitted() const { return results_emitted_; }
-  size_t work_used() const { return work_used_; }
+  CursorState state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+  bool Done() const { return state() != CursorState::kActive; }
+  size_t results_emitted() const {
+    return results_emitted_.load(std::memory_order_relaxed);
+  }
+  size_t work_used() const {
+    return work_used_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unique_ptr<RankedIterator> pipeline_;
   CursorOptions options_;
-  CursorState state_ = CursorState::kActive;
-  size_t results_emitted_ = 0;
-  size_t work_used_ = 0;
+  std::atomic<CursorState> state_{CursorState::kActive};
+  std::atomic<size_t> results_emitted_{0};
+  std::atomic<size_t> work_used_{0};
 };
 
 }  // namespace topkjoin

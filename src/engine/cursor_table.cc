@@ -1,0 +1,35 @@
+#include "src/engine/cursor_table.h"
+
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+CursorId CursorTable::Insert(std::unique_ptr<Cursor> cursor) {
+  const CursorId id = next_id_++;
+  InsertWithId(id, std::move(cursor));
+  return id;
+}
+
+void CursorTable::InsertWithId(CursorId id, std::unique_ptr<Cursor> cursor) {
+  TOPKJOIN_CHECK(cursor != nullptr);
+  const bool inserted = cursors_.emplace(id, std::move(cursor)).second;
+  TOPKJOIN_CHECK(inserted);
+}
+
+Cursor* CursorTable::Find(CursorId id) {
+  const auto it = cursors_.find(id);
+  return it == cursors_.end() ? nullptr : it->second.get();
+}
+
+bool CursorTable::Erase(CursorId id) { return cursors_.erase(id) != 0; }
+
+std::vector<CursorId> CursorTable::Ids() const {
+  std::vector<CursorId> ids;
+  ids.reserve(cursors_.size());
+  for (const auto& [id, cursor] : cursors_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,64 @@
+// CursorTable: id -> Cursor ownership, factored out of Engine so the
+// single-threaded session layer (engine.h) and the concurrent serving
+// layer (serving/sharded_cursor_table.h) share one implementation.
+//
+// The table itself is NOT thread-safe: Engine uses one instance from a
+// single thread, and the serving layer wraps one instance per lock
+// stripe, holding the stripe mutex around every call.
+#ifndef TOPKJOIN_ENGINE_CURSOR_TABLE_H_
+#define TOPKJOIN_ENGINE_CURSOR_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/engine/cursor.h"
+
+namespace topkjoin {
+
+/// Handle for a session cursor. Ids are never reused within one table
+/// (or one ServingEngine), so a stale id maps to "closed", not to some
+/// other caller's cursor.
+using CursorId = uint64_t;
+
+class CursorTable {
+ public:
+  CursorTable() = default;
+
+  /// Takes ownership and allocates the next id (starting at 1, strictly
+  /// increasing).
+  CursorId Insert(std::unique_ptr<Cursor> cursor);
+
+  /// Takes ownership under a caller-allocated id -- the sharded table
+  /// allocates ids globally so they stay unique across stripes. The id
+  /// must not collide with a live cursor (CHECK-failed).
+  void InsertWithId(CursorId id, std::unique_ptr<Cursor> cursor);
+
+  /// The cursor behind an id; nullptr when closed/unknown. The pointer
+  /// is stable until Erase.
+  Cursor* Find(CursorId id);
+
+  /// Destroys the cursor; false when the id is not present.
+  bool Erase(CursorId id);
+
+  size_t NumCursors() const { return cursors_.size(); }
+
+  /// Live ids in increasing order (the round-robin admission order).
+  std::vector<CursorId> Ids() const;
+
+  /// Applies `fn(id, cursor)` to every live cursor in id order. `fn`
+  /// must not insert into or erase from the table.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& [id, cursor] : cursors_) fn(id, cursor.get());
+  }
+
+ private:
+  std::map<CursorId, std::unique_ptr<Cursor>> cursors_;
+  CursorId next_id_ = 1;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ENGINE_CURSOR_TABLE_H_

@@ -4,6 +4,14 @@
 
 namespace topkjoin {
 
+CursorOptions ResolveCursorOptions(CursorOptions options,
+                                   const ExecutionOptions& opts) {
+  if (!options.result_budget.has_value() && opts.k.has_value()) {
+    options.result_budget = opts.k;
+  }
+  return options;
+}
+
 StatusOr<ExecutionResult> Engine::Execute(const Database& db,
                                           const ConjunctiveQuery& query,
                                           const RankingSpec& ranking,
@@ -33,23 +41,15 @@ StatusOr<CursorId> Engine::OpenCursor(const Database& db,
                                       CursorOptions cursor_options) {
   auto result = Execute(db, query, ranking, opts);
   if (!result.ok()) return result.status();
-  if (!cursor_options.result_budget.has_value() && opts.k.has_value()) {
-    cursor_options.result_budget = opts.k;
-  }
-  const CursorId id = next_cursor_id_++;
-  cursors_.emplace(id,
-                   std::make_unique<Cursor>(
-                       std::move(result.value().stream), cursor_options));
-  return id;
+  return cursors_.Insert(std::make_unique<Cursor>(
+      std::move(result.value().stream),
+      ResolveCursorOptions(cursor_options, opts)));
 }
 
-Cursor* Engine::cursor(CursorId id) {
-  const auto it = cursors_.find(id);
-  return it == cursors_.end() ? nullptr : it->second.get();
-}
+Cursor* Engine::cursor(CursorId id) { return cursors_.Find(id); }
 
 Status Engine::CloseCursor(CursorId id) {
-  if (cursors_.erase(id) == 0) {
+  if (!cursors_.Erase(id)) {
     return Status::Error("no open cursor with id " + std::to_string(id));
   }
   return Status::Ok();
@@ -58,11 +58,11 @@ Status Engine::CloseCursor(CursorId id) {
 std::vector<std::pair<CursorId, RankedResult>> Engine::StepAll(
     size_t results_per_cursor) {
   std::vector<std::pair<CursorId, RankedResult>> out;
-  for (auto& [id, cursor] : cursors_) {
+  cursors_.ForEach([&](CursorId id, Cursor* cursor) {
     for (RankedResult& r : cursor->Fetch(results_per_cursor)) {
       out.emplace_back(id, std::move(r));
     }
-  }
+  });
   return out;
 }
 

@@ -14,13 +14,13 @@
 #define TOPKJOIN_ENGINE_ENGINE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/anyk/ranked_iterator.h"
 #include "src/data/database.h"
 #include "src/engine/cursor.h"
+#include "src/engine/cursor_table.h"
 #include "src/engine/executor.h"
 #include "src/engine/planner.h"
 #include "src/join/join_stats.h"
@@ -38,12 +38,16 @@ struct ExecutionResult {
   JoinStats preprocessing;
 };
 
-/// Handle for a session cursor.
-using CursorId = uint64_t;
+/// The defaulting rule shared by Engine::OpenCursor and
+/// ServingEngine::OpenCursor: a cursor opened without an explicit result
+/// budget adopts opts.k as its budget.
+CursorOptions ResolveCursorOptions(CursorOptions options,
+                                   const ExecutionOptions& opts);
 
-/// The engine. Stateless for Execute; OpenCursor/CloseCursor maintain a
-/// cursor table for interleaved serving. Not thread-safe (one engine per
-/// serving thread for now).
+/// The engine. Execute/Explain are stateless and safe to call from many
+/// threads at once (over a database that is not being mutated);
+/// OpenCursor/CloseCursor/StepAll maintain a CursorTable and are NOT
+/// thread-safe -- use serving/ServingEngine for concurrent serving.
 class Engine {
  public:
   Engine() = default;
@@ -75,7 +79,7 @@ class Engine {
   Cursor* cursor(CursorId id);
 
   Status CloseCursor(CursorId id);
-  size_t NumOpenCursors() const { return cursors_.size(); }
+  size_t NumOpenCursors() const { return cursors_.NumCursors(); }
 
   /// Round-robin scheduler step: pulls up to `results_per_cursor`
   /// results from every open cursor that is still active, in cursor-id
@@ -86,8 +90,7 @@ class Engine {
       size_t results_per_cursor);
 
  private:
-  std::map<CursorId, std::unique_ptr<Cursor>> cursors_;
-  CursorId next_cursor_id_ = 1;
+  CursorTable cursors_;
 };
 
 }  // namespace topkjoin

@@ -1,0 +1,271 @@
+#include "src/serving/serving_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <string>
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+namespace {
+
+Status NoCursorError(CursorId id) {
+  return Status::Error("no open cursor with id " + std::to_string(id));
+}
+
+Status NoSessionError(SessionId id) {
+  return Status::Error("no open session with id " + std::to_string(id));
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(ServingOptions options)
+    : cursors_(options.num_stripes), pool_(options.num_workers) {}
+
+// -------------------------------------------------------------- sessions
+
+SessionId ServingEngine::OpenSession(SessionBudget budget) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const SessionId id = next_session_id_++;
+  sessions_.emplace(id, std::make_shared<Session>(budget));
+  return id;
+}
+
+std::shared_ptr<Session> ServingEngine::FindSession(SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status ServingEngine::CloseSession(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return NoSessionError(id);
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Sweep the session's cursors outside sessions_mu_ (stripe locks and
+  // sessions_mu_ are never nested, in either order).
+  cursors_.EraseOwnedBy(session.get());
+  return Status::Ok();
+}
+
+Status ServingEngine::ExtendSessionBudgets(SessionId id, size_t extra_results,
+                                           size_t extra_work) {
+  const std::shared_ptr<Session> session = FindSession(id);
+  if (session == nullptr) return NoSessionError(id);
+  session->ExtendBudgets(extra_results, extra_work);
+  return Status::Ok();
+}
+
+StatusOr<SessionStats> ServingEngine::GetSessionStats(SessionId id) const {
+  const std::shared_ptr<Session> session = FindSession(id);
+  if (session == nullptr) return NoSessionError(id);
+  return session->Stats();
+}
+
+size_t ServingEngine::NumOpenSessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+// --------------------------------------------------------------- cursors
+
+StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
+                                             const Database& db,
+                                             const ConjunctiveQuery& query,
+                                             const RankingSpec& ranking,
+                                             const ExecutionOptions& opts,
+                                             CursorOptions cursor_options) {
+  std::shared_ptr<Session> session = FindSession(session_id);
+  if (session == nullptr) return NoSessionError(session_id);
+
+  // Plan + compile without holding any lock: Engine::Execute is
+  // stateless, and preprocessing (full reducer, bag materialization) can
+  // be the expensive part of a request.
+  auto result = engine_.Execute(db, query, ranking, opts);
+  if (!result.ok()) return result.status();
+
+  session->AddCursor();
+  return cursors_.Insert(
+      std::make_unique<Cursor>(std::move(result.value().stream),
+                               ResolveCursorOptions(cursor_options, opts)),
+      std::move(session));
+}
+
+Status ServingEngine::CloseCursor(CursorId id) {
+  const std::shared_ptr<Session> session = cursors_.Erase(id);
+  if (session == nullptr) return NoCursorError(id);
+  session->RemoveCursor();
+  return Status::Ok();
+}
+
+StatusOr<FetchOutcome> ServingEngine::Fetch(CursorId id, size_t max_results) {
+  FetchOutcome out;
+  const bool found =
+      cursors_.WithCursor(id, [&](Cursor& cursor, Session& session) {
+        out.cursor_state = cursor.state();
+        if (max_results == 0) return;
+
+        // Reserve one result slot + one work unit per pull rather than a
+        // whole slice up front: unit reservations are consumed (almost)
+        // as soon as they are taken, so a concurrent slice observing a
+        // zero grant means the session really is out of budget, not that
+        // a sibling briefly over-reserved and will refund. The only
+        // refunds left are the one-unit corners below.
+        while (out.results.size() < max_results) {
+          const size_t r = session.ReserveResults(1);
+          if (r == 0) {
+            out.session_dry = true;
+            break;
+          }
+          const size_t w = session.ReserveWork(1);
+          if (w == 0) {
+            session.SettleResults(1, 0);
+            out.session_dry = true;
+            break;
+          }
+          const size_t work_before = cursor.work_used();
+          auto result = cursor.Next();
+          const size_t pulled = cursor.work_used() - work_before;
+          session.SettleWork(1, pulled);  // refund iff the cursor was
+                                          // already stopped (no pull)
+          if (!result.has_value()) {
+            session.SettleResults(1, 0);  // pull found no result
+            break;
+          }
+          session.SettleResults(1, 1);
+          out.results.push_back(std::move(*result));
+        }
+        out.cursor_state = cursor.state();
+      });
+  if (!found) return NoCursorError(id);
+  return out;
+}
+
+Status ServingEngine::ExtendCursorBudgets(CursorId id, size_t extra_results,
+                                          size_t extra_work) {
+  const bool found =
+      cursors_.WithCursor(id, [&](Cursor& cursor, Session& session) {
+        (void)session;
+        cursor.ExtendBudgets(extra_results, extra_work);
+      });
+  return found ? Status::Ok() : NoCursorError(id);
+}
+
+void ServingEngine::SubmitFetch(CursorId id, size_t max_results,
+                                FetchCallback callback) {
+  TOPKJOIN_CHECK(callback != nullptr);
+  pool_.Submit([this, id, max_results, callback = std::move(callback)] {
+    callback(id, Fetch(id, max_results));
+  });
+}
+
+// -------------------------------------------------------------- draining
+
+/// Shared state of one DrainAll call. `pending` counts cursors whose
+/// slice chain has not finished; the caller blocks until it reaches 0,
+/// then re-sweeps cursors that stopped on (possibly transient) session
+/// dryness until a sweep makes no progress.
+struct ServingEngine::DrainTicket {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::map<CursorId, std::vector<RankedResult>> results;
+  size_t pending = 0;
+  size_t produced = 0;            // total results across all slices
+  std::vector<CursorId> dried;    // active cursors stopped by dry sessions
+};
+
+void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
+                                  CursorId id, size_t results_per_slice) {
+  auto outcome = Fetch(id, results_per_slice);
+  // Keep going while the cursor is active and its session has budget; a
+  // closed cursor (!ok) or any stop condition ends this cursor's chain.
+  const bool requeue = outcome.ok() &&
+                       outcome.value().cursor_state == CursorState::kActive &&
+                       !outcome.value().session_dry;
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    if (outcome.ok() && !outcome.value().results.empty()) {
+      auto& sink = ticket->results[id];
+      ticket->produced += outcome.value().results.size();
+      for (RankedResult& r : outcome.value().results) {
+        sink.push_back(std::move(r));
+      }
+    }
+    if (!requeue) {
+      // Dryness can be transient (a sibling slice's unit reservation,
+      // refunded a moment later); remember the cursor for a re-sweep
+      // instead of dropping it for good.
+      if (outcome.ok() && outcome.value().session_dry &&
+          outcome.value().cursor_state == CursorState::kActive) {
+        ticket->dried.push_back(id);
+      }
+      if (--ticket->pending == 0) ticket->done_cv.notify_all();
+      return;
+    }
+  }
+  // Tail re-enqueue: every other waiting cursor gets a slice first.
+  pool_.Submit([this, ticket, id, results_per_slice] {
+    RunDrainSlice(ticket, id, results_per_slice);
+  });
+}
+
+std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
+    size_t results_per_slice) {
+  results_per_slice = std::max<size_t>(1, results_per_slice);
+  auto ticket = std::make_shared<DrainTicket>();
+  if (cursors_.NumCursors() == 0) return {};
+
+  // Admit every cursor from one pool task rather than the caller: in
+  // inline mode the first Submit starts draining immediately, so
+  // admitting inside a task puts all first slices in the queue before
+  // any slice (or its tail requeue) runs -- round-robin stays fair in
+  // every worker configuration, including zero.
+  const auto admit = [this, ticket,
+                      results_per_slice](std::vector<CursorId> ids) {
+    pool_.Submit([this, ticket, ids = std::move(ids), results_per_slice] {
+      for (const CursorId id : ids) {
+        pool_.Submit([this, ticket, id, results_per_slice] {
+          RunDrainSlice(ticket, id, results_per_slice);
+        });
+      }
+    });
+  };
+
+  std::vector<CursorId> round = cursors_.Ids();
+  size_t produced_before_round = 0;
+  while (true) {
+    std::vector<CursorId> retried = round;  // for the termination check
+    std::sort(retried.begin(), retried.end());
+    {
+      std::lock_guard<std::mutex> lock(ticket->mu);
+      ticket->pending = round.size();
+    }
+    admit(std::move(round));
+    std::unique_lock<std::mutex> lock(ticket->mu);
+    ticket->done_cv.wait(lock, [&] { return ticket->pending == 0; });
+    if (ticket->dried.empty()) return std::move(ticket->results);
+    // Re-sweep dry-stopped cursors until dryness is provably permanent:
+    // a round that produced nothing AND re-dried exactly the cursors it
+    // retried moved no budget at all (no results consumed, and refunds
+    // only come from cursors that exit the drain), so the session state
+    // is unchanged and no retry can ever succeed absent external budget
+    // extensions. A round failing either condition shrank the cursor
+    // set or consumed budget -- both bounded, so this terminates.
+    std::sort(ticket->dried.begin(), ticket->dried.end());
+    if (ticket->produced == produced_before_round &&
+        ticket->dried == retried) {
+      return std::move(ticket->results);
+    }
+    produced_before_round = ticket->produced;
+    round.clear();
+    round.swap(ticket->dried);
+  }
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,150 @@
+// ServingEngine: thread-safe concurrent serving on top of the engine.
+//
+// The single-threaded Engine session layer (engine.h) interleaves many
+// enumerations from one thread via StepAll. This layer serves them from
+// a fixed pool of worker threads instead:
+//
+//   * a sharded, mutex-protected cursor table (striped locks keyed by
+//     CursorId) gives per-cursor serialization with cross-cursor
+//     parallelism (sharded_cursor_table.h);
+//   * a worker pool drains a FIFO queue of Fetch slices; cursors that
+//     want more re-enqueue at the tail, so admission is fair
+//     round-robin (worker_pool.h);
+//   * sessions meter aggregate result/work budgets across all of a
+//     tenant's cursors with reserve -> spend -> settle accounting, so
+//     one heavy query cannot starve the rest (session.h).
+//
+// Thread-safety: every public method may be called from any thread at
+// any time. Plan + compile (OpenCursor) runs without any lock -- Engine
+// Execute is stateless -- and enumeration holds only the one stripe
+// mutex. The caller must not mutate a Database while cursors over it are
+// open (same contract as Engine).
+#ifndef TOPKJOIN_SERVING_SERVING_ENGINE_H_
+#define TOPKJOIN_SERVING_SERVING_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/serving/session.h"
+#include "src/serving/sharded_cursor_table.h"
+#include "src/serving/worker_pool.h"
+#include "src/util/status.h"
+
+namespace topkjoin {
+
+struct ServingOptions {
+  /// Worker threads serving Fetch slices. 0 = no threads: SubmitFetch
+  /// and DrainAll run their slices inline on the calling thread (same
+  /// scheduling policy, no parallelism) -- the bench baseline mode.
+  size_t num_workers = 4;
+  /// Lock stripes of the cursor table. More stripes = less false
+  /// contention between unrelated cursors.
+  size_t num_stripes = 16;
+};
+
+/// The outcome of one Fetch slice. `results` is in rank order and
+/// continues exactly where the cursor's previous slice stopped.
+struct FetchOutcome {
+  std::vector<RankedResult> results;
+  /// Cursor state after the slice (kActive: more may follow).
+  CursorState cursor_state = CursorState::kActive;
+  /// True when a *session* budget (not the cursor's own) cut the slice
+  /// short; the cursor itself could still make progress if the session's
+  /// budgets were extended.
+  bool session_dry = false;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(ServingOptions options = {});
+
+  /// Joins the workers. Outstanding SubmitFetch tasks still run; the
+  /// caller must not race new calls against destruction.
+  ~ServingEngine() = default;
+
+  // ------------------------------------------------------------ sessions
+
+  /// Opens a session (the budget-fairness unit). Every cursor is opened
+  /// under a session and draws on its aggregate budgets.
+  SessionId OpenSession(SessionBudget budget = {});
+
+  /// Closes the session and every cursor still open under it. A
+  /// concurrent OpenCursor that already resolved the session may leave
+  /// its cursor open under the detached (but still enforced) budgets.
+  Status CloseSession(SessionId id);
+
+  /// Grants additional aggregate budget to a session.
+  Status ExtendSessionBudgets(SessionId id, size_t extra_results,
+                              size_t extra_work);
+
+  /// Monitoring snapshot; safe to call from a stats thread at any time.
+  StatusOr<SessionStats> GetSessionStats(SessionId id) const;
+
+  // ------------------------------------------------------------- cursors
+
+  /// Plans, compiles, and registers a budgeted cursor under `session`.
+  /// Planning runs lock-free; only the final registration touches a
+  /// stripe. As with Engine::OpenCursor, opts.k becomes the per-cursor
+  /// result budget when none is given.
+  StatusOr<CursorId> OpenCursor(SessionId session, const Database& db,
+                                const ConjunctiveQuery& query,
+                                const RankingSpec& ranking = {},
+                                const ExecutionOptions& opts = {},
+                                CursorOptions cursor_options = {});
+
+  Status CloseCursor(CursorId id);
+
+  /// Synchronous slice: reserves session budget, pulls up to
+  /// `max_results` under the cursor's stripe lock, settles the unused
+  /// reservation. Thread-safe; slices of one cursor never overlap.
+  StatusOr<FetchOutcome> Fetch(CursorId id, size_t max_results);
+
+  /// Grants additional per-cursor budget (see Cursor::ExtendBudgets).
+  Status ExtendCursorBudgets(CursorId id, size_t extra_results,
+                             size_t extra_work);
+
+  /// Asynchronous slice: enqueues the Fetch on the worker pool; the
+  /// callback runs on a worker thread (inline with 0 workers).
+  using FetchCallback = std::function<void(CursorId, StatusOr<FetchOutcome>)>;
+  void SubmitFetch(CursorId id, size_t max_results, FetchCallback callback);
+
+  /// The concurrent replacement for Engine::StepAll: admits one
+  /// `results_per_slice`-sized slice per open cursor into the queue (in
+  /// id order), each slice re-enqueueing at the tail while its cursor
+  /// stays active and its session has budget. Blocks until no cursor can
+  /// make progress; returns the per-cursor streams, each in rank order.
+  /// Cursors opened concurrently with the drain are not admitted.
+  std::map<CursorId, std::vector<RankedResult>> DrainAll(
+      size_t results_per_slice);
+
+  size_t NumOpenCursors() const { return cursors_.NumCursors(); }
+  size_t NumOpenSessions() const;
+  size_t num_workers() const { return pool_.num_threads(); }
+
+ private:
+  struct DrainTicket;  // see serving_engine.cc
+
+  std::shared_ptr<Session> FindSession(SessionId id) const;
+  void RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket, CursorId id,
+                     size_t results_per_slice);
+
+  Engine engine_;  // used only for its stateless Execute
+  ShardedCursorTable cursors_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_id_ = 1;
+
+  // Last member: destroyed first, so workers join while the cursor table
+  // and sessions are still alive.
+  WorkerPool pool_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_SERVING_SERVING_ENGINE_H_

@@ -1,0 +1,81 @@
+#include "src/serving/session.h"
+
+#include <algorithm>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+Session::Session(SessionBudget budget) {
+  if (budget.result_budget.has_value()) {
+    results_.remaining.store(*budget.result_budget,
+                             std::memory_order_relaxed);
+  }
+  if (budget.work_budget.has_value()) {
+    work_.remaining.store(*budget.work_budget, std::memory_order_relaxed);
+  }
+}
+
+size_t Session::Reserve(Ledger* ledger, size_t want) {
+  size_t cur = ledger->remaining.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur == Ledger::kUnlimited) return want;
+    const size_t grant = std::min(want, cur);
+    if (grant == 0) return 0;
+    if (ledger->remaining.compare_exchange_weak(cur, cur - grant,
+                                                std::memory_order_relaxed)) {
+      return grant;
+    }
+    // cur was reloaded by the failed CAS; retry.
+  }
+}
+
+void Session::Settle(Ledger* ledger, size_t reserved, size_t used) {
+  TOPKJOIN_CHECK(used <= reserved);
+  ledger->spent.fetch_add(used, std::memory_order_relaxed);
+  if (ledger->remaining.load(std::memory_order_relaxed) !=
+      Ledger::kUnlimited) {
+    ledger->remaining.fetch_add(reserved - used, std::memory_order_relaxed);
+  }
+}
+
+bool Session::Dry() const {
+  return results_.remaining.load(std::memory_order_relaxed) == 0 ||
+         work_.remaining.load(std::memory_order_relaxed) == 0;
+}
+
+namespace {
+
+// Saturating extension of a metered ledger: a huge grant (SIZE_MAX is a
+// plausible "effectively unlimited" request) must neither wrap around
+// nor land exactly on the kUnlimited sentinel, which would silently
+// unmeter the session.
+void ExtendLedger(std::atomic<size_t>* remaining, size_t extra) {
+  constexpr size_t kUnlimited = static_cast<size_t>(-1);
+  size_t cur = remaining->load(std::memory_order_relaxed);
+  while (cur != kUnlimited) {
+    size_t next = cur + extra;
+    if (next < cur || next == kUnlimited) next = kUnlimited - 1;
+    if (remaining->compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Session::ExtendBudgets(size_t extra_results, size_t extra_work) {
+  ExtendLedger(&results_.remaining, extra_results);
+  ExtendLedger(&work_.remaining, extra_work);
+}
+
+SessionStats Session::Stats() const {
+  SessionStats stats;
+  stats.results_spent = results_.spent.load(std::memory_order_relaxed);
+  stats.work_spent = work_.spent.load(std::memory_order_relaxed);
+  stats.open_cursors = open_cursors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,96 @@
+// Serving sessions: aggregate budgets across all of a session's cursors.
+//
+// Per-cursor budgets (engine/cursor.h) bound one enumeration; a session
+// bounds a *tenant*: the total results and total pipeline pulls spent
+// across every cursor the session opens. That is the fairness unit of
+// the serving layer -- one heavy query (or many cheap ones) cannot
+// starve other sessions by monopolizing worker time, because each Fetch
+// slice must first reserve headroom from its session.
+//
+// Accounting is reserve -> spend -> settle: a worker atomically reserves
+// up to a slice's worth of budget, runs the slice, then refunds what the
+// slice did not use. Reservations come out of the remaining budget
+// before any work happens, so the budget can never be overspent, no
+// matter how many workers fetch the session's cursors concurrently.
+#ifndef TOPKJOIN_SERVING_SESSION_H_
+#define TOPKJOIN_SERVING_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace topkjoin {
+
+/// Handle for a serving session.
+using SessionId = uint64_t;
+
+/// Aggregate lifetime limits for one session. nullopt = unlimited.
+struct SessionBudget {
+  std::optional<size_t> result_budget;  // total results across cursors
+  std::optional<size_t> work_budget;    // total pulls across cursors
+};
+
+/// Monitoring snapshot (each field individually consistent).
+struct SessionStats {
+  size_t results_spent = 0;
+  size_t work_spent = 0;
+  size_t open_cursors = 0;
+};
+
+/// Budget ledger for one session. All methods are thread-safe and
+/// lock-free.
+class Session {
+ public:
+  explicit Session(SessionBudget budget);
+
+  /// Atomically takes up to `want` units from the remaining budget;
+  /// returns the granted amount (0 when the budget is dry).
+  size_t ReserveResults(size_t want) { return Reserve(&results_, want); }
+  size_t ReserveWork(size_t want) { return Reserve(&work_, want); }
+
+  /// Records `used` (<= `reserved`) as spent and refunds the rest.
+  void SettleResults(size_t reserved, size_t used) {
+    Settle(&results_, reserved, used);
+  }
+  void SettleWork(size_t reserved, size_t used) {
+    Settle(&work_, reserved, used);
+  }
+
+  /// True when either budget has no headroom left (no Fetch slice for
+  /// this session can make progress until budgets are extended).
+  bool Dry() const;
+
+  /// Grants additional aggregate budget (no-op on unlimited ledgers).
+  void ExtendBudgets(size_t extra_results, size_t extra_work);
+
+  SessionStats Stats() const;
+
+  void AddCursor() { open_cursors_.fetch_add(1, std::memory_order_relaxed); }
+  void RemoveCursor() {
+    open_cursors_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  size_t open_cursors() const {
+    return open_cursors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One metered quantity. remaining == kUnlimited means "no budget":
+  /// reservations are granted in full and nothing is decremented.
+  struct Ledger {
+    static constexpr size_t kUnlimited = static_cast<size_t>(-1);
+    std::atomic<size_t> remaining{kUnlimited};
+    std::atomic<size_t> spent{0};
+  };
+
+  static size_t Reserve(Ledger* ledger, size_t want);
+  static void Settle(Ledger* ledger, size_t reserved, size_t used);
+
+  Ledger results_;
+  Ledger work_;
+  std::atomic<size_t> open_cursors_{0};
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_SERVING_SESSION_H_

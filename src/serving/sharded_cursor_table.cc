@@ -1,0 +1,81 @@
+#include "src/serving/sharded_cursor_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+ShardedCursorTable::ShardedCursorTable(size_t num_stripes)
+    : stripes_(std::max<size_t>(1, num_stripes)) {}
+
+CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
+                                    std::shared_ptr<Session> session) {
+  TOPKJOIN_CHECK(session != nullptr);
+  const CursorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripe_for(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.table.InsertWithId(id, std::move(cursor));
+  stripe.owner.emplace(id, std::move(session));
+  return id;
+}
+
+bool ShardedCursorTable::WithCursor(
+    CursorId id, const std::function<void(Cursor&, Session&)>& fn) {
+  Stripe& stripe = stripe_for(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Cursor* cursor = stripe.table.Find(id);
+  if (cursor == nullptr) return false;
+  fn(*cursor, *stripe.owner.at(id));
+  return true;
+}
+
+std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
+  Stripe& stripe = stripe_for(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (!stripe.table.Erase(id)) return nullptr;
+  const auto it = stripe.owner.find(id);
+  std::shared_ptr<Session> session = std::move(it->second);
+  stripe.owner.erase(it);
+  return session;
+}
+
+size_t ShardedCursorTable::EraseOwnedBy(const Session* session) {
+  size_t erased = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.owner.begin(); it != stripe.owner.end();) {
+      if (it->second.get() == session) {
+        stripe.table.Erase(it->first);
+        it = stripe.owner.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return erased;
+}
+
+std::vector<CursorId> ShardedCursorTable::Ids() const {
+  std::vector<CursorId> ids;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const std::vector<CursorId> stripe_ids = stripe.table.Ids();
+    ids.insert(ids.end(), stripe_ids.begin(), stripe_ids.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t ShardedCursorTable::NumCursors() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.table.NumCursors();
+  }
+  return total;
+}
+
+}  // namespace topkjoin

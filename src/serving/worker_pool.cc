@@ -1,0 +1,78 @@
+#include "src/serving/worker_pool.h"
+
+#include <utility>
+
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  TOPKJOIN_CHECK(task != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  TOPKJOIN_CHECK(!shutdown_);
+  queue_.push_back(std::move(task));
+  if (!threads_.empty()) {
+    lock.unlock();
+    wake_cv_.notify_one();
+    return;
+  }
+  // Inline mode: the outermost Submit drains the whole queue on the
+  // calling thread, iteratively -- a task that re-Submits (the serving
+  // layer's self-requeueing slices) just grows the queue instead of the
+  // stack. A Submit from a second thread while a drain is running just
+  // enqueues; the draining thread picks it up.
+  if (running_ > 0) return;  // a drain is already running somewhere
+  ++running_;
+  while (!queue_.empty()) {
+    std::function<void()> next = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    next();
+    lock.lock();
+  }
+  --running_;
+  idle_cv_.notify_all();
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // shutdown_ with a drained queue: exit. (Shutdown still runs every
+      // task that made it into the queue.)
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,58 @@
+// A fixed pool of worker threads draining a FIFO task queue.
+//
+// The serving layer submits Fetch slices here; FIFO order is what makes
+// admission fair -- a cursor that wants another slice re-enqueues at the
+// tail, so every waiting cursor gets one slice per "round" (round-robin
+// without a central scheduler). The pool is deliberately minimal: no
+// priorities, no stealing; fairness policy lives in the submitter.
+#ifndef TOPKJOIN_SERVING_WORKER_POOL_H_
+#define TOPKJOIN_SERVING_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topkjoin {
+
+/// Fixed worker pool. All methods are thread-safe. With zero threads the
+/// pool degrades to inline execution: Submit runs the task on the
+/// calling thread -- handy for apples-to-apples single-threaded
+/// baselines and for tests of the scheduling logic alone.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads);
+
+  /// Drains the queue, then joins the workers. Tasks already submitted
+  /// still run; do not submit during destruction.
+  ~WorkerPool();
+
+  /// Enqueues a task at the tail. Tasks may themselves call Submit
+  /// (self-requeue), which is how the serving layer keeps a cursor's
+  /// slices flowing while staying fair to everyone else in the queue.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Note this
+  /// is a transient condition: another thread may submit right after.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait for tasks/shutdown
+  std::condition_variable idle_cv_;   // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;                // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_SERVING_WORKER_POOL_H_

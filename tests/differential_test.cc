@@ -1,0 +1,301 @@
+// Randomized differential testing of the engine: ~230 random connected
+// conjunctive queries (acyclic and cyclic, with self-joins and parallel
+// edges) over small random databases, each executed through
+// Engine::Execute and compared against a brute-force join-then-sort
+// oracle. The comparison is exactly what the any-k contract promises:
+//   * the emitted cost sequence is non-decreasing (ties may reorder);
+//   * the multiset of (assignment, cost) results equals the oracle's --
+//     nothing lost, nothing duplicated, nothing invented.
+// Acyclic queries run under all four cost dioids (SUM/MAX/PROD/LEX);
+// cyclic queries run under SUM and must cleanly reject the rest (bag
+// weights only decompose additively).
+//
+// Atoms are kept binary: that is the paper's graph-pattern regime, and
+// it already produces every structural family the planner routes --
+// paths, stars, triangles, 4-cycles, and larger tangles.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/engine/engine.h"
+#include "src/query/hypergraph.h"
+#include "src/ranking/cost_model.h"
+#include "src/util/rng.h"
+#include "tests/test_instances.h"
+
+namespace topkjoin {
+namespace {
+
+using testing_fixtures::Drain;
+
+struct RandomCase {
+  Database db;
+  ConjunctiveQuery query;
+};
+
+// A connected random query over binary atoms. Each new atom either
+// chains off existing variables (possibly closing a cycle) or introduces
+// fresh ones; relations are occasionally reused across atoms
+// (self-joins). Variables are dense by construction: every new VarId is
+// allocated consecutively and used immediately.
+RandomCase MakeRandomCase(Rng& rng) {
+  RandomCase c;
+  std::vector<RelationId> relations;
+  int num_vars = 0;
+
+  // A quarter of the cases are explicit L-cycles (L = 3..5, sometimes as
+  // a self-join of one edge relation, sometimes with a pendant edge):
+  // random growth rarely closes rings, and the planner's cyclic
+  // strategies -- 4-cycle union-of-cases included -- need steady
+  // differential coverage.
+  if (rng.NextBounded(4) == 0) {
+    const int cycle_len = 3 + static_cast<int>(rng.NextBounded(3));
+    const bool self_join = rng.NextBounded(3) == 0;
+    RelationId shared = 0;
+    if (self_join) {
+      const size_t tuples = 6 + rng.NextBounded(9);
+      const Value domain = 3 + static_cast<Value>(rng.NextBounded(3));
+      shared = c.db.Add(UniformBinaryRelation("E", tuples, domain, rng));
+    }
+    for (int i = 0; i < cycle_len; ++i) {
+      RelationId rel = shared;
+      if (!self_join) {
+        const size_t tuples = 6 + rng.NextBounded(9);
+        const Value domain = 3 + static_cast<Value>(rng.NextBounded(3));
+        rel = c.db.Add(UniformBinaryRelation("R" + std::to_string(i), tuples,
+                                             domain, rng));
+      }
+      c.query.AddAtom(rel, {i, (i + 1) % cycle_len});
+    }
+    num_vars = cycle_len;
+    if (rng.NextBounded(3) == 0) {  // pendant edge off the ring
+      const size_t tuples = 6 + rng.NextBounded(9);
+      const Value domain = 3 + static_cast<Value>(rng.NextBounded(3));
+      const RelationId rel =
+          c.db.Add(UniformBinaryRelation("P", tuples, domain, rng));
+      c.query.AddAtom(
+          rel, {static_cast<VarId>(rng.NextBounded(num_vars)), num_vars});
+    }
+    return c;
+  }
+
+  const size_t num_atoms = 1 + rng.NextBounded(4);
+  for (size_t a = 0; a < num_atoms; ++a) {
+    // Pick endpoints: bias toward existing variables so cycles and stars
+    // actually form, but always keep the query connected.
+    VarId u, v;
+    if (a == 0) {
+      u = num_vars++;
+      v = num_vars++;
+    } else {
+      u = static_cast<VarId>(rng.NextBounded(num_vars));  // stay connected
+      if (rng.NextBounded(10) < 4 || num_vars < 2) {
+        v = num_vars++;  // extend with a fresh variable (paths, stars)
+      } else {
+        // Second endpoint among the other existing variables: re-picking
+        // a used pair yields parallel edges, a new pair closes a cycle.
+        v = static_cast<VarId>(rng.NextBounded(num_vars - 1));
+        if (v >= u) ++v;
+      }
+    }
+    RelationId rel;
+    if (!relations.empty() && rng.NextBounded(4) == 0) {
+      rel = relations[rng.NextBounded(relations.size())];  // self-join
+    } else {
+      const size_t tuples = 6 + rng.NextBounded(9);
+      const Value domain = 3 + static_cast<Value>(rng.NextBounded(3));
+      rel = c.db.Add(UniformBinaryRelation(
+          "R" + std::to_string(c.db.NumRelations()), tuples, domain, rng));
+      relations.push_back(rel);
+    }
+    c.query.AddAtom(rel, {u, v});
+  }
+  return c;
+}
+
+struct OracleRow {
+  std::vector<Value> assignment;
+  double cost = 0.0;
+};
+
+// Brute-force evaluation: backtracking over atoms, one tuple at a time,
+// combining per-tuple weights with the dioid policy. Exponential, but
+// the instances are tiny by construction.
+template <typename Policy>
+std::vector<OracleRow> BruteForce(const Database& db,
+                                  const ConjunctiveQuery& query) {
+  std::vector<OracleRow> out;
+  std::vector<Value> assignment(query.num_vars(), 0);
+  std::vector<bool> bound(query.num_vars(), false);
+  std::function<void(size_t, typename Policy::CostT)> recurse =
+      [&](size_t atom_idx, typename Policy::CostT cost) {
+        if (atom_idx == query.NumAtoms()) {
+          out.push_back({assignment, Policy::ToDouble(cost)});
+          return;
+        }
+        const Atom& atom = query.atom(atom_idx);
+        const Relation& rel = db.relation(atom.relation);
+        for (RowId row = 0; row < rel.NumTuples(); ++row) {
+          bool consistent = true;
+          std::vector<VarId> newly_bound;
+          for (size_t col = 0; col < atom.vars.size(); ++col) {
+            const VarId var = atom.vars[col];
+            const Value value = rel.At(row, col);
+            if (bound[var]) {
+              if (assignment[var] != value) {
+                consistent = false;
+                break;
+              }
+            } else {
+              bound[var] = true;
+              assignment[var] = value;
+              newly_bound.push_back(var);
+            }
+          }
+          if (consistent) {
+            recurse(atom_idx + 1,
+                    Policy::Combine(cost,
+                                    Policy::FromWeight(rel.TupleWeight(row))));
+          }
+          for (const VarId var : newly_bound) bound[var] = false;
+        }
+      };
+  recurse(0, Policy::Identity());
+  return out;
+}
+
+bool AssignmentLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// The differential contract. `check_costs` is off only for LEX, whose
+// full cost (a per-stage weight sequence in pipeline combination order)
+// is not observable through the double-valued stream; its assignment
+// multiset and emission monotonicity are still checked.
+void ExpectMatchesOracle(const std::vector<RankedResult>& got,
+                         std::vector<OracleRow> want, bool check_costs,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+
+  // Emission order must be non-decreasing in cost.
+  for (size_t i = 1; i < got.size(); ++i) {
+    ASSERT_LE(got[i - 1].cost, got[i].cost + 1e-9)
+        << label << ": rank inversion at " << i;
+  }
+
+  // Multiset equality: sort both sides by (assignment, cost) and compare
+  // pairwise. Ties in assignment+cost are interchangeable, and FP noise
+  // between combination orders stays far under the tolerance.
+  std::vector<OracleRow> sorted_got;
+  sorted_got.reserve(got.size());
+  for (const RankedResult& r : got) sorted_got.push_back({r.assignment, r.cost});
+  const auto by_assignment_then_cost = [](const OracleRow& a,
+                                          const OracleRow& b) {
+    if (a.assignment != b.assignment) {
+      return AssignmentLess(a.assignment, b.assignment);
+    }
+    return a.cost < b.cost;
+  };
+  std::sort(sorted_got.begin(), sorted_got.end(), by_assignment_then_cost);
+  std::sort(want.begin(), want.end(), by_assignment_then_cost);
+  for (size_t i = 0; i < sorted_got.size(); ++i) {
+    ASSERT_EQ(sorted_got[i].assignment, want[i].assignment)
+        << label << ": assignment multiset mismatch at " << i;
+    if (check_costs) {
+      ASSERT_NEAR(sorted_got[i].cost, want[i].cost, 1e-6)
+          << label << ": cost mismatch at " << i;
+    }
+  }
+}
+
+template <typename Policy>
+void RunDifferential(const RandomCase& c, CostModelKind kind,
+                     const std::string& label) {
+  Engine engine;
+  RankingSpec ranking;
+  ranking.model = kind;
+  auto result = engine.Execute(c.db, c.query, ranking, {});
+  ASSERT_TRUE(result.ok()) << label << ": " << result.status().message();
+  ExpectMatchesOracle(Drain(result.value().stream.get()),
+                      BruteForce<Policy>(c.db, c.query),
+                      /*check_costs=*/kind != CostModelKind::kLex, label);
+}
+
+TEST(DifferentialTest, RandomQueriesMatchBruteForceOracleAcrossDioids) {
+  constexpr size_t kNumQueries = 230;
+  Rng rng(20260729);
+  size_t acyclic_count = 0;
+  size_t cyclic_count = 0;
+
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    const RandomCase c = MakeRandomCase(rng);
+    const bool acyclic = IsAcyclic(c.query);
+    const std::string label = "query " + std::to_string(q) + " (" +
+                              (acyclic ? "acyclic" : "cyclic") + ") " +
+                              c.query.DebugString(c.db);
+
+    if (acyclic) {
+      ++acyclic_count;
+      RunDifferential<SumCost>(c, CostModelKind::kSum, label + " [sum]");
+      RunDifferential<MaxCost>(c, CostModelKind::kMax, label + " [max]");
+      RunDifferential<ProdCost>(c, CostModelKind::kProd, label + " [prod]");
+      RunDifferential<LexCost>(c, CostModelKind::kLex, label + " [lex]");
+    } else {
+      ++cyclic_count;
+      RunDifferential<SumCost>(c, CostModelKind::kSum, label + " [sum]");
+      // Non-SUM rankings must be rejected up front, not silently wrong.
+      for (const CostModelKind kind :
+           {CostModelKind::kMax, CostModelKind::kProd, CostModelKind::kLex}) {
+        Engine engine;
+        RankingSpec ranking;
+        ranking.model = kind;
+        EXPECT_FALSE(engine.Execute(c.db, c.query, ranking, {}).ok())
+            << label << ": cyclic query accepted non-SUM ranking";
+      }
+    }
+  }
+
+  // The generator must actually cover both planner families.
+  EXPECT_GE(acyclic_count, 80u);
+  EXPECT_GE(cyclic_count, 30u);
+  EXPECT_EQ(acyclic_count + cyclic_count, kNumQueries);
+}
+
+// The planner's k hint changes the chosen algorithm (any-k variant vs
+// batch-then-sort); none of them may change the stream's content. Pin a
+// smaller sweep across forced algorithms.
+TEST(DifferentialTest, AllAlgorithmsAgreeOnAcyclicQueries) {
+  constexpr size_t kNumQueries = 40;
+  Rng rng(977);
+  size_t tested = 0;
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    const RandomCase c = MakeRandomCase(rng);
+    if (!IsAcyclic(c.query)) continue;
+    ++tested;
+    const auto want = BruteForce<SumCost>(c.db, c.query);
+    for (const AnyKAlgorithm algorithm :
+         {AnyKAlgorithm::kRec, AnyKAlgorithm::kPartEager,
+          AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kBatch}) {
+      Engine engine;
+      ExecutionOptions opts;
+      opts.force_algorithm = algorithm;
+      auto result = engine.Execute(c.db, c.query, {}, opts);
+      ASSERT_TRUE(result.ok());
+      ExpectMatchesOracle(Drain(result.value().stream.get()), want,
+                          /*check_costs=*/true,
+                          "algorithm " +
+                              std::string(AnyKAlgorithmName(algorithm)) +
+                              " on query " + std::to_string(q));
+    }
+  }
+  EXPECT_GE(tested, 10u);
+}
+
+}  // namespace
+}  // namespace topkjoin

@@ -11,85 +11,21 @@
 #include <gtest/gtest.h>
 
 #include "src/anyk/anyk.h"
-#include "src/cycles/fourcycle.h"
-#include "src/data/generators.h"
 #include "src/engine/engine.h"
-#include "src/join/nested_loop.h"
 #include "src/query/hypergraph.h"
 #include "src/util/rng.h"
+#include "tests/test_instances.h"
 
 namespace topkjoin {
 namespace {
 
-struct Instance {
-  Database db;
-  ConjunctiveQuery query;
-};
-
-// Q(x0..x_len) :- R0(x0,x1), ..., R_{len-1}(x_{len-1},x_len).
-Instance MakePathInstance(size_t len, size_t tuples, Value domain,
-                          uint64_t seed) {
-  Instance t;
-  Rng rng(seed);
-  for (size_t i = 0; i < len; ++i) {
-    const RelationId id = t.db.Add(
-        UniformBinaryRelation("R" + std::to_string(i), tuples, domain, rng));
-    t.query.AddAtom(id, {static_cast<VarId>(i), static_cast<VarId>(i + 1)});
-  }
-  return t;
-}
-
-// Q(c,x1,x2,x3) :- R0(c,x1), R1(c,x2), R2(c,x3).
-Instance MakeStarInstance(size_t tuples, Value domain, uint64_t seed) {
-  Instance t;
-  Rng rng(seed);
-  for (int i = 0; i < 3; ++i) {
-    const RelationId id = t.db.Add(
-        UniformBinaryRelation("R" + std::to_string(i), tuples, domain, rng));
-    t.query.AddAtom(id, {0, i + 1});
-  }
-  return t;
-}
-
-Instance MakeFourCycleInstance(size_t edges, Value domain, uint64_t seed) {
-  Instance t;
-  Rng rng(seed);
-  const RelationId e = t.db.Add(UniformBinaryRelation("E", edges, domain, rng));
-  t.query = FourCycleQuery(e);
-  return t;
-}
-
-// Q(x0,x1,x2) :- R(x0,x1), S(x1,x2), T(x2,x0) -- cyclic, not 4-cycle.
-Instance MakeTriangleInstance(size_t tuples, Value domain, uint64_t seed) {
-  Instance t;
-  Rng rng(seed);
-  const RelationId r =
-      t.db.Add(UniformBinaryRelation("R", tuples, domain, rng));
-  const RelationId s =
-      t.db.Add(UniformBinaryRelation("S", tuples, domain, rng));
-  const RelationId w =
-      t.db.Add(UniformBinaryRelation("T", tuples, domain, rng));
-  t.query.AddAtom(r, {0, 1});
-  t.query.AddAtom(s, {1, 2});
-  t.query.AddAtom(w, {2, 0});
-  return t;
-}
-
-std::vector<RankedResult> Drain(RankedIterator* it) {
-  std::vector<RankedResult> out;
-  while (auto r = it->Next()) out.push_back(std::move(*r));
-  return out;
-}
-
-std::vector<double> OracleSortedCosts(const Instance& t) {
-  const Relation out = NestedLoopJoin(t.db, t.query);
-  std::vector<double> costs;
-  for (RowId r = 0; r < out.NumTuples(); ++r) {
-    costs.push_back(out.TupleWeight(r));
-  }
-  std::sort(costs.begin(), costs.end());
-  return costs;
-}
+using testing_fixtures::Drain;
+using testing_fixtures::Instance;
+using testing_fixtures::MakeFourCycleInstance;
+using testing_fixtures::MakePathInstance;
+using testing_fixtures::MakeStarInstance;
+using testing_fixtures::MakeTriangleInstance;
+using testing_fixtures::OracleSortedCosts;
 
 void ExpectSameRankedStream(const std::vector<RankedResult>& got,
                             const std::vector<double>& want_costs) {
@@ -382,6 +318,132 @@ TEST(CursorTest, OptsKBecomesResultBudget) {
   Cursor* cursor = engine.cursor(id.value());
   EXPECT_EQ(cursor->Fetch(1000).size(), 7u);
   EXPECT_EQ(cursor->state(), CursorState::kResultBudgetHit);
+}
+
+// Fetch(0) is a pure no-op: no pipeline pull, no state change, in every
+// cursor state -- serving schedulers may emit empty slices.
+TEST(CursorTest, FetchZeroIsANoOpInEveryState) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+
+  // Active cursor: nothing is consumed.
+  auto id = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+  EXPECT_TRUE(cursor->Fetch(0).empty());
+  EXPECT_EQ(cursor->state(), CursorState::kActive);
+  EXPECT_EQ(cursor->work_used(), 0u);
+  EXPECT_EQ(cursor->results_emitted(), 0u);
+
+  // Exhausted cursor: state (and counters) are preserved.
+  const size_t total = cursor->Fetch(SIZE_MAX).size();
+  ASSERT_EQ(cursor->state(), CursorState::kExhausted);
+  EXPECT_TRUE(cursor->Fetch(0).empty());
+  EXPECT_EQ(cursor->state(), CursorState::kExhausted);
+  EXPECT_EQ(cursor->results_emitted(), total);
+  EXPECT_EQ(cursor->work_used(), total + 1);
+
+  // Budget-stopped cursor: the stop reason survives a zero fetch.
+  CursorOptions limits;
+  limits.result_budget = 2;
+  auto budgeted = engine.OpenCursor(t.db, t.query, {}, {}, limits);
+  ASSERT_TRUE(budgeted.ok());
+  Cursor* stopped = engine.cursor(budgeted.value());
+  EXPECT_EQ(stopped->Fetch(100).size(), 2u);
+  ASSERT_EQ(stopped->state(), CursorState::kResultBudgetHit);
+  EXPECT_TRUE(stopped->Fetch(0).empty());
+  EXPECT_EQ(stopped->state(), CursorState::kResultBudgetHit);
+}
+
+// ExtendBudgets(0, 0) must not wake a budget-stopped cursor (a zero
+// grant leaves zero headroom), and no grant revives an exhausted one.
+TEST(CursorTest, ExtendBudgetsZeroPreservesState) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+
+  CursorOptions limits;
+  limits.result_budget = 3;
+  auto id = engine.OpenCursor(t.db, t.query, {}, {}, limits);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+  EXPECT_EQ(cursor->Fetch(100).size(), 3u);
+  ASSERT_EQ(cursor->state(), CursorState::kResultBudgetHit);
+
+  cursor->ExtendBudgets(0, 0);
+  EXPECT_EQ(cursor->state(), CursorState::kResultBudgetHit);
+  EXPECT_FALSE(cursor->Next().has_value());
+  EXPECT_TRUE(cursor->Fetch(100).empty());
+  EXPECT_EQ(cursor->results_emitted(), 3u);
+
+  // A real grant still resumes exactly where the cursor stopped.
+  cursor->ExtendBudgets(1, 0);
+  EXPECT_EQ(cursor->state(), CursorState::kActive);
+  const auto more = cursor->Fetch(100);
+  ASSERT_EQ(more.size(), 1u);
+  const auto want = OracleSortedCosts(t);
+  ASSERT_GE(want.size(), 4u);
+  EXPECT_NEAR(more[0].cost, want[3], 1e-9);
+
+  // Work-budget stops behave the same way.
+  CursorOptions work_limits;
+  work_limits.work_budget = 2;
+  auto wid = engine.OpenCursor(t.db, t.query, {}, {}, work_limits);
+  ASSERT_TRUE(wid.ok());
+  Cursor* worker = engine.cursor(wid.value());
+  EXPECT_EQ(worker->Fetch(100).size(), 2u);
+  ASSERT_EQ(worker->state(), CursorState::kWorkBudgetHit);
+  worker->ExtendBudgets(0, 0);
+  EXPECT_EQ(worker->state(), CursorState::kWorkBudgetHit);
+  EXPECT_TRUE(worker->Fetch(100).empty());
+  worker->ExtendBudgets(0, 1);
+  EXPECT_EQ(worker->Fetch(100).size(), 1u);
+
+  // Exhaustion is final: budget grants change nothing.
+  auto did = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(did.ok());
+  Cursor* drained = engine.cursor(did.value());
+  drained->Fetch(SIZE_MAX);
+  ASSERT_EQ(drained->state(), CursorState::kExhausted);
+  drained->ExtendBudgets(1000, 1000);
+  EXPECT_EQ(drained->state(), CursorState::kExhausted);
+  EXPECT_TRUE(drained->Fetch(100).empty());
+}
+
+// ---------------------------------------------------------- cursor table
+
+TEST(CursorTableTest, InsertFindEraseAndIdOrder) {
+  Instance t = MakePathInstance(2, 20, 4, 3);
+  CursorTable table;
+  auto make_cursor = [&] {
+    Engine engine;
+    auto result = engine.Execute(t.db, t.query);
+    EXPECT_TRUE(result.ok());
+    return std::make_unique<Cursor>(std::move(result.value().stream),
+                                    CursorOptions{});
+  };
+
+  const CursorId a = table.Insert(make_cursor());
+  const CursorId b = table.Insert(make_cursor());
+  EXPECT_LT(a, b);  // strictly increasing, never reused
+  EXPECT_EQ(table.NumCursors(), 2u);
+  EXPECT_NE(table.Find(a), nullptr);
+  EXPECT_EQ(table.Find(999), nullptr);
+
+  // Caller-allocated ids (the sharded table's path) coexist.
+  table.InsertWithId(1000, make_cursor());
+  EXPECT_EQ(table.Ids(), (std::vector<CursorId>{a, b, 1000}));
+
+  std::vector<CursorId> visited;
+  table.ForEach([&](CursorId id, Cursor* cursor) {
+    EXPECT_NE(cursor, nullptr);
+    visited.push_back(id);
+  });
+  EXPECT_EQ(visited, table.Ids());
+
+  EXPECT_TRUE(table.Erase(b));
+  EXPECT_FALSE(table.Erase(b));
+  EXPECT_EQ(table.Find(b), nullptr);
+  EXPECT_EQ(table.NumCursors(), 2u);
 }
 
 TEST(EngineSessionTest, InterleavesManyCursors) {

@@ -1,0 +1,646 @@
+// Tests for serving/: the worker pool, the sharded cursor table, session
+// budget accounting, DrainAll round-robin draining, and -- the point of
+// the layer -- a concurrency stress test: many client threads opening,
+// fetching, extending, and closing cursors at once, with every
+// per-cursor stream checked for loss, duplication, and rank order, and
+// every session budget checked for overspend. Run under TSAN in CI.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/serving/serving_engine.h"
+#include "src/serving/session.h"
+#include "src/serving/sharded_cursor_table.h"
+#include "src/serving/worker_pool.h"
+#include "src/util/rng.h"
+#include "tests/test_instances.h"
+
+namespace topkjoin {
+namespace {
+
+using testing_fixtures::Instance;
+using testing_fixtures::MakePathInstance;
+using testing_fixtures::MakeStarInstance;
+using testing_fixtures::OracleSortedCosts;
+
+void ExpectSameCosts(const std::vector<double>& got,
+                     const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << what << " rank " << i;
+  }
+}
+
+// ----------------------------------------------------------- worker pool
+
+TEST(WorkerPoolTest, RunsEveryTaskAndWaitsIdle) {
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPoolTest, InlineModeRunsOnCallingThread) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id runner;
+  pool.Submit([&runner] { runner = std::this_thread::get_id(); });
+  EXPECT_EQ(runner, std::this_thread::get_id());
+  pool.WaitIdle();  // trivially idle
+}
+
+TEST(WorkerPoolTest, InlineModeSelfRequeueIsIterativeAndFifo) {
+  // A task chain deep enough to smash the stack if Submit recursed.
+  WorkerPool pool(0);
+  int remaining = 200000;
+  std::function<void()> step = [&] {
+    if (--remaining > 0) pool.Submit(step);
+  };
+  pool.Submit(step);
+  EXPECT_EQ(remaining, 0);
+
+  // FIFO: tasks submitted from inside a draining task run after the
+  // tasks that were already queued (tail admission = fairness).
+  std::vector<int> order;
+  pool.Submit([&] {
+    pool.Submit([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(WorkerPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+// -------------------------------------------------------------- sessions
+
+TEST(SessionTest, ReserveSettleNeverOverspends) {
+  SessionBudget budget;
+  budget.work_budget = 10;
+  Session session(budget);
+  EXPECT_EQ(session.ReserveWork(4), 4u);
+  EXPECT_EQ(session.ReserveWork(100), 6u);  // partial grant
+  EXPECT_EQ(session.ReserveWork(1), 0u);    // dry
+  EXPECT_TRUE(session.Dry());
+  session.SettleWork(4, 4);
+  session.SettleWork(6, 2);  // 4 units refunded
+  EXPECT_FALSE(session.Dry());
+  EXPECT_EQ(session.Stats().work_spent, 6u);
+  EXPECT_EQ(session.ReserveWork(100), 4u);  // exactly the refund
+}
+
+TEST(SessionTest, UnlimitedBudgetGrantsEverything) {
+  Session session(SessionBudget{});
+  EXPECT_EQ(session.ReserveResults(1u << 20), 1u << 20);
+  session.SettleResults(1u << 20, 17);
+  EXPECT_FALSE(session.Dry());
+  EXPECT_EQ(session.Stats().results_spent, 17u);
+}
+
+// A SIZE_MAX-ish grant saturates: it must neither wrap the remaining
+// budget around nor land on the unlimited sentinel (which would turn a
+// metered session into an unmetered one).
+TEST(SessionTest, HugeExtendSaturatesWithoutUnmetering) {
+  SessionBudget budget;
+  budget.work_budget = 1;
+  Session session(budget);
+  EXPECT_EQ(session.ReserveWork(1), 1u);
+  EXPECT_TRUE(session.Dry());
+  session.ExtendBudgets(0, SIZE_MAX);
+  EXPECT_FALSE(session.Dry());
+  // Still metered: the grant was clamped just below the sentinel.
+  EXPECT_EQ(session.ReserveWork(SIZE_MAX), SIZE_MAX - 1);
+}
+
+TEST(SessionTest, ExtendBudgetsRestoresHeadroom) {
+  SessionBudget budget;
+  budget.result_budget = 2;
+  Session session(budget);
+  EXPECT_EQ(session.ReserveResults(5), 2u);
+  session.SettleResults(2, 2);
+  EXPECT_TRUE(session.Dry());
+  session.ExtendBudgets(/*extra_results=*/3, /*extra_work=*/0);
+  EXPECT_FALSE(session.Dry());
+  EXPECT_EQ(session.ReserveResults(5), 3u);
+}
+
+// ---------------------------------------------------- sharded table
+
+TEST(ShardedCursorTableTest, InsertFindEraseAcrossStripes) {
+  Instance t = MakePathInstance(2, 20, 4, 1);
+  Engine engine;
+  ShardedCursorTable table(/*num_stripes=*/4);
+  auto session = std::make_shared<Session>(SessionBudget{});
+
+  std::vector<CursorId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto result = engine.Execute(t.db, t.query);
+    ASSERT_TRUE(result.ok());
+    ids.push_back(table.Insert(
+        std::make_unique<Cursor>(std::move(result.value().stream),
+                                 CursorOptions{}),
+        session));
+  }
+  EXPECT_EQ(table.NumCursors(), 10u);
+  EXPECT_EQ(table.Ids(), ids);  // allocated increasing, reported sorted
+
+  size_t visited = 0;
+  EXPECT_TRUE(table.WithCursor(ids[3], [&](Cursor& cursor, Session& s) {
+    EXPECT_EQ(&s, session.get());
+    EXPECT_FALSE(cursor.Done());
+    ++visited;
+  }));
+  EXPECT_EQ(visited, 1u);
+
+  EXPECT_EQ(table.Erase(ids[0]).get(), session.get());
+  EXPECT_EQ(table.Erase(ids[0]), nullptr);  // already gone
+  EXPECT_FALSE(table.WithCursor(ids[0], [](Cursor&, Session&) {}));
+  EXPECT_EQ(table.EraseOwnedBy(session.get()), 9u);
+  EXPECT_EQ(table.NumCursors(), 0u);
+}
+
+// ------------------------------------------------- cursor stats contract
+
+// The satellite contract behind ServingEngine's monitoring: one thread
+// may pull a cursor while another reads its counters, with no lock.
+// Run under TSAN this validates the Cursor atomics.
+TEST(CursorStatsTest, CountersReadableWhileAnotherThreadPulls) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  Engine engine;
+  auto id = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(id.ok());
+  Cursor* cursor = engine.cursor(id.value());
+
+  // Each counter is individually consistent (monotone); cursor.h
+  // explicitly does not promise mutual consistency between the two, so
+  // no cross-counter invariant is asserted here.
+  std::atomic<bool> stop{false};
+  size_t last_emitted = 0;
+  size_t last_work = 0;
+  std::thread stats([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t emitted = cursor->results_emitted();
+      const size_t work = cursor->work_used();
+      EXPECT_GE(emitted, last_emitted);
+      EXPECT_GE(work, last_work);
+      last_emitted = emitted;
+      last_work = work;
+    }
+  });
+  size_t total = 0;
+  while (cursor->Next().has_value()) ++total;
+  stop.store(true, std::memory_order_release);
+  stats.join();
+
+  EXPECT_EQ(cursor->state(), CursorState::kExhausted);
+  EXPECT_EQ(cursor->results_emitted(), total);
+  EXPECT_EQ(cursor->work_used(), total + 1);  // final pull found the end
+}
+
+// -------------------------------------------------- serving engine basics
+
+TEST(ServingEngineTest, FetchMatchesGroundTruthSliceBySlice) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  const auto want = OracleSortedCosts(t);
+
+  ServingOptions options;
+  options.num_workers = 2;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession();
+  auto id = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<double> got;
+  while (true) {
+    auto outcome = serving.Fetch(id.value(), 3);
+    ASSERT_TRUE(outcome.ok());
+    for (const RankedResult& r : outcome.value().results) {
+      got.push_back(r.cost);
+    }
+    EXPECT_FALSE(outcome.value().session_dry);
+    if (outcome.value().cursor_state != CursorState::kActive) break;
+  }
+  ExpectSameCosts(got, want, "sliced fetch");
+  EXPECT_TRUE(serving.CloseCursor(id.value()).ok());
+  EXPECT_FALSE(serving.CloseCursor(id.value()).ok());
+  EXPECT_TRUE(serving.CloseSession(session).ok());
+}
+
+// Fetch(id, SIZE_MAX) is the "drain the rest" sentinel; on an unlimited
+// session it must actually drain (regression: the work reservation used
+// to overflow to zero and report spurious session dryness).
+TEST(ServingEngineTest, DrainTheRestFetchOnUnlimitedSession) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+  auto id = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(id.ok());
+
+  auto outcome = serving.Fetch(id.value(), SIZE_MAX);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().session_dry);
+  EXPECT_EQ(outcome.value().cursor_state, CursorState::kExhausted);
+  std::vector<double> got;
+  for (const RankedResult& r : outcome.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, OracleSortedCosts(t), "drain-the-rest");
+}
+
+TEST(ServingEngineTest, ErrorsOnUnknownIds) {
+  ServingEngine serving;
+  EXPECT_FALSE(serving.OpenCursor(99, Database{}, ConjunctiveQuery{}).ok());
+  EXPECT_FALSE(serving.Fetch(42, 1).ok());
+  EXPECT_FALSE(serving.CloseCursor(42).ok());
+  EXPECT_FALSE(serving.CloseSession(99).ok());
+  EXPECT_FALSE(serving.ExtendSessionBudgets(99, 1, 1).ok());
+  EXPECT_FALSE(serving.GetSessionStats(99).ok());
+}
+
+TEST(ServingEngineTest, CloseSessionSweepsItsCursors) {
+  Instance t = MakePathInstance(2, 20, 4, 3);
+  ServingEngine serving;
+  const SessionId a = serving.OpenSession();
+  const SessionId b = serving.OpenSession();
+  auto ca = serving.OpenCursor(a, t.db, t.query);
+  auto cb = serving.OpenCursor(b, t.db, t.query);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(serving.NumOpenCursors(), 2u);
+
+  ASSERT_TRUE(serving.CloseSession(a).ok());
+  EXPECT_EQ(serving.NumOpenCursors(), 1u);
+  EXPECT_FALSE(serving.Fetch(ca.value(), 1).ok());  // swept
+  EXPECT_TRUE(serving.Fetch(cb.value(), 1).ok());   // untouched
+}
+
+TEST(ServingEngineTest, SubmitFetchDeliversViaCallback) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  const auto want = OracleSortedCosts(t);
+  ASSERT_GE(want.size(), 5u);
+
+  ServingOptions options;
+  options.num_workers = 2;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession();
+  auto id = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(id.ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<double> got;
+  bool delivered = false;
+  serving.SubmitFetch(id.value(), 5,
+                      [&](CursorId cb_id, StatusOr<FetchOutcome> outcome) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        EXPECT_EQ(cb_id, id.value());
+                        ASSERT_TRUE(outcome.ok());
+                        for (const RankedResult& r :
+                             outcome.value().results) {
+                          got.push_back(r.cost);
+                        }
+                        delivered = true;
+                        cv.notify_all();
+                      });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return delivered; });
+  ExpectSameCosts(got, {want.begin(), want.begin() + 5}, "async slice");
+}
+
+// ------------------------------------------------------------- drain-all
+
+void DrainAllMatchesOracle(size_t num_workers) {
+  std::vector<Instance> instances;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    instances.push_back(MakePathInstance(3, 30, 4, seed));
+    instances.push_back(MakeStarInstance(25, 4, seed));
+  }
+
+  ServingOptions options;
+  options.num_workers = num_workers;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession();
+  std::vector<CursorId> ids;
+  for (const Instance& t : instances) {
+    auto id = serving.OpenCursor(session, t.db, t.query);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+
+  const auto streams = serving.DrainAll(/*results_per_slice=*/2);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const auto it = streams.find(ids[i]);
+    ASSERT_NE(it, streams.end()) << "cursor " << i;
+    std::vector<double> got;
+    for (const RankedResult& r : it->second) got.push_back(r.cost);
+    ExpectSameCosts(got, OracleSortedCosts(instances[i]), "drained stream");
+  }
+  // Cursors stay open (exhausted) after a drain, mirroring StepAll.
+  EXPECT_EQ(serving.NumOpenCursors(), ids.size());
+}
+
+TEST(ServingEngineTest, DrainAllMatchesOracleWithWorkers) {
+  DrainAllMatchesOracle(/*num_workers=*/4);
+}
+
+TEST(ServingEngineTest, DrainAllMatchesOracleInline) {
+  DrainAllMatchesOracle(/*num_workers=*/0);
+}
+
+TEST(ServingEngineTest, DrainAllOnEmptyTableReturnsNothing) {
+  ServingEngine serving;
+  EXPECT_TRUE(serving.DrainAll(4).empty());
+}
+
+// Inline mode must follow the same round-robin admission as the
+// threaded modes (regression: the first cursor's slice chain used to
+// run depth-first to completion, eating a shared session budget alone).
+TEST(ServingEngineTest, InlineDrainAllSharesBudgetRoundRobin) {
+  Instance t = MakePathInstance(3, 40, 4, 11);
+  ASSERT_GT(OracleSortedCosts(t).size(), 20u);
+
+  SessionBudget budget;
+  budget.work_budget = 10;
+  ServingOptions options;
+  options.num_workers = 0;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession(budget);
+  auto c1 = serving.OpenCursor(session, t.db, t.query);
+  auto c2 = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+
+  const auto streams = serving.DrainAll(/*results_per_slice=*/3);
+  // Alternating slices of 3: the 10 work units split 6/4, not 10/0.
+  const auto s1 = streams.find(c1.value());
+  const auto s2 = streams.find(c2.value());
+  ASSERT_NE(s1, streams.end());
+  ASSERT_NE(s2, streams.end());
+  EXPECT_EQ(s1->second.size() + s2->second.size(), 10u);
+  EXPECT_GE(s1->second.size(), 3u);
+  EXPECT_GE(s2->second.size(), 3u);
+}
+
+// -------------------------------------------------------- session budgets
+
+TEST(ServingEngineTest, SessionWorkBudgetCutsAllCursorsCollectively) {
+  Instance t = MakePathInstance(3, 40, 4, 11);
+  const size_t total = OracleSortedCosts(t).size();
+  ASSERT_GT(total, 20u);
+
+  SessionBudget budget;
+  budget.work_budget = 10;
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession(budget);
+  auto c1 = serving.OpenCursor(session, t.db, t.query);
+  auto c2 = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+
+  const auto streams = serving.DrainAll(/*results_per_slice=*/3);
+  size_t produced = 0;
+  for (const auto& [id, results] : streams) produced += results.size();
+  // Ten pulls across both cursors yield at most ten results...
+  EXPECT_LE(produced, 10u);
+  EXPECT_GE(produced, 8u);  // ...and reservation churn wastes at most two.
+  const auto stats = serving.GetSessionStats(session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().work_spent, 10u);  // never overspent
+
+  // Both cursors report the stop as session dryness, not exhaustion.
+  auto outcome = serving.Fetch(c1.value(), 5);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().results.empty());
+  EXPECT_TRUE(outcome.value().session_dry);
+  EXPECT_EQ(outcome.value().cursor_state, CursorState::kActive);
+
+  // Extending the session budget resumes exactly where it stopped.
+  // Draining both cursors needs total+1 pulls each (one pull discovers
+  // exhaustion); grant that much outright.
+  ASSERT_TRUE(serving
+                  .ExtendSessionBudgets(session, 0,
+                                        /*extra_work=*/2 * (total + 1))
+                  .ok());
+  const auto rest = serving.DrainAll(/*results_per_slice=*/3);
+  size_t remainder = 0;
+  for (const auto& [id, results] : rest) remainder += results.size();
+  EXPECT_EQ(produced + remainder, total * 2);
+}
+
+TEST(ServingEngineTest, SessionResultBudgetIsSharedAcrossCursors) {
+  Instance t = MakePathInstance(3, 40, 4, 11);
+  SessionBudget budget;
+  budget.result_budget = 7;
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession(budget);
+  auto c1 = serving.OpenCursor(session, t.db, t.query);
+  auto c2 = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+
+  const auto streams = serving.DrainAll(/*results_per_slice=*/2);
+  size_t produced = 0;
+  for (const auto& [id, results] : streams) produced += results.size();
+  EXPECT_EQ(produced, 7u);
+  const auto stats = serving.GetSessionStats(session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().results_spent, 7u);
+}
+
+// One starved session must not stall others draining alongside it.
+TEST(ServingEngineTest, BudgetedSessionDoesNotStarveOthers) {
+  Instance t = MakePathInstance(3, 40, 4, 5);
+  const auto want = OracleSortedCosts(t);
+
+  SessionBudget tight;
+  tight.work_budget = 4;
+  ServingOptions options;
+  options.num_workers = 2;
+  ServingEngine serving(options);
+  const SessionId starved = serving.OpenSession(tight);
+  const SessionId healthy = serving.OpenSession();
+  auto cs = serving.OpenCursor(starved, t.db, t.query);
+  auto ch = serving.OpenCursor(healthy, t.db, t.query);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(ch.ok());
+
+  const auto streams = serving.DrainAll(/*results_per_slice=*/2);
+  const auto healthy_it = streams.find(ch.value());
+  ASSERT_NE(healthy_it, streams.end());
+  std::vector<double> got;
+  for (const RankedResult& r : healthy_it->second) got.push_back(r.cost);
+  ExpectSameCosts(got, want, "healthy session stream");
+
+  const auto stats = serving.GetSessionStats(starved);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().work_spent, 4u);
+}
+
+// ------------------------------------------------------ concurrency storm
+
+// The satellite stress test: many client threads open/fetch/extend/close
+// cursors concurrently against one ServingEngine. Every fully drained
+// cursor's stream must equal the oracle (no loss, no duplication, rank
+// order); every session budget must end within bounds.
+TEST(ServingStressTest, ConcurrentClientsSeeExactRankedStreams) {
+  constexpr size_t kClientThreads = 8;
+  constexpr size_t kCursorsPerThread = 6;
+
+  // Shared read-only instances + their oracles.
+  std::vector<Instance> instances;
+  instances.push_back(MakePathInstance(3, 30, 4, 1));
+  instances.push_back(MakePathInstance(2, 40, 5, 2));
+  instances.push_back(MakeStarInstance(25, 4, 3));
+  instances.push_back(MakePathInstance(4, 15, 3, 4));
+  std::vector<std::vector<double>> oracles;
+  oracles.reserve(instances.size());
+  for (const Instance& t : instances) oracles.push_back(OracleSortedCosts(t));
+
+  ServingOptions options;
+  options.num_workers = 4;
+  options.num_stripes = 8;
+  ServingEngine serving(options);
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (size_t thread_idx = 0; thread_idx < kClientThreads; ++thread_idx) {
+    clients.emplace_back([&, thread_idx] {
+      Rng rng(1000 + thread_idx);
+      const SessionId session = serving.OpenSession();
+      for (size_t c = 0; c < kCursorsPerThread; ++c) {
+        const size_t which = rng.NextBounded(instances.size());
+        const Instance& t = instances[which];
+        const std::vector<double>& want = oracles[which];
+
+        // Half the cursors carry a per-cursor work budget that must be
+        // topped up mid-stream (exercising ExtendCursorBudgets).
+        CursorOptions limits;
+        const bool budgeted = rng.NextBounded(2) == 0;
+        if (budgeted) limits.work_budget = 5;
+        auto id = serving.OpenCursor(session, t.db, t.query, {}, {}, limits);
+        if (!id.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+
+        std::vector<double> got;
+        while (true) {
+          auto outcome =
+              serving.Fetch(id.value(), 1 + rng.NextBounded(4));
+          if (!outcome.ok()) {
+            failures.fetch_add(1);
+            break;
+          }
+          for (const RankedResult& r : outcome.value().results) {
+            got.push_back(r.cost);
+          }
+          const CursorState state = outcome.value().cursor_state;
+          if (state == CursorState::kWorkBudgetHit) {
+            if (!serving.ExtendCursorBudgets(id.value(), 0, 50).ok()) {
+              failures.fetch_add(1);
+              break;
+            }
+            continue;
+          }
+          if (state != CursorState::kActive) break;
+        }
+
+        // Exact differential check against the oracle.
+        if (got.size() != want.size()) {
+          failures.fetch_add(1);
+        } else {
+          for (size_t i = 0; i < got.size(); ++i) {
+            if (std::abs(got[i] - want[i]) > 1e-9) {
+              failures.fetch_add(1);
+              break;
+            }
+          }
+        }
+        if (!serving.CloseCursor(id.value()).ok()) failures.fetch_add(1);
+      }
+      if (!serving.CloseSession(session).ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(serving.NumOpenCursors(), 0u);
+  EXPECT_EQ(serving.NumOpenSessions(), 0u);
+}
+
+// Same storm, but with finite session budgets and deliberately
+// abandoned cursors: budgets must never be overspent even while slices
+// race, and CloseSession must sweep whatever the clients left behind.
+TEST(ServingStressTest, ConcurrentBudgetedSessionsNeverOverspend) {
+  constexpr size_t kClientThreads = 6;
+  constexpr size_t kWorkBudget = 40;
+
+  std::vector<Instance> instances;
+  instances.push_back(MakePathInstance(3, 30, 4, 21));
+  instances.push_back(MakeStarInstance(25, 4, 22));
+
+  ServingOptions options;
+  options.num_workers = 4;
+  ServingEngine serving(options);
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t thread_idx = 0; thread_idx < kClientThreads; ++thread_idx) {
+    clients.emplace_back([&, thread_idx] {
+      Rng rng(7000 + thread_idx);
+      SessionBudget budget;
+      budget.work_budget = kWorkBudget;
+      const SessionId session = serving.OpenSession(budget);
+
+      // Several cursors racing for one session budget: drive them via
+      // the worker pool (SubmitFetch) and the caller thread at once.
+      std::vector<CursorId> ids;
+      for (int c = 0; c < 4; ++c) {
+        const Instance& t = instances[rng.NextBounded(instances.size())];
+        auto id = serving.OpenCursor(session, t.db, t.query);
+        if (id.ok()) ids.push_back(id.value());
+      }
+      // The callback may outlive this client thread (it runs on a
+      // worker), so it must own its state.
+      auto callbacks = std::make_shared<std::atomic<size_t>>(0);
+      for (int round = 0; round < 8; ++round) {
+        for (const CursorId id : ids) {
+          serving.SubmitFetch(id, 3,
+                              [callbacks](CursorId, StatusOr<FetchOutcome>) {
+                                callbacks->fetch_add(1);
+                              });
+          (void)serving.Fetch(id, 2);
+        }
+      }
+      // Leave the cursors open: CloseSession must sweep them.
+      const auto stats = serving.GetSessionStats(session);
+      if (!stats.ok() || stats.value().work_spent > kWorkBudget) {
+        failures.fetch_add(1);
+      }
+      if (!serving.CloseSession(session).ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(serving.NumOpenCursors(), 0u);
+}
+
+}  // namespace
+}  // namespace topkjoin
