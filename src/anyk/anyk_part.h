@@ -109,7 +109,7 @@ class AnyKPart : public RankedIterator {
         return false;
       }
       cand->choice[i] = row;
-      cost = CM::Combine(cost, CM::FromWeight(node.rel.TupleWeight(row)));
+      cost = CM::Combine(cost, tdp_->TupleCost(i, row));
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
         groups_buffer_[node.children[ci]] = node.child_groups[row][ci];
       }

@@ -148,8 +148,8 @@ class AnyKRec : public RankedIterator {
       succ.child_ranks[ci] = new_rank;
       succ.last_incremented = ci;
       succ.is_seed = false;
-      // cost = tuple weight (+) each child's chosen-rank solution cost.
-      CostT cost = CM::FromWeight(node.rel.TupleWeight(row));
+      // cost = tuple cost (+) each child's chosen-rank solution cost.
+      CostT cost = tdp_->TupleCost(node_idx, row);
       for (size_t cj = 0; cj < node.children.size(); ++cj) {
         const Sol* cs = GetSol(node.children[cj],
                                node.child_groups[row][cj],

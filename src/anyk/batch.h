@@ -130,6 +130,10 @@ class BatchSorted : public RankedIterator {
 
   size_t TotalResults() const { return entries_.size(); }
 
+  /// Uniform work-counter surface with the any-k variants (batch does
+  /// all its work up front; enumeration itself pushes nothing).
+  int64_t pq_pushes() const { return 0; }
+
  private:
   struct Entry {
     std::vector<RowId> choice;

@@ -24,6 +24,13 @@ class RankedIterator {
  public:
   virtual ~RankedIterator() = default;
   virtual std::optional<RankedResult> Next() = 0;
+
+  /// Monotone counter of RAM-model work units (heap extractions and
+  /// priority-queue pushes) spent so far, preprocessing excluded. The
+  /// delta between consecutive Next() calls is the per-result delay the
+  /// any-k guarantee bounds -- tests assert it never spikes to
+  /// O(output). Pipelines without instrumentation report 0.
+  virtual int64_t WorkUnits() const { return 0; }
 };
 
 }  // namespace topkjoin

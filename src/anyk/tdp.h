@@ -29,6 +29,7 @@
 #include "src/join/semijoin.h"
 #include "src/query/cq.h"
 #include "src/query/hypergraph.h"
+#include "src/ranking/cost_model.h"
 #include "src/util/hash.h"
 
 namespace topkjoin {
@@ -61,6 +62,10 @@ class Tdp {
     std::vector<size_t> children;     // node indices
     std::vector<size_t> key_cols;     // columns joining to the parent
     Relation rel = Relation::WithArity("node", 0);  // reduced relation
+    // Per tuple: exact cost in the dioid. Empty unless the atom carries
+    // a WeightMatrix (materialized bag) whose folded per-tuple costs
+    // differ from FromWeight(scalar weight) -- see TupleCost().
+    std::vector<CostT> tuple_costs;
     std::vector<CostT> best;          // per tuple: best subtree cost
     // Per tuple, per child slot: the group id within that child node.
     std::vector<std::vector<GroupId>> child_groups;
@@ -68,11 +73,24 @@ class Tdp {
     std::unordered_map<ValueKey, GroupId, ValueKeyHash> group_of_key;
   };
 
+  /// `atom_weights`, when given, is index-aligned with query.atoms():
+  /// a tracked WeightMatrix for atom a overrides the scalar relation
+  /// weight with the dioid fold CM::FromWeights of the tuple's member
+  /// weights -- the representation that keeps materialized bags exactly
+  /// rankable under non-additive dioids. Only read during construction.
   Tdp(const Database& db, const ConjunctiveQuery& query, SortMode sort_mode,
-      JoinStats* stats);
+      JoinStats* stats,
+      const std::vector<WeightMatrix>* atom_weights = nullptr);
 
   /// False when the (reduced) query has no results at all.
   bool HasResults() const { return has_results_; }
+
+  /// Exact per-tuple cost of one node tuple in the dioid.
+  CostT TupleCost(size_t node_idx, RowId row) const {
+    const Node& n = nodes_[node_idx];
+    if (!n.tuple_costs.empty()) return n.tuple_costs[row];
+    return CM::FromWeight(n.rel.TupleWeight(row));
+  }
 
   size_t NumNodes() const { return nodes_.size(); }
   const Node& node(size_t i) const { return nodes_[i]; }
@@ -116,8 +134,14 @@ class Tdp {
   /// Total number of group lists (for instrumentation).
   size_t NumGroups() const;
 
+  /// Monotone RAM-model work counter: lazy-heap extractions performed so
+  /// far by GroupTuple. Together with an algorithm's pq_pushes() this is
+  /// the per-result work the any-k delay guarantee bounds.
+  int64_t heap_extractions() const { return heap_extractions_; }
+
  private:
-  void BuildTree(const Database& db, JoinStats* stats);
+  void BuildTree(const Database& db, JoinStats* stats,
+                 const std::vector<WeightMatrix>* atom_weights);
   void BuildGroups();
   void ComputeBest();
 
@@ -129,6 +153,7 @@ class Tdp {
   SortMode sort_mode_;
   std::vector<Node> nodes_;
   bool has_results_ = false;
+  int64_t heap_extractions_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -136,16 +161,18 @@ class Tdp {
 
 template <typename CM>
 Tdp<CM>::Tdp(const Database& db, const ConjunctiveQuery& query,
-             SortMode sort_mode, JoinStats* stats)
+             SortMode sort_mode, JoinStats* stats,
+             const std::vector<WeightMatrix>* atom_weights)
     : query_(&query), sort_mode_(sort_mode) {
-  BuildTree(db, stats);
+  BuildTree(db, stats, atom_weights);
   BuildGroups();
   ComputeBest();
   has_results_ = !nodes_.empty() && !nodes_[0].rel.Empty();
 }
 
 template <typename CM>
-void Tdp<CM>::BuildTree(const Database& db, JoinStats* stats) {
+void Tdp<CM>::BuildTree(const Database& db, JoinStats* stats,
+                        const std::vector<WeightMatrix>* atom_weights) {
   const auto tree = GyoJoinTree(*query_);
   TOPKJOIN_CHECK(tree.has_value());  // callers decompose cyclic queries
   ReducedInstance instance = MakeInstance(db, *query_);
@@ -161,6 +188,17 @@ void Tdp<CM>::BuildTree(const Database& db, JoinStats* stats) {
     Node& n = nodes_[i];
     n.atom = atom;
     n.rel = std::move(instance.atom_relations[atom]);
+    if (atom_weights != nullptr && atom < atom_weights->size() &&
+        (*atom_weights)[atom].Tracked()) {
+      // Fold the surviving rows' member weights into exact dioid costs,
+      // following the reducer's provenance back to original row ids.
+      const WeightMatrix& weights = (*atom_weights)[atom];
+      const std::vector<RowId>& prov = instance.provenance[atom];
+      n.tuple_costs.reserve(n.rel.NumTuples());
+      for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
+        n.tuple_costs.push_back(CM::FromWeights(weights.Row(prov[r])));
+      }
+    }
     if (tree->parent[atom] >= 0) {
       n.parent = static_cast<int>(
           node_of_atom[static_cast<size_t>(tree->parent[atom])]);
@@ -202,7 +240,7 @@ void Tdp<CM>::ComputeBest() {
     n.child_groups.assign(n.rel.NumTuples(), {});
     ValueKey key;
     for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
-      CostT cost = CM::FromWeight(n.rel.TupleWeight(r));
+      CostT cost = TupleCost(idx, r);
       auto& cgs = n.child_groups[r];
       cgs.resize(n.children.size());
       for (size_t ci = 0; ci < n.children.size(); ++ci) {
@@ -251,6 +289,7 @@ bool Tdp<CM>::GroupTuple(size_t node_idx, GroupId g, size_t rank,
     std::pop_heap(group.heap.begin(), group.heap.end(), greater);
     group.ordered.push_back(group.heap.back());
     group.heap.pop_back();
+    ++heap_extractions_;
   }
   if (rank >= group.ordered.size()) return false;
   *out = group.ordered[rank];
@@ -275,8 +314,7 @@ template <typename CM>
 typename CM::CostT Tdp<CM>::CostOf(const std::vector<RowId>& choice) const {
   CostT cost = CM::Identity();
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    cost = CM::Combine(cost,
-                       CM::FromWeight(nodes_[i].rel.TupleWeight(choice[i])));
+    cost = CM::Combine(cost, TupleCost(i, choice[i]));
   }
   return cost;
 }

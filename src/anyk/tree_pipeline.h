@@ -29,11 +29,21 @@ namespace topkjoin {
 template <typename CM, typename Algo>
 class TreePipeline : public RankedIterator {
  public:
+  /// `atom_weights` (optional, only read during construction) carries
+  /// per-tuple member-weight sequences for materialized bag atoms; the
+  /// T-DP folds them into exact dioid costs (see Tdp).
   TreePipeline(const Database& db, ConjunctiveQuery query, SortMode mode,
-               JoinStats* stats)
-      : query_(std::move(query)), tdp_(db, query_, mode, stats), algo_(&tdp_) {}
+               JoinStats* stats,
+               const std::vector<WeightMatrix>* atom_weights = nullptr)
+      : query_(std::move(query)),
+        tdp_(db, query_, mode, stats, atom_weights),
+        algo_(&tdp_) {}
 
   std::optional<RankedResult> Next() override { return algo_.Next(); }
+
+  int64_t WorkUnits() const override {
+    return tdp_.heap_extractions() + algo_.pq_pushes();
+  }
 
  private:
   ConjunctiveQuery query_;
@@ -44,38 +54,44 @@ class TreePipeline : public RankedIterator {
 /// Builds the chosen algorithm over a fresh T-DP for an acyclic query,
 /// under any cost-model policy.
 template <typename CM>
-std::unique_ptr<RankedIterator> MakeTreeIterator(const Database& db,
-                                                 const ConjunctiveQuery& query,
-                                                 AnyKAlgorithm algorithm,
-                                                 JoinStats* stats) {
+std::unique_ptr<RankedIterator> MakeTreeIterator(
+    const Database& db, const ConjunctiveQuery& query,
+    AnyKAlgorithm algorithm, JoinStats* stats,
+    const std::vector<WeightMatrix>* atom_weights = nullptr) {
   switch (algorithm) {
     case AnyKAlgorithm::kRec:
       return std::make_unique<TreePipeline<CM, AnyKRec<CM>>>(
-          db, query, SortMode::kLazy, stats);
+          db, query, SortMode::kLazy, stats, atom_weights);
     case AnyKAlgorithm::kPartEager:
       return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
-          db, query, SortMode::kEager, stats);
+          db, query, SortMode::kEager, stats, atom_weights);
     case AnyKAlgorithm::kPartLazy:
       return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
-          db, query, SortMode::kLazy, stats);
+          db, query, SortMode::kLazy, stats, atom_weights);
     case AnyKAlgorithm::kBatch:
       return std::make_unique<TreePipeline<CM, BatchSorted<CM>>>(
-          db, query, SortMode::kEager, stats);
+          db, query, SortMode::kEager, stats, atom_weights);
   }
   return nullptr;
 }
 
 /// Owns the bag database of a decomposed (cyclic) query together with
 /// the tree pipeline enumerating it -- the holder shape both the
-/// 4-cycle case plans and generic bag decompositions need.
+/// 4-cycle case plans and generic bag decompositions need. The bag
+/// weight matrices ride into the T-DP, so the pipeline ranks exactly
+/// under CM even when CM is not the additive dioid the bags' scalar
+/// weights were combined with.
 template <typename CM>
 class BagPipeline : public RankedIterator {
  public:
   BagPipeline(DecomposedQuery dq, AnyKAlgorithm algorithm, JoinStats* stats)
       : dq_(std::move(dq)),
-        inner_(MakeTreeIterator<CM>(dq_.db, dq_.query, algorithm, stats)) {}
+        inner_(MakeTreeIterator<CM>(dq_.db, dq_.query, algorithm, stats,
+                                    &dq_.bag_weights)) {}
 
   std::optional<RankedResult> Next() override { return inner_->Next(); }
+
+  int64_t WorkUnits() const override { return inner_->WorkUnits(); }
 
  private:
   DecomposedQuery dq_;

@@ -41,6 +41,12 @@ UnionAnyK::UnionAnyK(std::vector<std::unique_ptr<RankedIterator>> inputs,
 
 UnionAnyK::~UnionAnyK() = default;
 
+int64_t UnionAnyK::WorkUnits() const {
+  int64_t total = 0;
+  for (const auto& input : impl_->inputs) total += input->WorkUnits();
+  return total;
+}
+
 std::optional<RankedResult> UnionAnyK::Next() {
   while (!impl_->heads.empty()) {
     Impl::Head head = impl_->heads.top();

@@ -27,6 +27,10 @@ class UnionAnyK : public RankedIterator {
 
   std::optional<RankedResult> Next() override;
 
+  /// Sum of the inputs' work counters (the merge heap's own O(log
+  /// #inputs) per result is a constant for a fixed decomposition).
+  int64_t WorkUnits() const override;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

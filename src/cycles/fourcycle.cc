@@ -49,17 +49,35 @@ HeavyLight SplitHeavyLight(const Relation& r, const Relation& w) {
   return hl;
 }
 
+// One materialized 3-ary bag covering two input atoms: the relation
+// (scalar weight = sum of the two member weights, the additive-dioid
+// view) plus the per-tuple member-weight pairs so non-additive dioids
+// can fold their exact costs downstream.
+struct WeightedBag {
+  Relation rel;
+  WeightMatrix weights{2};
+
+  WeightedBag(std::string name, std::vector<std::string> attrs)
+      : rel(std::move(name), std::move(attrs)) {}
+
+  void Add(std::initializer_list<Value> tuple, Weight w1, Weight w2) {
+    rel.AddTuple(tuple, w1 + w2);
+    weights.AppendRow({w1, w2});
+  }
+};
+
 // Builds one case's DecomposedQuery from two materialized 3-ary bags.
-// bag1 covers atoms {W, R} or {R, S}; bag2 covers the rest; both carry
-// weights = sum of the two covered input tuples, so every input atom's
-// weight is counted exactly once per result.
-DecomposedQuery MakeCase(Relation bag1, std::vector<VarId> vars1,
-                         Relation bag2, std::vector<VarId> vars2) {
+// bag1 covers atoms {W, R} or {R, S}; bag2 covers the rest; every input
+// atom's weight is counted exactly once per result.
+DecomposedQuery MakeCase(WeightedBag bag1, std::vector<VarId> vars1,
+                         WeightedBag bag2, std::vector<VarId> vars2) {
   DecomposedQuery out;
-  const RelationId id1 = out.db.Add(std::move(bag1));
-  const RelationId id2 = out.db.Add(std::move(bag2));
+  const RelationId id1 = out.db.Add(std::move(bag1.rel));
+  const RelationId id2 = out.db.Add(std::move(bag2.rel));
   out.query.AddAtom(id1, std::move(vars1));
   out.query.AddAtom(id2, std::move(vars2));
+  out.bag_weights.push_back(std::move(bag1.weights));
+  out.bag_weights.push_back(std::move(bag2.weights));
   return out;
 }
 
@@ -114,37 +132,35 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   HashIndex t_by_cd(t, {0, 1});
   HashIndex w_by_da(w, {0, 1});
 
-  auto record = [&](const Relation& bag) {
+  auto record = [&](const WeightedBag& bag) {
     if (stats != nullptr) {
-      stats->RecordIntermediate(static_cast<int64_t>(bag.NumTuples()));
+      stats->RecordIntermediate(static_cast<int64_t>(bag.rel.NumTuples()));
     }
   };
 
   // ---- Case LL: bags ABC = R|><|S [b light], CDA = T|><|W [d light].
   {
-    Relation abc("abc_ll", {"a", "b", "c"});
+    WeightedBag abc("abc_ll", {"a", "b", "c"});
     for (RowId ri = 0; ri < r.NumTuples(); ++ri) {
       const Value a = r.At(ri, 0), b = r.At(ri, 1);
       if (is_heavy_b(b)) continue;
       const Value key[] = {b};
       for (RowId si : s_by_b.Probe(key)) {
-        abc.AddTuple({a, b, s.At(si, 1)},
-                     r.TupleWeight(ri) + s.TupleWeight(si));
+        abc.Add({a, b, s.At(si, 1)}, r.TupleWeight(ri), s.TupleWeight(si));
       }
     }
-    Relation cda("cda_ll", {"c", "d", "a"});
+    WeightedBag cda("cda_ll", {"c", "d", "a"});
     for (RowId wi = 0; wi < w.NumTuples(); ++wi) {
       const Value d = w.At(wi, 0), a = w.At(wi, 1);
       if (is_heavy_d(d)) continue;
       const Value key[] = {d};
       for (RowId ti : t_by_d.Probe(key)) {
-        cda.AddTuple({t.At(ti, 0), d, a},
-                     t.TupleWeight(ti) + w.TupleWeight(wi));
+        cda.Add({t.At(ti, 0), d, a}, t.TupleWeight(ti), w.TupleWeight(wi));
       }
     }
     record(abc);
     record(cda);
-    if (!abc.Empty() && !cda.Empty()) {
+    if (!abc.rel.Empty() && !cda.rel.Empty()) {
       plans.cases.push_back(MakeCase(std::move(abc), {kA, kB, kC},
                                      std::move(cda), {kC, kD, kA}));
     }
@@ -154,14 +170,14 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   // Iterates W edges (d, a) passing `d_pred`, then loops heavy b values
   // and keeps those with R(a, b) present -- O(|W| * #heavyB).
   auto build_abd = [&](const char* name, bool want_heavy_d) {
-    Relation abd(name, {"a", "b", "d"});
+    WeightedBag abd(name, {"a", "b", "d"});
     for (RowId wi = 0; wi < w.NumTuples(); ++wi) {
       const Value d = w.At(wi, 0), a = w.At(wi, 1);
       if (is_heavy_d(d) != want_heavy_d) continue;
       for (Value b : heavy_b) {
         const Value key[] = {a, b};
         for (RowId ri : r_by_ab.Probe(key)) {
-          abd.AddTuple({a, b, d}, w.TupleWeight(wi) + r.TupleWeight(ri));
+          abd.Add({a, b, d}, w.TupleWeight(wi), r.TupleWeight(ri));
         }
       }
     }
@@ -170,14 +186,14 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   // Helper: bag BCD = S|><|T with b heavy and a chosen d-side strategy.
   auto build_bcd_d_light = [&]() {
     // d light: iterate T edges with light d, loop heavy b, check S(b,c).
-    Relation bcd("bcd_hl", {"b", "c", "d"});
+    WeightedBag bcd("bcd_hl", {"b", "c", "d"});
     for (RowId ti = 0; ti < t.NumTuples(); ++ti) {
       const Value c = t.At(ti, 0), d = t.At(ti, 1);
       if (is_heavy_d(d)) continue;
       for (Value b : heavy_b) {
         const Value key[] = {b, c};
         for (RowId si : s_by_bc.Probe(key)) {
-          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+          bcd.Add({b, c, d}, s.TupleWeight(si), t.TupleWeight(ti));
         }
       }
     }
@@ -186,14 +202,14 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   auto build_bcd_both_heavy = [&]() {
     // b, d both heavy: iterate S edges with heavy b, loop heavy d,
     // check T(c, d) -- O(|S| * #heavyD).
-    Relation bcd("bcd_hh", {"b", "c", "d"});
+    WeightedBag bcd("bcd_hh", {"b", "c", "d"});
     for (RowId si = 0; si < s.NumTuples(); ++si) {
       const Value b = s.At(si, 0), c = s.At(si, 1);
       if (!is_heavy_b(b)) continue;
       for (Value d : heavy_d) {
         const Value key[] = {c, d};
         for (RowId ti : t_by_cd.Probe(key)) {
-          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+          bcd.Add({b, c, d}, s.TupleWeight(si), t.TupleWeight(ti));
         }
       }
     }
@@ -202,11 +218,11 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
 
   // ---- Case HH: bags ABD [d heavy], BCD [b,d heavy]; join on (B, D).
   {
-    Relation abd = build_abd("abd_hh", /*want_heavy_d=*/true);
-    Relation bcd = build_bcd_both_heavy();
+    WeightedBag abd = build_abd("abd_hh", /*want_heavy_d=*/true);
+    WeightedBag bcd = build_bcd_both_heavy();
     record(abd);
     record(bcd);
-    if (!abd.Empty() && !bcd.Empty()) {
+    if (!abd.rel.Empty() && !bcd.rel.Empty()) {
       plans.cases.push_back(MakeCase(std::move(abd), {kA, kB, kD},
                                      std::move(bcd), {kB, kC, kD}));
     }
@@ -214,11 +230,11 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
 
   // ---- Case HL (b heavy, d light): bags ABD [d light], BCD [d light].
   {
-    Relation abd = build_abd("abd_hl", /*want_heavy_d=*/false);
-    Relation bcd = build_bcd_d_light();
+    WeightedBag abd = build_abd("abd_hl", /*want_heavy_d=*/false);
+    WeightedBag bcd = build_bcd_d_light();
     record(abd);
     record(bcd);
-    if (!abd.Empty() && !bcd.Empty()) {
+    if (!abd.rel.Empty() && !bcd.rel.Empty()) {
       plans.cases.push_back(MakeCase(std::move(abd), {kA, kB, kD},
                                      std::move(bcd), {kB, kC, kD}));
     }
@@ -227,31 +243,31 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   // ---- Case LH (b light, d heavy): bags DAB and BCD with light b
   // iterated from R / S edges and heavy d looped.
   {
-    Relation dab("dab_lh", {"d", "a", "b"});
+    WeightedBag dab("dab_lh", {"d", "a", "b"});
     for (RowId ri = 0; ri < r.NumTuples(); ++ri) {
       const Value a = r.At(ri, 0), b = r.At(ri, 1);
       if (is_heavy_b(b)) continue;
       for (Value d : heavy_d) {
         const Value key[] = {d, a};
         for (RowId wi : w_by_da.Probe(key)) {
-          dab.AddTuple({d, a, b}, w.TupleWeight(wi) + r.TupleWeight(ri));
+          dab.Add({d, a, b}, w.TupleWeight(wi), r.TupleWeight(ri));
         }
       }
     }
-    Relation bcd("bcd_lh", {"b", "c", "d"});
+    WeightedBag bcd("bcd_lh", {"b", "c", "d"});
     for (RowId si = 0; si < s.NumTuples(); ++si) {
       const Value b = s.At(si, 0), c = s.At(si, 1);
       if (is_heavy_b(b)) continue;
       for (Value d : heavy_d) {
         const Value key[] = {c, d};
         for (RowId ti : t_by_cd.Probe(key)) {
-          bcd.AddTuple({b, c, d}, s.TupleWeight(si) + t.TupleWeight(ti));
+          bcd.Add({b, c, d}, s.TupleWeight(si), t.TupleWeight(ti));
         }
       }
     }
     record(dab);
     record(bcd);
-    if (!dab.Empty() && !bcd.Empty()) {
+    if (!dab.rel.Empty() && !bcd.rel.Empty()) {
       plans.cases.push_back(MakeCase(std::move(dab), {kD, kA, kB},
                                      std::move(bcd), {kB, kC, kD}));
     }
@@ -260,19 +276,33 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
   return plans;
 }
 
-std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
-    const Database& db, const ConjunctiveQuery& query,
-    AnyKAlgorithm algorithm, JoinStats* stats) {
-  FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
+namespace {
+
+// Each case plan owns its bag database; the BagPipeline holder keeps it
+// alive alongside the per-case enumerator, and routes the bags' member
+// weights into the CM-typed T-DP.
+template <typename CM>
+std::unique_ptr<RankedIterator> MakeCaseUnion(FourCyclePlans plans,
+                                              AnyKAlgorithm algorithm,
+                                              JoinStats* stats) {
   std::vector<std::unique_ptr<RankedIterator>> inputs;
   inputs.reserve(plans.cases.size());
-  // Each case plan owns its bag database; the BagPipeline holder keeps
-  // it alive alongside the per-case enumerator.
   for (DecomposedQuery& dq : plans.cases) {
-    inputs.push_back(std::make_unique<BagPipeline<SumCost>>(
-        std::move(dq), algorithm, stats));
+    inputs.push_back(
+        std::make_unique<BagPipeline<CM>>(std::move(dq), algorithm, stats));
   }
   return std::make_unique<UnionAnyK>(std::move(inputs));
+}
+
+}  // namespace
+
+std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
+    const Database& db, const ConjunctiveQuery& query,
+    AnyKAlgorithm algorithm, JoinStats* stats, CostModelKind model) {
+  FourCyclePlans plans = BuildFourCyclePlans(db, query, stats);
+  return WithCostModel(model, [&]<typename CM>() {
+    return MakeCaseUnion<CM>(std::move(plans), algorithm, stats);
+  });
 }
 
 bool FourCycleBoolean(const Database& db, const ConjunctiveQuery& query,

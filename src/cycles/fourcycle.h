@@ -37,6 +37,7 @@
 #include "src/join/join_stats.h"
 #include "src/query/cq.h"
 #include "src/query/decomposition.h"
+#include "src/ranking/cost_model.h"
 
 namespace topkjoin {
 
@@ -64,9 +65,14 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
 
 /// Ranked enumeration of 4-cycles by merging per-case any-k streams.
 /// The cases partition the result space, so no deduplication is needed.
+/// The case bags carry per-tuple member weights, so any cost dioid
+/// ranks exactly (LEX streams merge by their primary component, the
+/// only part of the vector cost a merged double-valued stream can
+/// observe; within each case the full lexicographic order holds).
 std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
     const Database& db, const ConjunctiveQuery& query,
-    AnyKAlgorithm algorithm, JoinStats* stats);
+    AnyKAlgorithm algorithm, JoinStats* stats,
+    CostModelKind model = CostModelKind::kSum);
 
 /// Boolean 4-cycle query via the case plans: O~(n^{1.5}) (the claim the
 /// introduction of the paper highlights against the O~(n^2) of WCO

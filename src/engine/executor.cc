@@ -9,59 +9,38 @@
 
 namespace topkjoin {
 
-namespace {
-
-std::unique_ptr<RankedIterator> MakeTreeIteratorFor(
-    CostModelKind model, const Database& db, const ConjunctiveQuery& query,
-    AnyKAlgorithm algorithm, JoinStats* stats) {
-  switch (model) {
-    case CostModelKind::kSum:
-      return MakeTreeIterator<SumCost>(db, query, algorithm, stats);
-    case CostModelKind::kMax:
-      return MakeTreeIterator<MaxCost>(db, query, algorithm, stats);
-    case CostModelKind::kProd:
-      return MakeTreeIterator<ProdCost>(db, query, algorithm, stats);
-    case CostModelKind::kLex:
-      return MakeTreeIterator<LexCost>(db, query, algorithm, stats);
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
     JoinStats* stats) {
   switch (plan.strategy) {
     case PlanStrategy::kAnyKDirect:
     case PlanStrategy::kBatchSort: {
-      auto it = MakeTreeIteratorFor(plan.ranking.model, db, query,
-                                    plan.algorithm, stats);
-      if (it == nullptr) return Status::Error("unknown algorithm or model");
+      auto it = WithCostModel(plan.ranking.model, [&]<typename CM>() {
+        return MakeTreeIterator<CM>(db, query, plan.algorithm, stats);
+      });
+      if (it == nullptr) return Status::Error("unknown algorithm");
       return it;
     }
-    // Both decomposed strategies are SUM-only: bag tuple weights combine
-    // additively during materialization (see query/decomposition.h).
-    // PlanQuery enforces this, but guard hand-built plans.
+    // Decomposed strategies instantiate the bag pipeline per dioid, the
+    // same way the acyclic path does: the bags' per-tuple member-weight
+    // sequences (see query/decomposition.h) let every cost model fold
+    // its exact bag-tuple costs.
     case PlanStrategy::kDecompose: {
-      if (plan.ranking.model != CostModelKind::kSum) {
-        return Status::Error("decompose plans support only SUM ranking");
-      }
       if (!plan.grouping.has_value()) {
         return Status::Error("decompose plan carries no grouping");
       }
       DecomposedQuery dq =
           MaterializeGrouping(db, query, *plan.grouping, stats);
-      std::unique_ptr<RankedIterator> it =
-          std::make_unique<BagPipeline<SumCost>>(std::move(dq),
-                                                 plan.algorithm, stats);
-      return it;
+      return WithCostModel(
+          plan.ranking.model,
+          [&]<typename CM>() -> std::unique_ptr<RankedIterator> {
+            return std::make_unique<BagPipeline<CM>>(std::move(dq),
+                                                     plan.algorithm, stats);
+          });
     }
     case PlanStrategy::kUnionCases:
-      if (plan.ranking.model != CostModelKind::kSum) {
-        return Status::Error("union-cases plans support only SUM ranking");
-      }
-      return MakeFourCycleAnyK(db, query, plan.algorithm, stats);
+      return MakeFourCycleAnyK(db, query, plan.algorithm, stats,
+                               plan.ranking.model);
   }
   return Status::Error("unknown plan strategy");
 }

@@ -138,15 +138,13 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
     return plan;
   }
 
-  // Cyclic. Bag weights are combined additively during materialization,
-  // so only the SUM dioid stays faithful to the original ranking.
-  if (ranking.model != CostModelKind::kSum) {
-    return Status::Error(
-        std::string("cyclic queries support only the SUM ranking; got ") +
-        CostModelName(ranking.model));
-  }
-
+  // Cyclic: materialized bags carry per-tuple member-weight sequences
+  // (WeightMatrix), so every dioid -- not just additive SUM -- folds
+  // exact bag-tuple costs and the downstream T-DP ranks faithfully.
   Explain(&plan, "GYO reduction fails: query is cyclic");
+  Explain(&plan, std::string("ranking dioid ") + CostModelName(ranking.model) +
+                     " carried through bag materialization via per-tuple "
+                     "member-weight sequences");
   if (IsFourCycleShaped(query)) {
     plan.strategy = PlanStrategy::kUnionCases;
     Explain(&plan,

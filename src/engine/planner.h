@@ -82,9 +82,11 @@ inline constexpr double kBatchOutputFraction = 0.5;
 /// estimate (time-to-first dominates).
 inline constexpr size_t kAlwaysAnyKThreshold = 128;
 
-/// Plans the query. Fails (Status) when the query is empty, references
-/// relations outside the database, or combines a non-SUM ranking with a
-/// cyclic query (bag weights only decompose additively).
+/// Plans the query. Fails (Status) when the query is empty or references
+/// relations outside the database. Cyclic queries plan under every
+/// ranking dioid: bag materialization carries per-tuple member-weight
+/// sequences, so non-additive dioids (MAX/PROD/LEX) rank decomposed
+/// plans exactly (the dioid is recorded in the plan's rationale).
 StatusOr<QueryPlan> PlanQuery(const Database& db,
                               const ConjunctiveQuery& query,
                               const RankingSpec& ranking,

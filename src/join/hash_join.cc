@@ -35,6 +35,11 @@ VarRelation HashJoinVar(const VarRelation& left, const VarRelation& right,
   for (VarId v : out.vars) attrs.push_back("x" + std::to_string(v));
   out.rel = Relation("join", std::move(attrs));
 
+  const bool track_weights = left.weights.Tracked() && right.weights.Tracked();
+  if (track_weights) {
+    out.weights = WeightMatrix(left.weights.width() + right.weights.width());
+  }
+
   // Build on the right side; probe with the left. (Callers control plan
   // shape; build-side choice only affects constants.)
   HashIndex index(right.rel, right_key_cols);
@@ -55,17 +60,27 @@ VarRelation HashJoinVar(const VarRelation& left, const VarRelation& right,
       }
       out.rel.AddTuple(out_tuple,
                        left.rel.TupleWeight(lr) + right.rel.TupleWeight(rr));
+      if (track_weights) {
+        out.weights.AppendConcatRow(left.weights.Row(lr),
+                                    right.weights.Row(rr));
+      }
     }
   }
   return out;
 }
 
 VarRelation AtomVarRelation(const Database& db, const ConjunctiveQuery& query,
-                            size_t atom_idx) {
+                            size_t atom_idx, bool track_weights) {
   const Atom& atom = query.atom(atom_idx);
   VarRelation vr;
   vr.rel = db.relation(atom.relation);
   vr.vars = atom.vars;
+  if (track_weights) {
+    vr.weights = WeightMatrix(1);
+    for (RowId r = 0; r < vr.rel.NumTuples(); ++r) {
+      vr.weights.AppendRow({vr.rel.TupleWeight(r)});
+    }
+  }
   return vr;
 }
 

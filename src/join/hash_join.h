@@ -7,26 +7,36 @@
 #include "src/data/relation.h"
 #include "src/join/join_stats.h"
 #include "src/query/cq.h"
+#include "src/ranking/cost_model.h"
 
 namespace topkjoin {
 
 /// A relation whose columns are bound to query variables: the shape of
-/// intermediate results in binary join plans.
+/// intermediate results in binary join plans. `weights` optionally keeps
+/// each tuple's member input-weight sequence (see WeightMatrix) so
+/// materialized bags stay rankable under every cost dioid, not just the
+/// additive one; it is tracked only when requested (AtomVarRelation) and
+/// both join inputs carry it.
 struct VarRelation {
   Relation rel = Relation::WithArity("vr", 0);
   std::vector<VarId> vars;  // vars[c] = variable bound to column c
+  WeightMatrix weights;     // per-tuple member weights; width 0 = untracked
 };
 
 /// Natural (equi-)join of `left` and `right` on their shared variables.
 /// Output columns: left's vars then right's non-shared vars. Output
-/// weight: sum of the two input weights. Uses a hash table on the
-/// smaller input. Bag semantics.
+/// weight: sum of the two input weights; when both inputs track weight
+/// sequences, the output row's sequence is left's ++ right's. Builds
+/// the hash table on `right` and probes with `left` (callers control
+/// plan shape; pass the smaller input as `right`). Bag semantics.
 VarRelation HashJoinVar(const VarRelation& left, const VarRelation& right,
                         JoinStats* stats);
 
 /// Wraps an atom's base relation as a VarRelation (copies the data).
+/// With `track_weights`, seeds a width-1 weight sequence per tuple so
+/// downstream joins carry the dioid-foldable representation.
 VarRelation AtomVarRelation(const Database& db, const ConjunctiveQuery& query,
-                            size_t atom_idx);
+                            size_t atom_idx, bool track_weights = false);
 
 /// Reorders a fully-bound VarRelation's columns into ascending VarId
 /// order, producing the library's standard result shape (see result.h).

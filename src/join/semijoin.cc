@@ -1,5 +1,6 @@
 #include "src/join/semijoin.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/util/common.h"
@@ -7,17 +8,15 @@
 
 namespace topkjoin {
 
-void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
-                    const Relation& filter,
-                    const std::vector<size_t>& filter_cols, JoinStats* stats) {
+std::vector<bool> SemijoinKeepMask(const Relation& target,
+                                   const std::vector<size_t>& target_cols,
+                                   const Relation& filter,
+                                   const std::vector<size_t>& filter_cols,
+                                   JoinStats* stats) {
   TOPKJOIN_CHECK(target_cols.size() == filter_cols.size());
   if (target_cols.empty()) {
     // No shared variables: the filter acts as an existence check.
-    if (filter.Empty()) {
-      std::vector<bool> keep(target->NumTuples(), false);
-      target->Filter(keep);
-    }
-    return;
+    return std::vector<bool>(target.NumTuples(), !filter.Empty());
   }
   std::unordered_set<ValueKey, ValueKeyHash> keys;
   keys.reserve(filter.NumTuples());
@@ -29,30 +28,77 @@ void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
     }
     keys.insert(key);
   }
-  std::vector<bool> keep(target->NumTuples());
-  for (RowId r = 0; r < target->NumTuples(); ++r) {
+  std::vector<bool> keep(target.NumTuples());
+  for (RowId r = 0; r < target.NumTuples(); ++r) {
     for (size_t i = 0; i < target_cols.size(); ++i) {
-      key.values[i] = target->At(r, target_cols[i]);
+      key.values[i] = target.At(r, target_cols[i]);
     }
     if (stats != nullptr) ++stats->probes;
     keep[r] = keys.contains(key);
   }
-  target->Filter(keep);
+  return keep;
+}
+
+namespace {
+
+// Relation::Filter copies the whole payload even for an all-true mask;
+// skip it when the semijoin kept every row (common for the
+// no-shared-vars existence check against a non-empty filter).
+bool AllTrue(const std::vector<bool>& mask) {
+  return std::all_of(mask.begin(), mask.end(), [](bool b) { return b; });
+}
+
+}  // namespace
+
+void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
+                    const Relation& filter,
+                    const std::vector<size_t>& filter_cols, JoinStats* stats) {
+  const std::vector<bool> keep =
+      SemijoinKeepMask(*target, target_cols, filter, filter_cols, stats);
+  if (!AllTrue(keep)) target->Filter(keep);
 }
 
 ReducedInstance MakeInstance(const Database& db,
                              const ConjunctiveQuery& query) {
   ReducedInstance instance;
   instance.atom_relations.reserve(query.NumAtoms());
+  instance.provenance.reserve(query.NumAtoms());
   for (const Atom& atom : query.atoms()) {
     instance.atom_relations.push_back(db.relation(atom.relation));
+    std::vector<RowId> identity(db.relation(atom.relation).NumTuples());
+    for (RowId r = 0; r < identity.size(); ++r) identity[r] = r;
+    instance.provenance.push_back(std::move(identity));
   }
   return instance;
 }
 
+namespace {
+
+// One full-reducer step on atom `target_atom`, keeping the instance's
+// provenance aligned with the surviving rows.
+void ReduceAtom(ReducedInstance* instance, size_t target_atom,
+                const std::vector<size_t>& target_cols,
+                const Relation& filter,
+                const std::vector<size_t>& filter_cols, JoinStats* stats) {
+  Relation& target = instance->atom_relations[target_atom];
+  const std::vector<bool> keep =
+      SemijoinKeepMask(target, target_cols, filter, filter_cols, stats);
+  if (AllTrue(keep)) return;
+  target.Filter(keep);
+  std::vector<RowId>& prov = instance->provenance[target_atom];
+  size_t w = 0;
+  for (size_t r = 0; r < keep.size(); ++r) {
+    if (keep[r]) prov[w++] = prov[r];
+  }
+  prov.resize(w);
+}
+
+}  // namespace
+
 void FullReducer(const ConjunctiveQuery& query, const JoinTree& tree,
                  ReducedInstance* instance, JoinStats* stats) {
   TOPKJOIN_CHECK(instance->atom_relations.size() == query.NumAtoms());
+  TOPKJOIN_CHECK(instance->provenance.size() == query.NumAtoms());
   // Bottom-up: visit atoms in reverse preorder; semijoin each parent by
   // the (already reduced) child.
   for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
@@ -60,21 +106,19 @@ void FullReducer(const ConjunctiveQuery& query, const JoinTree& tree,
     const int parent = tree.parent[child];
     if (parent < 0) continue;
     const auto shared = query.SharedVars(static_cast<size_t>(parent), child);
-    SemijoinReduce(&instance->atom_relations[static_cast<size_t>(parent)],
-                   query.ColumnsOf(static_cast<size_t>(parent), shared),
-                   instance->atom_relations[child],
-                   query.ColumnsOf(child, shared), stats);
+    ReduceAtom(instance, static_cast<size_t>(parent),
+               query.ColumnsOf(static_cast<size_t>(parent), shared),
+               instance->atom_relations[child],
+               query.ColumnsOf(child, shared), stats);
   }
   // Top-down: visit atoms in preorder; semijoin each child by its parent.
   for (const size_t child : tree.order) {
     const int parent = tree.parent[child];
     if (parent < 0) continue;
     const auto shared = query.SharedVars(static_cast<size_t>(parent), child);
-    SemijoinReduce(&instance->atom_relations[child],
-                   query.ColumnsOf(child, shared),
-                   instance->atom_relations[static_cast<size_t>(parent)],
-                   query.ColumnsOf(static_cast<size_t>(parent), shared),
-                   stats);
+    ReduceAtom(instance, child, query.ColumnsOf(child, shared),
+               instance->atom_relations[static_cast<size_t>(parent)],
+               query.ColumnsOf(static_cast<size_t>(parent), shared), stats);
   }
 }
 

@@ -17,6 +17,16 @@
 
 namespace topkjoin {
 
+/// The rows a semijoin of `target` by `filter` would keep (true =
+/// survives), without mutating `target`. Factored out so callers that
+/// maintain row-aligned side data (e.g. the full reducer's provenance)
+/// can apply one mask to everything.
+std::vector<bool> SemijoinKeepMask(const Relation& target,
+                                   const std::vector<size_t>& target_cols,
+                                   const Relation& filter,
+                                   const std::vector<size_t>& filter_cols,
+                                   JoinStats* stats);
+
 /// target := target semijoin filter, matching target columns
 /// `target_cols` against filter columns `filter_cols`. Keeps only target
 /// tuples whose key appears in the filter.
@@ -29,6 +39,11 @@ void SemijoinReduce(Relation* target, const std::vector<size_t>& target_cols,
 struct ReducedInstance {
   /// One relation copy per atom, index-aligned with query.atoms().
   std::vector<Relation> atom_relations;
+  /// Row provenance per atom: provenance[a][r] is the RowId the reduced
+  /// relation's row r had in the original db relation. Lets consumers
+  /// re-attach per-tuple side data (e.g. bag WeightMatrix rows) after
+  /// reduction shuffled the row ids.
+  std::vector<std::vector<RowId>> provenance;
 };
 
 /// Copies each atom's relation out of `db` (no reduction yet).

@@ -58,10 +58,14 @@ DecomposedQuery MaterializeGrouping(const Database& db,
   DecomposedQuery out;
   for (size_t g = 0; g < grouping.groups.size(); ++g) {
     const auto& group = grouping.groups[g];
-    VarRelation acc = AtomVarRelation(db, query, group[0]);
+    VarRelation acc = AtomVarRelation(db, query, group[0],
+                                      /*track_weights=*/true);
     for (size_t i = 1; i < group.size(); ++i) {
-      acc = HashJoinVar(acc, AtomVarRelation(db, query, group[i]), stats);
+      acc = HashJoinVar(
+          acc, AtomVarRelation(db, query, group[i], /*track_weights=*/true),
+          stats);
     }
+    TOPKJOIN_CHECK(acc.weights.width() == group.size());
     if (stats != nullptr) {
       stats->RecordIntermediate(static_cast<int64_t>(acc.rel.NumTuples()));
     }
@@ -71,6 +75,7 @@ DecomposedQuery MaterializeGrouping(const Database& db,
     }
     const RelationId rid = out.db.Add(std::move(bag));
     out.query.AddAtom(rid, acc.vars);
+    out.bag_weights.push_back(std::move(acc.weights));
   }
   TOPKJOIN_CHECK(out.query.num_vars() == query.num_vars());
   return out;

@@ -10,6 +10,14 @@
 // Because every atom belongs to exactly one group, each input tuple's
 // weight is counted exactly once -- which keeps ranked enumeration over
 // the decomposed query faithful to the original ranking function.
+//
+// Dioid-awareness: a bag tuple's scalar weight is the SUM of its member
+// weights, which is only faithful for the additive dioid. Every bag
+// therefore also materializes a WeightMatrix keeping the member weights
+// themselves (one row per bag tuple, width = member count), so the
+// downstream T-DP can fold the exact per-tuple cost in whatever dioid
+// it ranks by (Policy::FromWeights) -- SUM, MAX, PROD, and LEX all
+// rank decomposed cyclic queries exactly.
 #ifndef TOPKJOIN_QUERY_DECOMPOSITION_H_
 #define TOPKJOIN_QUERY_DECOMPOSITION_H_
 
@@ -19,6 +27,7 @@
 #include "src/data/database.h"
 #include "src/join/join_stats.h"
 #include "src/query/cq.h"
+#include "src/ranking/cost_model.h"
 
 namespace topkjoin {
 
@@ -28,10 +37,13 @@ struct AtomGrouping {
 };
 
 /// The bag query produced by materializing a grouping: a fresh database
-/// holding one relation per bag and the acyclic query over them.
+/// holding one relation per bag, the acyclic query over them, and one
+/// weight matrix per bag atom (index-aligned with query.atoms(); row r
+/// holds the member input-tuple weights of bag tuple r).
 struct DecomposedQuery {
   Database db;
   ConjunctiveQuery query;
+  std::vector<WeightMatrix> bag_weights;
 };
 
 /// True when the grouping's bag hypergraph (one edge per group = union
@@ -40,9 +52,11 @@ bool IsAcyclicGrouping(const ConjunctiveQuery& query,
                        const AtomGrouping& grouping);
 
 /// Materializes each group with a left-deep hash-join of its members.
-/// Bag tuple weight = sum of member-tuple weights. Bag sizes are
-/// recorded in `stats` as intermediate results (they are the O~(n^d)
-/// cost the paper attributes to single-tree decompositions).
+/// Bag tuple weight = sum of member-tuple weights; the per-tuple member
+/// weights are kept in the result's `bag_weights` for non-additive
+/// dioids. Bag sizes are recorded in `stats` as intermediate results
+/// (they are the O~(n^d) cost the paper attributes to single-tree
+/// decompositions).
 DecomposedQuery MaterializeGrouping(const Database& db,
                                     const ConjunctiveQuery& query,
                                     const AtomGrouping& grouping,

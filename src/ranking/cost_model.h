@@ -11,11 +11,60 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "src/util/common.h"
 
 namespace topkjoin {
+
+/// Weight-carrying tuple representation for materialized intermediates
+/// (bags of a cyclic-query decomposition). A Relation stores one scalar
+/// Weight per tuple, which is enough for the dioids whose Combine is
+/// expressible on scalars -- but a bag tuple produced by joining k input
+/// atoms stands for k input weights, and which aggregate is faithful
+/// depends on the active dioid (SUM adds them, MAX takes the heaviest,
+/// LEX needs the whole sequence). A WeightMatrix keeps, per bag tuple,
+/// the member input-tuple weights in materialization order (fixed width
+/// = number of member atoms), so any dioid can fold its exact per-tuple
+/// cost later via Policy::FromWeights. Rows are appended in lockstep
+/// with the owning relation's tuples and addressed by the same RowId.
+class WeightMatrix {
+ public:
+  WeightMatrix() = default;
+  explicit WeightMatrix(size_t width) : width_(width) {}
+
+  /// Number of member weights per tuple; 0 means "not tracked".
+  size_t width() const { return width_; }
+  bool Tracked() const { return width_ > 0; }
+  size_t NumRows() const { return width_ == 0 ? 0 : data_.size() / width_; }
+
+  std::span<const Weight> Row(size_t row) const {
+    TOPKJOIN_DCHECK(row < NumRows());
+    return {data_.data() + row * width_, width_};
+  }
+
+  void AppendRow(std::span<const Weight> weights) {
+    TOPKJOIN_DCHECK(weights.size() == width_);
+    data_.insert(data_.end(), weights.begin(), weights.end());
+  }
+  void AppendRow(std::initializer_list<Weight> weights) {
+    AppendRow(std::span<const Weight>(weights.begin(), weights.size()));
+  }
+
+  /// Appends the concatenation `left ++ right` (the row produced by
+  /// joining a left tuple with a right tuple).
+  void AppendConcatRow(std::span<const Weight> left,
+                       std::span<const Weight> right) {
+    TOPKJOIN_DCHECK(left.size() + right.size() == width_);
+    data_.insert(data_.end(), left.begin(), left.end());
+    data_.insert(data_.end(), right.begin(), right.end());
+  }
+
+ private:
+  size_t width_ = 0;
+  std::vector<Weight> data_;  // row-major, NumRows() * width_
+};
 
 /// SUM: the tropical (min, +) semiring -- total weight of the join
 /// result, "lighter is better". The paper's running example (top-k
@@ -25,6 +74,15 @@ struct SumCost {
   static constexpr const char* kName = "sum";
   static CostT Identity() { return 0.0; }
   static CostT FromWeight(Weight w) { return w; }
+  /// Folds a materialized tuple's member-weight sequence (WeightMatrix
+  /// row): the dioid-correct aggregate of a bag tuple. Equivalent to
+  /// folding FromWeight over the sequence with Combine -- true for every
+  /// policy below, so decomposed plans rank exactly like direct ones.
+  static CostT FromWeights(std::span<const Weight> ws) {
+    CostT c = Identity();
+    for (Weight w : ws) c += w;
+    return c;
+  }
   static CostT Combine(const CostT& a, const CostT& b) { return a + b; }
   static bool Less(const CostT& a, const CostT& b) { return a < b; }
   static double ToDouble(const CostT& c) { return c; }
@@ -36,6 +94,11 @@ struct MaxCost {
   static constexpr const char* kName = "max";
   static CostT Identity() { return -std::numeric_limits<double>::infinity(); }
   static CostT FromWeight(Weight w) { return w; }
+  static CostT FromWeights(std::span<const Weight> ws) {
+    CostT c = Identity();
+    for (Weight w : ws) c = std::max(c, w);
+    return c;
+  }
   static CostT Combine(const CostT& a, const CostT& b) {
     return std::max(a, b);
   }
@@ -53,6 +116,11 @@ struct ProdCost {
     TOPKJOIN_DCHECK(w >= 0.0);
     return w;
   }
+  static CostT FromWeights(std::span<const Weight> ws) {
+    CostT c = Identity();
+    for (Weight w : ws) c *= FromWeight(w);
+    return c;
+  }
   static CostT Combine(const CostT& a, const CostT& b) { return a * b; }
   static bool Less(const CostT& a, const CostT& b) { return a < b; }
   static double ToDouble(const CostT& c) { return c; }
@@ -68,6 +136,9 @@ struct LexCost {
   static constexpr const char* kName = "lex";
   static CostT Identity() { return {}; }
   static CostT FromWeight(Weight w) { return {w}; }
+  static CostT FromWeights(std::span<const Weight> ws) {
+    return {ws.begin(), ws.end()};
+  }
   static CostT Combine(const CostT& a, const CostT& b) {
     CostT out = a;
     out.insert(out.end(), b.begin(), b.end());
@@ -84,6 +155,28 @@ struct LexCost {
 enum class CostModelKind { kSum, kMax, kProd, kLex };
 
 const char* CostModelName(CostModelKind kind);
+
+/// The one runtime-tag -> policy-type dispatch: invokes `fn` with the
+/// policy matching `kind` as its explicit template argument, e.g.
+///   WithCostModel(kind, [&]<typename CM>() { return Make<CM>(...); });
+/// Every component that instantiates per-dioid templates from a
+/// CostModelKind (executor, 4-cycle union, benches) routes through
+/// here, so adding a dioid means touching exactly this switch.
+template <typename Fn>
+auto WithCostModel(CostModelKind kind, Fn&& fn) {
+  switch (kind) {
+    case CostModelKind::kSum:
+      return fn.template operator()<SumCost>();
+    case CostModelKind::kMax:
+      return fn.template operator()<MaxCost>();
+    case CostModelKind::kProd:
+      return fn.template operator()<ProdCost>();
+    case CostModelKind::kLex:
+      return fn.template operator()<LexCost>();
+  }
+  TOPKJOIN_CHECK(false);  // invalid CostModelKind value
+  return fn.template operator()<SumCost>();  // unreachable
+}
 
 }  // namespace topkjoin
 

@@ -104,6 +104,15 @@ Status ServingEngine::CloseCursor(CursorId id) {
   return Status::Ok();
 }
 
+size_t ServingEngine::EvictIdleCursors(
+    std::chrono::steady_clock::duration max_idle) {
+  const auto evicted = cursors_.EvictIdle(max_idle);
+  for (const std::shared_ptr<Session>& session : evicted) {
+    session->RemoveCursor();
+  }
+  return evicted.size();
+}
+
 StatusOr<FetchOutcome> ServingEngine::Fetch(CursorId id, size_t max_results) {
   FetchOutcome out;
   const bool found =

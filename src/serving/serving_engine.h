@@ -22,6 +22,7 @@
 #ifndef TOPKJOIN_SERVING_SERVING_ENGINE_H_
 #define TOPKJOIN_SERVING_SERVING_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -99,6 +100,14 @@ class ServingEngine {
 
   Status CloseCursor(CursorId id);
 
+  /// Closes every cursor that has not been opened or fetched within the
+  /// last `max_idle`, settling its session's bookkeeping -- the backstop
+  /// against clients that never CloseSession leaking table entries.
+  /// Call it from an operator/maintenance loop; cursors touched by a
+  /// concurrent Fetch are refreshed and survive. Returns the number of
+  /// cursors evicted.
+  size_t EvictIdleCursors(std::chrono::steady_clock::duration max_idle);
+
   /// Synchronous slice: reserves session budget, pulls up to
   /// `max_results` under the cursor's stripe lock, settles the unused
   /// reservation. Thread-safe; slices of one cursor never overlap.
@@ -125,6 +134,13 @@ class ServingEngine {
   size_t NumOpenCursors() const { return cursors_.NumCursors(); }
   size_t NumOpenSessions() const;
   size_t num_workers() const { return pool_.num_threads(); }
+
+  /// Test hook: drives the idle-eviction clock deterministically (see
+  /// ShardedCursorTable::SetTimeSourceForTesting). nullptr restores the
+  /// steady clock.
+  void SetIdleClockForTesting(ShardedCursorTable::TimeSource source) {
+    cursors_.SetTimeSourceForTesting(source);
+  }
 
  private:
   struct DrainTicket;  // see serving_engine.cc

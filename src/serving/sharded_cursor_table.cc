@@ -7,8 +7,22 @@
 
 namespace topkjoin {
 
+namespace {
+
+std::chrono::steady_clock::time_point DefaultTimeSource() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
 ShardedCursorTable::ShardedCursorTable(size_t num_stripes)
-    : stripes_(std::max<size_t>(1, num_stripes)) {}
+    : stripes_(std::max<size_t>(1, num_stripes)),
+      time_source_(&DefaultTimeSource) {}
+
+void ShardedCursorTable::SetTimeSourceForTesting(TimeSource source) {
+  time_source_.store(source == nullptr ? &DefaultTimeSource : source,
+                     std::memory_order_relaxed);
+}
 
 CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
                                     std::shared_ptr<Session> session) {
@@ -17,7 +31,9 @@ CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
   Stripe& stripe = stripe_for(id);
   std::lock_guard<std::mutex> lock(stripe.mu);
   stripe.table.InsertWithId(id, std::move(cursor));
-  stripe.owner.emplace(id, std::move(session));
+  stripe.owner.emplace(
+      id, Entry{std::move(session),
+                time_source_.load(std::memory_order_relaxed)()});
   return id;
 }
 
@@ -27,7 +43,9 @@ bool ShardedCursorTable::WithCursor(
   std::lock_guard<std::mutex> lock(stripe.mu);
   Cursor* cursor = stripe.table.Find(id);
   if (cursor == nullptr) return false;
-  fn(*cursor, *stripe.owner.at(id));
+  Entry& entry = stripe.owner.at(id);
+  entry.last_used = time_source_.load(std::memory_order_relaxed)();
+  fn(*cursor, *entry.session);
   return true;
 }
 
@@ -36,7 +54,7 @@ std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
   std::lock_guard<std::mutex> lock(stripe.mu);
   if (!stripe.table.Erase(id)) return nullptr;
   const auto it = stripe.owner.find(id);
-  std::shared_ptr<Session> session = std::move(it->second);
+  std::shared_ptr<Session> session = std::move(it->second.session);
   stripe.owner.erase(it);
   return session;
 }
@@ -46,7 +64,7 @@ size_t ShardedCursorTable::EraseOwnedBy(const Session* session) {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     for (auto it = stripe.owner.begin(); it != stripe.owner.end();) {
-      if (it->second.get() == session) {
+      if (it->second.session.get() == session) {
         stripe.table.Erase(it->first);
         it = stripe.owner.erase(it);
         ++erased;
@@ -56,6 +74,28 @@ size_t ShardedCursorTable::EraseOwnedBy(const Session* session) {
     }
   }
   return erased;
+}
+
+std::vector<std::shared_ptr<Session>> ShardedCursorTable::EvictIdle(
+    std::chrono::steady_clock::duration max_idle) {
+  // One cutoff for the whole sweep; stripes are swept under their own
+  // locks, so a concurrent WithCursor that lands after the cutoff
+  // refreshes last_used and survives.
+  const auto cutoff = time_source_.load(std::memory_order_relaxed)() - max_idle;
+  std::vector<std::shared_ptr<Session>> evicted;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.owner.begin(); it != stripe.owner.end();) {
+      if (it->second.last_used < cutoff) {
+        stripe.table.Erase(it->first);
+        evicted.push_back(std::move(it->second.session));
+        it = stripe.owner.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
 }
 
 std::vector<CursorId> ShardedCursorTable::Ids() const {

@@ -13,6 +13,7 @@
 #define TOPKJOIN_SERVING_SHARDED_CURSOR_TABLE_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -55,6 +56,14 @@ class ShardedCursorTable {
   /// Destroys every cursor owned by `session`; returns how many.
   size_t EraseOwnedBy(const Session* session);
 
+  /// Destroys every cursor not touched (Insert or WithCursor) within
+  /// the last `max_idle`: the leak backstop for clients that never
+  /// CloseSession/CloseCursor (ROADMAP "cursor eviction by idle time").
+  /// Returns the evicted cursors' owning sessions so the caller can
+  /// settle per-session bookkeeping (one entry per evicted cursor).
+  std::vector<std::shared_ptr<Session>> EvictIdle(
+      std::chrono::steady_clock::duration max_idle);
+
   /// Live ids in increasing order (the round-robin admission order).
   /// A snapshot: concurrent opens/closes may change the set immediately.
   std::vector<CursorId> Ids() const;
@@ -62,11 +71,24 @@ class ShardedCursorTable {
   size_t NumCursors() const;
   size_t num_stripes() const { return stripes_.size(); }
 
+  /// Replaces the idle clock (steady_clock::now by default) so tests
+  /// can drive EvictIdle deterministically instead of sleeping.
+  using TimeSource = std::chrono::steady_clock::time_point (*)();
+  void SetTimeSourceForTesting(TimeSource source);
+
  private:
+  /// Per-cursor bookkeeping riding alongside the stripe's CursorTable:
+  /// the owning session and the last time the cursor was inserted or
+  /// handed to a WithCursor body (the idle clock EvictIdle sweeps by).
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
   struct Stripe {
     mutable std::mutex mu;
     CursorTable table;
-    std::map<CursorId, std::shared_ptr<Session>> owner;
+    std::map<CursorId, Entry> owner;
   };
 
   Stripe& stripe_for(CursorId id) { return stripes_[id % stripes_.size()]; }
@@ -76,6 +98,7 @@ class ShardedCursorTable {
 
   std::vector<Stripe> stripes_;
   std::atomic<CursorId> next_id_{1};
+  std::atomic<TimeSource> time_source_;
 };
 
 }  // namespace topkjoin

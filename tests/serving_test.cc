@@ -6,6 +6,7 @@
 // every session budget checked for overspend. Run under TSAN in CI.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -287,6 +288,96 @@ TEST(ServingEngineTest, CloseSessionSweepsItsCursors) {
   EXPECT_EQ(serving.NumOpenCursors(), 1u);
   EXPECT_FALSE(serving.Fetch(ca.value(), 1).ok());  // swept
   EXPECT_TRUE(serving.Fetch(cb.value(), 1).ok());   // untouched
+}
+
+// Deterministic clock for the idle-eviction tests: a settable "now"
+// injected via SetIdleClockForTesting, so no test depends on wall-clock
+// sleeps or scheduler timing (TSAN CI runners deschedule freely).
+std::atomic<int64_t>& FakeClockSeconds() {
+  static std::atomic<int64_t> seconds{0};
+  return seconds;
+}
+
+std::chrono::steady_clock::time_point FakeNow() {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::seconds(FakeClockSeconds().load()));
+}
+
+// The ROADMAP cursor-leak fix: a client that never calls CloseSession
+// or CloseCursor no longer leaks table entries forever -- an operator
+// sweep evicts cursors by idle time, while recently-touched cursors
+// survive and keep their exact stream position.
+TEST(ServingEngineTest, EvictIdleCursorsReapsOnlyStaleEntries) {
+  Instance t = MakePathInstance(3, 30, 4, 3);
+  const auto want = OracleSortedCosts(t);
+  ServingEngine serving;
+  serving.SetIdleClockForTesting(&FakeNow);
+  FakeClockSeconds() = 1000;
+  const SessionId session = serving.OpenSession();
+  auto stale = serving.OpenCursor(session, t.db, t.query);
+  auto live = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(live.ok());
+  ASSERT_EQ(serving.NumOpenCursors(), 2u);
+
+  // Nothing is idle yet: a generous cutoff evicts nothing.
+  EXPECT_EQ(serving.EvictIdleCursors(std::chrono::hours(1)), 0u);
+
+  // Thirty (fake) seconds later, touch only `live`: a sweep with a
+  // 20-second cutoff reaps exactly the stale cursor.
+  FakeClockSeconds() = 1030;
+  auto first = serving.Fetch(live.value(), 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().results.size(), 2u);
+
+  EXPECT_EQ(serving.EvictIdleCursors(std::chrono::seconds(20)), 1u);
+  EXPECT_EQ(serving.NumOpenCursors(), 1u);
+  EXPECT_FALSE(serving.Fetch(stale.value(), 1).ok());  // evicted
+  const auto stats = serving.GetSessionStats(session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().open_cursors, 1u);  // bookkeeping settled
+
+  // The survivor resumes exactly where it left off.
+  auto more = serving.Fetch(live.value(), 1);
+  ASSERT_TRUE(more.ok());
+  ASSERT_EQ(more.value().results.size(), 1u);
+  ASSERT_GE(want.size(), 3u);
+  EXPECT_NEAR(more.value().results[0].cost, want[2], 1e-9);
+
+  // An idle-evicted id behaves exactly like a closed one.
+  EXPECT_FALSE(serving.CloseCursor(stale.value()).ok());
+  EXPECT_TRUE(serving.CloseCursor(live.value()).ok());
+}
+
+// PR 3: cyclic queries under non-SUM dioids plan end to end, so the
+// serving layer accepts them too -- budgeted, resumable, rank-correct.
+TEST(ServingEngineTest, ServesCyclicQueriesUnderEveryDioid) {
+  testing_fixtures::Instance t =
+      testing_fixtures::MakeTriangleInstance(20, 4, 7);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+  for (const CostModelKind kind :
+       {CostModelKind::kSum, CostModelKind::kMax, CostModelKind::kProd,
+        CostModelKind::kLex}) {
+    RankingSpec ranking;
+    ranking.model = kind;
+    auto id = serving.OpenCursor(session, t.db, t.query, ranking);
+    ASSERT_TRUE(id.ok()) << CostModelName(kind);
+    std::vector<double> costs;
+    while (true) {
+      auto slice = serving.Fetch(id.value(), 3);
+      ASSERT_TRUE(slice.ok()) << CostModelName(kind);
+      if (slice.value().results.empty()) break;
+      for (const RankedResult& r : slice.value().results) {
+        costs.push_back(r.cost);
+      }
+    }
+    for (size_t i = 1; i < costs.size(); ++i) {
+      EXPECT_LE(costs[i - 1], costs[i] + 1e-9)
+          << CostModelName(kind) << " rank " << i;
+    }
+    EXPECT_TRUE(serving.CloseCursor(id.value()).ok());
+  }
 }
 
 TEST(ServingEngineTest, SubmitFetchDeliversViaCallback) {
