@@ -1,7 +1,11 @@
-// E10 -- engine dispatch overhead: Engine::Execute (plan + compile +
+// E10 -- engine planning overhead: Engine::Execute (plan + compile +
 // stream) vs hand-wired MakeAnyK on the E6 any-k path workload. The
-// engine adds acyclicity detection, the AGM-bound LP, and one virtual
-// dispatch layer; target overhead is < 5% at bench sizes.
+// engine adds acyclicity detection, the AGM-bound LP, the sampling
+// cardinality estimator (relation reservoirs + a budgeted sample
+// join), and one virtual dispatch layer; target overhead is < 25% at
+// bench sizes for a one-shot Execute. Repeat requests through
+// ServingEngine skip the planning slice entirely via the plan cache
+// (bench_e12_planner measures that delta).
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"

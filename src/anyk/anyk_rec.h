@@ -45,6 +45,7 @@ class AnyKRec : public RankedIterator {
     RankedResult out;
     out.assignment = std::move(r->first);
     out.cost = CM::ToDouble(r->second);
+    out.cost_vector = CM::Components(r->second);
     return out;
   }
 

@@ -124,6 +124,7 @@ class BatchSorted : public RankedIterator {
     RankedResult out;
     tdp_->AssignmentOf(entries_[pos_].choice, &out.assignment);
     out.cost = CM::ToDouble(entries_[pos_].cost);
+    out.cost_vector = CM::Components(entries_[pos_].cost);
     ++pos_;
     return out;
   }

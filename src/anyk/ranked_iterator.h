@@ -3,6 +3,7 @@
 #ifndef TOPKJOIN_ANYK_RANKED_ITERATOR_H_
 #define TOPKJOIN_ANYK_RANKED_ITERATOR_H_
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -16,7 +17,24 @@ namespace topkjoin {
 struct RankedResult {
   std::vector<Value> assignment;
   double cost = 0.0;
+  /// Full cost components for vector-valued dioids (LEX): the
+  /// descending-sorted member weights, with cost == cost_vector[0].
+  /// Scalar dioids (SUM/MAX/PROD) leave it empty -- their `cost` is
+  /// already exact. Merges and differential checks compare the full
+  /// vector, so no ranking information is lost through the stream.
+  std::vector<double> cost_vector;
 };
+
+/// The total cost order on results: the primary `cost` first, then the
+/// full component vector. For scalar dioids this is the plain double
+/// order; for LEX it resolves primary-component ties exactly.
+inline bool RankedCostLess(const RankedResult& a, const RankedResult& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  return std::lexicographical_compare(a.cost_vector.begin(),
+                                      a.cost_vector.end(),
+                                      b.cost_vector.begin(),
+                                      b.cost_vector.end());
+}
 
 /// Pull-based ranked enumeration. Next() returns results in
 /// non-decreasing cost order; nullopt when exhausted.

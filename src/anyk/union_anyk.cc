@@ -14,7 +14,10 @@ struct UnionAnyK::Impl {
   };
   struct HeadOrder {
     bool operator()(const Head& a, const Head& b) const {
-      return a.result.cost > b.result.cost;  // min-queue
+      // Min-queue on the full cost order: primary double, then the
+      // component vector, so LEX streams from different case plans
+      // merge in exact lexicographic order, not primary-only.
+      return RankedCostLess(b.result, a.result);
     }
   };
 

@@ -1,11 +1,20 @@
 #include "src/data/database.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace topkjoin {
 
+uint64_t Database::NextEpochSeed() {
+  // Distinct high bits per Database instance; the low 32 bits count
+  // mutations. Two objects would need 2^32 bumps to collide.
+  static std::atomic<uint64_t> epoch{1};
+  return epoch.fetch_add(1, std::memory_order_relaxed) << 32;
+}
+
 RelationId Database::Add(Relation relation) {
   relations_.push_back(std::make_unique<Relation>(std::move(relation)));
+  ++version_;
   return relations_.size() - 1;
 }
 

@@ -5,6 +5,7 @@
 #ifndef TOPKJOIN_DATA_DATABASE_H_
 #define TOPKJOIN_DATA_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,8 +34,21 @@ class Database {
   }
   Relation& mutable_relation(RelationId id) {
     TOPKJOIN_DCHECK(id < relations_.size());
+    // Conservative: handing out a mutable reference counts as a data
+    // change (the caller may append/filter/sort through it).
+    ++version_;
     return *relations_[id];
   }
+
+  /// Monotonically increasing data version: bumped by Add and by every
+  /// mutable_relation access. Cross-request caches (the serving layer's
+  /// plan cache) key on (database identity, version) and treat any bump
+  /// as invalidation of everything derived from the old contents.
+  /// Seeded from a process-wide epoch counter, so a new Database that
+  /// happens to be allocated at a freed one's address cannot replay the
+  /// old object's versions (see ServingEngine::InvalidateCachedPlans
+  /// for the belt-and-suspenders explicit drop).
+  uint64_t version() const { return version_; }
 
   /// Looks up a relation by name; returns nullptr when absent.
   const Relation* Find(const std::string& name) const;
@@ -43,7 +57,10 @@ class Database {
   size_t MaxRelationSize() const;
 
  private:
+  static uint64_t NextEpochSeed();
+
   std::vector<std::unique_ptr<Relation>> relations_;
+  uint64_t version_ = NextEpochSeed();
 };
 
 }  // namespace topkjoin

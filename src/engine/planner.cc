@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "src/cycles/fourcycle.h"
@@ -23,8 +25,36 @@ std::string FormatCount(double v) {
   return buf;
 }
 
+// The 4-cycle union-of-cases materializes per-case bags whose total
+// size is bounded by the best fhw-2 split of the cycle; estimate both
+// splits and take the cheaper as the plan's intermediate estimate.
+double EstimateFourCycleIntermediate(const ConjunctiveQuery& query,
+                                     const CardinalityEstimator& estimator) {
+  AtomGrouping opposite_a;
+  opposite_a.groups = {{0, 1}, {2, 3}};
+  AtomGrouping opposite_b;
+  opposite_b.groups = {{1, 2}, {3, 0}};
+  const double a =
+      estimator.EstimateDecomposition(query, opposite_a).intermediate_tuples;
+  const double b =
+      estimator.EstimateDecomposition(query, opposite_b).intermediate_tuples;
+  return std::min(a, b);
+}
+
+}  // namespace
+
+double ResolveAgmBound(const StatusOr<double>& agm, QueryPlan* plan) {
+  if (agm.ok()) return agm.value();
+  // An LP failure means the worst case is *unknown*, not that the
+  // output is empty: propagate the most conservative bound so no
+  // downstream heuristic mistakes the failure for "tiny output".
+  Explain(plan, "AGM bound unavailable (" + agm.status().message() +
+                    "): treating the worst case as unbounded");
+  return std::numeric_limits<double>::infinity();
+}
+
 // Chooses the per-tree algorithm for an acyclic (sub)plan from the
-// requested k and the AGM output estimate. Section 4 of the paper: any-k
+// requested k and the output estimate. Section 4 of the paper: any-k
 // wins time-to-first-result, batch-then-sort amortizes best when nearly
 // the whole output is consumed; among the any-k variants PART(Lazy)
 // reaches the first results fastest while REC amortizes toward a full
@@ -43,7 +73,13 @@ AnyKAlgorithm ChooseTreeAlgorithm(const ExecutionOptions& opts,
     return AnyKAlgorithm::kRec;
   }
   const double k = static_cast<double>(*opts.k);
-  if (*opts.k > kAlwaysAnyKThreshold &&
+  const bool output_known = std::isfinite(estimated_output);
+  if (!output_known) {
+    Explain(plan,
+            "output estimate unknown: batch-then-sort disabled (it pays "
+            "for the whole output up front), staying any-k");
+  }
+  if (output_known && *opts.k > kAlwaysAnyKThreshold &&
       k >= kBatchOutputFraction * estimated_output) {
     Explain(plan, "k=" + FormatCount(k) + " >= " +
                       FormatCount(kBatchOutputFraction) +
@@ -62,8 +98,6 @@ AnyKAlgorithm ChooseTreeAlgorithm(const ExecutionOptions& opts,
                     ": anyk-rec balances delay and total time");
   return AnyKAlgorithm::kRec;
 }
-
-}  // namespace
 
 const char* PlanStrategyName(PlanStrategy strategy) {
   switch (strategy) {
@@ -91,6 +125,10 @@ std::string QueryPlan::DebugString() const {
   out += k.has_value() ? FormatCount(static_cast<double>(*k)) : "all";
   out += ", est_output=";
   out += FormatCount(estimated_output);
+  out += ", est_intermediate=";
+  out += FormatCount(estimated_intermediate);
+  out += ", agm_bound=";
+  out += FormatCount(agm_bound);
   if (grouping.has_value()) {
     out += ", bags=";
     out += FormatCount(static_cast<double>(grouping->groups.size()));
@@ -103,7 +141,8 @@ std::string QueryPlan::DebugString() const {
 StatusOr<QueryPlan> PlanQuery(const Database& db,
                               const ConjunctiveQuery& query,
                               const RankingSpec& ranking,
-                              const ExecutionOptions& opts) {
+                              const ExecutionOptions& opts,
+                              const CardinalityEstimator* estimator) {
   if (query.NumAtoms() == 0) {
     return Status::Error("cannot plan an empty query");
   }
@@ -124,8 +163,21 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
   QueryPlan plan;
   plan.ranking = ranking;
   plan.k = opts.k;
-  const auto agm = AgmBound(query, db);
-  plan.estimated_output = agm.ok() ? agm.value() : 0.0;
+  plan.agm_bound = ResolveAgmBound(AgmBound(query, db), &plan);
+
+  // Instance cardinalities from the sampling estimator, with the AGM
+  // worst case kept as an upper-bound clamp (sampling can overshoot on
+  // tiny/degenerate inputs; it can never beat the worst case).
+  std::optional<CardinalityEstimator> local_estimator;
+  if (estimator == nullptr) {
+    local_estimator.emplace(db);
+    estimator = &*local_estimator;
+  }
+  const double sampled = estimator->EstimateOutput(query);
+  plan.estimated_output = std::min(sampled, plan.agm_bound);
+  Explain(&plan, "sampling estimator: output ~" + FormatCount(sampled) +
+                     " (AGM worst-case clamp " + FormatCount(plan.agm_bound) +
+                     (sampled > plan.agm_bound ? ", clamp applied)" : ")"));
 
   if (IsAcyclic(query)) {
     Explain(&plan, "GYO reduction succeeds: query is alpha-acyclic, "
@@ -135,6 +187,11 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
     plan.strategy = plan.algorithm == AnyKAlgorithm::kBatch
                         ? PlanStrategy::kBatchSort
                         : PlanStrategy::kAnyKDirect;
+    // Streaming any-k materializes nothing beyond the (input-linear)
+    // full reducer; batch pays for the whole output before sorting.
+    plan.estimated_intermediate =
+        plan.strategy == PlanStrategy::kBatchSort ? plan.estimated_output
+                                                  : 0.0;
     return plan;
   }
 
@@ -147,20 +204,41 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
                      "member-weight sequences");
   if (IsFourCycleShaped(query)) {
     plan.strategy = PlanStrategy::kUnionCases;
+    plan.estimated_intermediate =
+        EstimateFourCycleIntermediate(query, *estimator);
     Explain(&plan,
             "4-cycle shape detected: heavy/light case plans partition the "
             "output, ranked union merges the per-case any-k streams "
-            "(O~(n^1.5) preprocessing vs O~(n^2) single-tree)");
+            "(O~(n^1.5) preprocessing vs O~(n^2) single-tree); case bags "
+            "estimated <= " +
+                FormatCount(plan.estimated_intermediate) + " tuples");
   } else {
-    const auto grouping = FindAcyclicGrouping(query);
+    // Cost-aware grouping: greedy merges minimize the estimated
+    // materialized bag size instead of blindly maximizing shared
+    // variables -- on skewed instances the two differ by orders of
+    // magnitude of intermediate tuples.
+    const auto grouping =
+        FindAcyclicGrouping(query, [&](const std::vector<size_t>& atoms) {
+          return estimator->EstimateJoinSize(query, atoms);
+        });
     if (!grouping.has_value()) {
       return Status::Error("no acyclic grouping found for cyclic query");
     }
     plan.strategy = PlanStrategy::kDecompose;
     plan.grouping = *grouping;
-    Explain(&plan, "greedy acyclic grouping into " +
+    const DecompositionEstimate bags =
+        estimator->EstimateDecomposition(query, *grouping);
+    plan.estimated_intermediate = bags.intermediate_tuples;
+    std::string bag_sizes;
+    for (size_t g = 0; g < bags.bag_tuples.size(); ++g) {
+      if (g > 0) bag_sizes += ", ";
+      bag_sizes += FormatCount(bags.bag_tuples[g]);
+    }
+    Explain(&plan, "estimated-cost acyclic grouping into " +
                        std::to_string(grouping->groups.size()) +
-                       " bag(s); any-k runs over the materialized bag query");
+                       " bag(s) of ~[" + bag_sizes +
+                       "] tuples; any-k runs over the materialized bag "
+                       "query");
   }
   // Inside decomposed plans the tree algorithm still follows the k
   // heuristic (each case/bag query is acyclic).

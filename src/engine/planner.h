@@ -26,6 +26,7 @@
 #include "src/query/cq.h"
 #include "src/query/decomposition.h"
 #include "src/ranking/cost_model.h"
+#include "src/stats/cardinality_estimator.h"
 #include "src/util/status.h"
 
 namespace topkjoin {
@@ -64,9 +65,19 @@ struct QueryPlan {
   RankingSpec ranking;
   std::optional<size_t> k;
   std::optional<AtomGrouping> grouping;
-  /// AGM output bound for the instance (0 when the LP is infeasible,
-  /// which does not arise for full CQs).
+  /// Best available output-size estimate: the sampling estimator's
+  /// value clamped from above by the AGM bound. +infinity only when
+  /// both are unavailable (treated as "unknown", never as "tiny").
   double estimated_output = 0.0;
+  /// Estimated tuples materialized before enumeration starts, in
+  /// JoinStats units: bag sizes for decomposed plans, the full output
+  /// for batch-then-sort, 0 for streaming any-k over the query as
+  /// written (full-reducer preprocessing is input-linear).
+  double estimated_intermediate = 0.0;
+  /// Raw AGM worst-case bound; +infinity when the LP failed. Retained
+  /// next to the sampled estimate so Explain output shows how loose the
+  /// worst case is on this instance.
+  double agm_bound = 0.0;
   /// Human-readable trace of every heuristic decision taken.
   std::string rationale;
 
@@ -87,10 +98,34 @@ inline constexpr size_t kAlwaysAnyKThreshold = 128;
 /// ranking dioid: bag materialization carries per-tuple member-weight
 /// sequences, so non-additive dioids (MAX/PROD/LEX) rank decomposed
 /// plans exactly (the dioid is recorded in the plan's rationale).
+///
+/// Cardinalities come from a sampling estimator (src/stats/), with the
+/// AGM bound retained as an upper-bound clamp: `estimated_output` and
+/// `estimated_intermediate` are instance estimates, and bag groupings
+/// minimize estimated bag sizes rather than following the blind
+/// shared-variable greedy. Pass a prebuilt `estimator` (built over this
+/// exact `db` at its current version) to amortize sampling across
+/// queries -- the serving layer's plan cache does; nullptr builds a
+/// transient one for this call.
 StatusOr<QueryPlan> PlanQuery(const Database& db,
                               const ConjunctiveQuery& query,
                               const RankingSpec& ranking,
-                              const ExecutionOptions& opts);
+                              const ExecutionOptions& opts,
+                              const CardinalityEstimator* estimator = nullptr);
+
+/// (Exposed for tests.) Folds the AGM LP outcome into the plan's
+/// `agm_bound`: a failed bound becomes +infinity ("unknown") with an
+/// Explain note -- never 0, which ChooseTreeAlgorithm would read as
+/// "tiny output" and use to justify batch-then-sort.
+double ResolveAgmBound(const StatusOr<double>& agm, QueryPlan* plan);
+
+/// (Exposed for tests.) The per-tree algorithm heuristic: batch beyond
+/// kBatchOutputFraction of the estimated output, any-k otherwise. A
+/// non-finite (unknown) estimate disables the batch route entirely --
+/// batch-then-sort is only safe when the output is known to be bounded
+/// near k.
+AnyKAlgorithm ChooseTreeAlgorithm(const ExecutionOptions& opts,
+                                  double estimated_output, QueryPlan* plan);
 
 }  // namespace topkjoin
 

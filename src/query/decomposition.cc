@@ -82,18 +82,19 @@ DecomposedQuery MaterializeGrouping(const Database& db,
 }
 
 std::optional<AtomGrouping> FindAcyclicGrouping(
-    const ConjunctiveQuery& query) {
+    const ConjunctiveQuery& query, const BagCostFn& bag_cost) {
   if (query.NumAtoms() == 0) return std::nullopt;
   AtomGrouping grouping;
   for (size_t i = 0; i < query.NumAtoms(); ++i) grouping.groups.push_back({i});
 
   while (!IsAcyclicGrouping(query, grouping)) {
     TOPKJOIN_CHECK(grouping.groups.size() > 1);
-    // Merge the two groups sharing the most variables (ties: smallest
-    // combined atom count, then lowest indices, for determinism).
     size_t best_i = 0, best_j = 1;
+    double best_cost = 0.0;
+    bool best_connected = false;
     int best_shared = -1;
     size_t best_size = SIZE_MAX;
+    bool have_best = false;
     for (size_t i = 0; i < grouping.groups.size(); ++i) {
       for (size_t j = i + 1; j < grouping.groups.size(); ++j) {
         const auto vi = GroupVars(query, grouping.groups[i]);
@@ -101,10 +102,27 @@ std::optional<AtomGrouping> FindAcyclicGrouping(
         std::vector<VarId> shared;
         std::set_intersection(vi.begin(), vi.end(), vj.begin(), vj.end(),
                               std::back_inserter(shared));
+        const bool connected = !shared.empty();
+        std::vector<size_t> merged = grouping.groups[i];
+        merged.insert(merged.end(), grouping.groups[j].begin(),
+                      grouping.groups[j].end());
+        std::sort(merged.begin(), merged.end());
+        const double cost = bag_cost(merged);
         const int s = static_cast<int>(shared.size());
-        const size_t size =
-            grouping.groups[i].size() + grouping.groups[j].size();
-        if (s > best_shared || (s == best_shared && size < best_size)) {
+        const size_t size = merged.size();
+        // Connected beats disconnected; then cheapest estimated bag;
+        // structural tie-breaks keep the choice deterministic.
+        const bool better =
+            !have_best || (connected && !best_connected) ||
+            (connected == best_connected &&
+             (cost < best_cost ||
+              (cost == best_cost &&
+               (s > best_shared ||
+                (s == best_shared && size < best_size)))));
+        if (better) {
+          have_best = true;
+          best_connected = connected;
+          best_cost = cost;
           best_shared = s;
           best_size = size;
           best_i = i;
@@ -120,6 +138,15 @@ std::optional<AtomGrouping> FindAcyclicGrouping(
                           static_cast<ptrdiff_t>(best_j));
   }
   return grouping;
+}
+
+std::optional<AtomGrouping> FindAcyclicGrouping(
+    const ConjunctiveQuery& query) {
+  // With every bag cost tied, the cost-aware greedy's tie-breaks
+  // (connected-first, most shared variables, smallest merged group,
+  // lowest indices) reduce exactly to the structural heuristic.
+  return FindAcyclicGrouping(query,
+                             [](const std::vector<size_t>&) { return 0.0; });
 }
 
 }  // namespace topkjoin

@@ -21,6 +21,7 @@
 #ifndef TOPKJOIN_QUERY_DECOMPOSITION_H_
 #define TOPKJOIN_QUERY_DECOMPOSITION_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -67,6 +68,22 @@ DecomposedQuery MaterializeGrouping(const Database& db,
 /// the grouping becomes acyclic. Always terminates (a single group is
 /// trivially acyclic). Returns nullopt only for empty queries.
 std::optional<AtomGrouping> FindAcyclicGrouping(const ConjunctiveQuery& query);
+
+/// Estimated materialization cost (in tuples, JoinStats units) of the
+/// bag formed by joining the given atoms of the query.
+using BagCostFn = std::function<double(const std::vector<size_t>&)>;
+
+/// Cost-aware variant: the same greedy merge loop, but among candidate
+/// merges it picks the one whose resulting bag has the smallest
+/// estimated materialized size -- the RAM-model cost the paper charges
+/// single-tree decompositions for -- instead of blindly maximizing
+/// shared variables. Merges of variable-sharing groups are preferred
+/// over disconnected ones (a disconnected merge is a cross product);
+/// ties fall back to the structural heuristic (more shared variables,
+/// then fewer atoms, then lowest indices), so the result is
+/// deterministic for a deterministic cost function.
+std::optional<AtomGrouping> FindAcyclicGrouping(const ConjunctiveQuery& query,
+                                                const BagCostFn& bag_cost);
 
 }  // namespace topkjoin
 

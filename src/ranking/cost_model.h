@@ -10,6 +10,8 @@
 #define TOPKJOIN_RANKING_COST_MODEL_H_
 
 #include <algorithm>
+#include <functional>
+#include <iterator>
 #include <limits>
 #include <span>
 #include <vector>
@@ -86,6 +88,9 @@ struct SumCost {
   static CostT Combine(const CostT& a, const CostT& b) { return a + b; }
   static bool Less(const CostT& a, const CostT& b) { return a < b; }
   static double ToDouble(const CostT& c) { return c; }
+  /// Full cost components for the result stream; empty for scalar
+  /// dioids, whose ToDouble already carries the exact cost.
+  static std::vector<double> Components(const CostT&) { return {}; }
 };
 
 /// MAX: bottleneck ranking -- the heaviest participating tuple decides.
@@ -104,6 +109,7 @@ struct MaxCost {
   }
   static bool Less(const CostT& a, const CostT& b) { return a < b; }
   static double ToDouble(const CostT& c) { return c; }
+  static std::vector<double> Components(const CostT&) { return {}; }
 };
 
 /// PROD: multiplicative ranking over nonnegative weights (e.g.,
@@ -124,31 +130,53 @@ struct ProdCost {
   static CostT Combine(const CostT& a, const CostT& b) { return a * b; }
   static bool Less(const CostT& a, const CostT& b) { return a < b; }
   static double ToDouble(const CostT& c) { return c; }
+  static std::vector<double> Components(const CostT&) { return {}; }
 };
 
-/// LEX: lexicographic ranking by per-stage weights in combination order.
-/// Combine concatenates; comparison is lexicographic with shorter
-/// sequences treated as padded with -infinity (so prefixes compare
-/// before their extensions, which never matters for equal-length
-/// comparisons inside one query).
+/// LEX: leximax ranking -- lexicographic comparison of the
+/// descending-sorted member weights: minimize the heaviest
+/// participating weight, then the second heaviest, and so on (the
+/// lexicographic-bottleneck refinement of MAX).
+///
+/// The canonical sorted representation is what makes LEX a *selective
+/// dioid* under the contract at the top of this file: Combine (a
+/// descending sorted merge, i.e. multiset union) is associative AND
+/// commutative, so a result's cost is independent of the combination
+/// order the pipeline happens to use -- direct trees, bag
+/// decompositions, and 4-cycle case plans all assign identical vectors
+/// to the same result, streams from different plans merge consistently,
+/// and the differential harness can check full vectors against an
+/// order-agnostic oracle. (The previous concatenate-in-combination-
+/// order Combine was not commutative: costs depended on the join-tree
+/// shape, which made cross-plan comparison primary-component-only.)
+///
+/// Comparison treats shorter sequences as padded with -infinity, so
+/// prefixes compare before their extensions; sequences compared inside
+/// one query always have equal length (one weight per atom).
 struct LexCost {
   using CostT = std::vector<double>;
   static constexpr const char* kName = "lex";
   static CostT Identity() { return {}; }
   static CostT FromWeight(Weight w) { return {w}; }
   static CostT FromWeights(std::span<const Weight> ws) {
-    return {ws.begin(), ws.end()};
+    CostT out{ws.begin(), ws.end()};
+    std::sort(out.begin(), out.end(), std::greater<double>());
+    return out;
   }
   static CostT Combine(const CostT& a, const CostT& b) {
-    CostT out = a;
-    out.insert(out.end(), b.begin(), b.end());
+    CostT out;
+    out.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(out), std::greater<double>());
     return out;
   }
   static bool Less(const CostT& a, const CostT& b) {
     return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
                                         b.end());
   }
+  /// The primary (heaviest) component -- the bottleneck weight.
   static double ToDouble(const CostT& c) { return c.empty() ? 0.0 : c[0]; }
+  static std::vector<double> Components(const CostT& c) { return c; }
 };
 
 /// Runtime tag for benches/examples that select a model dynamically.

@@ -1,0 +1,112 @@
+#include "src/serving/plan_cache.h"
+
+#include <utility>
+
+#include "src/util/hash.h"
+
+namespace topkjoin {
+
+namespace {
+
+// Sentinels for optional fields in the fingerprint encoding; the flag
+// word preceding each value keeps "absent" distinct from any real value.
+constexpr uint64_t kAbsent = 0;
+constexpr uint64_t kPresent = 1;
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+PlanCache::Fingerprint PlanCache::Make(const Database& db,
+                                       const ConjunctiveQuery& query,
+                                       const RankingSpec& ranking,
+                                       const ExecutionOptions& opts) {
+  Fingerprint f;
+  f.db = &db;
+  auto& e = f.encoded;
+  e.reserve(8 + query.NumAtoms() * 6);
+  e.push_back(static_cast<uint64_t>(query.num_vars()));
+  e.push_back(static_cast<uint64_t>(ranking.model));
+  e.push_back(opts.k.has_value() ? kPresent : kAbsent);
+  e.push_back(opts.k.value_or(0));
+  e.push_back(opts.force_algorithm.has_value() ? kPresent : kAbsent);
+  e.push_back(static_cast<uint64_t>(
+      opts.force_algorithm.value_or(AnyKAlgorithm::kRec)));
+  e.push_back(query.NumAtoms());
+  for (const Atom& atom : query.atoms()) {
+    e.push_back(static_cast<uint64_t>(atom.relation));
+    e.push_back(atom.vars.size());
+    for (const VarId v : atom.vars) e.push_back(static_cast<uint64_t>(v));
+  }
+  uint64_t h = HashMix(0x706c616e63616368ULL,
+                       reinterpret_cast<uintptr_t>(f.db));
+  for (const uint64_t word : e) h = HashMix(h, word);
+  f.hash = h;
+  return f;
+}
+
+std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
+                                           uint64_t db_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->db_version != db_version) {
+    // The database changed since this plan was made; the cardinality
+    // estimates (and even the chosen grouping) may no longer hold.
+    EraseLocked(it->second);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const Fingerprint& key, uint64_t db_version,
+                       const QueryPlan& plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->db_version = db_version;
+    it->second->plan = plan;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, db_version, plan});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::InvalidateDatabase(const Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const auto next = std::next(it);
+    if (it->key.db == db) {
+      EraseLocked(it);
+      ++stats_.invalidations;
+    }
+    it = next;
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void PlanCache::EraseLocked(LruList::iterator it) {
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace topkjoin

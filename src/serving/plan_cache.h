@@ -1,0 +1,108 @@
+// Cross-request plan cache for the serving layer.
+//
+// Planning a query is no longer cheap: PlanQuery samples every relation
+// (src/stats/), solves the AGM LP, and searches bag groupings. Serving
+// workloads repeat a small set of hot queries, so ServingEngine caches
+// the finished QueryPlan keyed by a structural fingerprint of
+// (query, ranking, execution options) plus the identity AND version of
+// the database it was planned against. A version bump (any Database::Add
+// or mutable_relation access) makes every cached plan for that database
+// unreachable; stale entries are dropped lazily on the next lookup that
+// collides with them and bounded overall by LRU capacity.
+//
+// Thread-safety: all methods are safe to call concurrently (one mutex;
+// the cache is only touched once per OpenCursor, never per Fetch).
+#ifndef TOPKJOIN_SERVING_PLAN_CACHE_H_
+#define TOPKJOIN_SERVING_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/planner.h"
+
+namespace topkjoin {
+
+/// Monitoring counters; `entries` is the current size.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Lookups that found a fingerprint match planned against an older
+  /// database version (the entry is dropped and the lookup misses).
+  uint64_t invalidations = 0;
+  /// LRU capacity evictions.
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  /// `capacity` bounds the entry count; 0 disables caching entirely
+  /// (every Lookup misses, Insert is a no-op).
+  explicit PlanCache(size_t capacity);
+
+  /// Structural identity of a plan request. Two requests fingerprint
+  /// equal iff they reference the same Database object and encode the
+  /// same (atoms, num_vars, ranking dioid, k, forced algorithm) --
+  /// everything PlanQuery's output depends on besides the data itself,
+  /// which the version argument of Lookup/Insert covers.
+  struct Fingerprint {
+    const Database* db = nullptr;
+    std::vector<uint64_t> encoded;
+    uint64_t hash = 0;
+
+    bool operator==(const Fingerprint& other) const {
+      return db == other.db && encoded == other.encoded;
+    }
+  };
+
+  static Fingerprint Make(const Database& db, const ConjunctiveQuery& query,
+                          const RankingSpec& ranking,
+                          const ExecutionOptions& opts);
+
+  /// Returns the cached plan when present and planned at `db_version`;
+  /// a version mismatch drops the stale entry and misses.
+  std::optional<QueryPlan> Lookup(const Fingerprint& key,
+                                  uint64_t db_version);
+
+  /// Caches `plan` for the key at `db_version`, evicting the least
+  /// recently used entry beyond capacity. Re-inserting an existing key
+  /// overwrites (last planner wins; concurrent planners of the same
+  /// query produce identical plans anyway -- planning is deterministic).
+  void Insert(const Fingerprint& key, uint64_t db_version,
+              const QueryPlan& plan);
+
+  /// Drops every entry for the given database (e.g. before freeing it).
+  void InvalidateDatabase(const Database* db);
+
+  PlanCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct FingerprintHash {
+    size_t operator()(const Fingerprint& f) const {
+      return static_cast<size_t>(f.hash);
+    }
+  };
+  struct Entry {
+    Fingerprint key;
+    uint64_t db_version = 0;
+    QueryPlan plan;
+  };
+  using LruList = std::list<Entry>;
+
+  void EraseLocked(LruList::iterator it);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_SERVING_PLAN_CACHE_H_

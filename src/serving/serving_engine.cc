@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/engine/executor.h"
 #include "src/util/common.h"
 
 namespace topkjoin {
@@ -22,7 +23,9 @@ Status NoSessionError(SessionId id) {
 }  // namespace
 
 ServingEngine::ServingEngine(ServingOptions options)
-    : cursors_(options.num_stripes), pool_(options.num_workers) {}
+    : cursors_(options.num_stripes),
+      plan_cache_(options.plan_cache_capacity),
+      pool_(options.num_workers) {}
 
 // -------------------------------------------------------------- sessions
 
@@ -84,17 +87,51 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
   std::shared_ptr<Session> session = FindSession(session_id);
   if (session == nullptr) return NoSessionError(session_id);
 
-  // Plan + compile without holding any lock: Engine::Execute is
-  // stateless, and preprocessing (full reducer, bag materialization) can
-  // be the expensive part of a request.
-  auto result = engine_.Execute(db, query, ranking, opts);
-  if (!result.ok()) return result.status();
+  // Plan + compile without holding any cursor lock: both are stateless,
+  // and preprocessing (full reducer, bag materialization) can be the
+  // expensive part of a request. Hot queries skip planning entirely:
+  // the cached QueryPlan already fixes strategy, algorithm, and bag
+  // grouping, so a warm OpenCursor pays only for compilation.
+  const PlanCache::Fingerprint key =
+      PlanCache::Make(db, query, ranking, opts);
+  std::optional<QueryPlan> plan = plan_cache_.Lookup(key, db.version());
+  if (!plan.has_value()) {
+    const std::shared_ptr<const CardinalityEstimator> estimator =
+        EstimatorFor(db);
+    auto planned = PlanQuery(db, query, ranking, opts, estimator.get());
+    if (!planned.ok()) return planned.status();
+    plans_computed_.fetch_add(1, std::memory_order_relaxed);
+    plan = std::move(planned).value();
+    plan_cache_.Insert(key, db.version(), *plan);
+  }
+  auto stream = CompilePlan(db, query, *plan);
+  if (!stream.ok()) return stream.status();
 
   session->AddCursor();
   return cursors_.Insert(
-      std::make_unique<Cursor>(std::move(result.value().stream),
+      std::make_unique<Cursor>(std::move(stream).value(),
                                ResolveCursorOptions(cursor_options, opts)),
       std::move(session));
+}
+
+std::shared_ptr<const CardinalityEstimator> ServingEngine::EstimatorFor(
+    const Database& db) {
+  std::lock_guard<std::mutex> lock(estimator_mu_);
+  if (cached_estimator_.db == &db &&
+      cached_estimator_.version == db.version()) {
+    return cached_estimator_.estimator;
+  }
+  // Building under the lock serializes concurrent first-misses of the
+  // same database onto one sampling pass instead of racing duplicates.
+  auto built = std::make_shared<const CardinalityEstimator>(db);
+  cached_estimator_ = {&db, db.version(), built};
+  return built;
+}
+
+void ServingEngine::InvalidateCachedPlans(const Database& db) {
+  plan_cache_.InvalidateDatabase(&db);
+  std::lock_guard<std::mutex> lock(estimator_mu_);
+  if (cached_estimator_.db == &db) cached_estimator_ = {};
 }
 
 Status ServingEngine::CloseCursor(CursorId id) {

@@ -15,13 +15,15 @@
 //     one heavy query cannot starve the rest (session.h).
 //
 // Thread-safety: every public method may be called from any thread at
-// any time. Plan + compile (OpenCursor) runs without any lock -- Engine
-// Execute is stateless -- and enumeration holds only the one stripe
+// any time. Plan + compile (OpenCursor) runs without holding any cursor
+// lock -- PlanQuery/CompilePlan are stateless and the plan cache has
+// its own short-held mutex -- and enumeration holds only the one stripe
 // mutex. The caller must not mutate a Database while cursors over it are
 // open (same contract as Engine).
 #ifndef TOPKJOIN_SERVING_SERVING_ENGINE_H_
 #define TOPKJOIN_SERVING_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <functional>
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "src/engine/engine.h"
+#include "src/serving/plan_cache.h"
 #include "src/serving/session.h"
 #include "src/serving/sharded_cursor_table.h"
 #include "src/serving/worker_pool.h"
@@ -46,6 +49,10 @@ struct ServingOptions {
   /// Lock stripes of the cursor table. More stripes = less false
   /// contention between unrelated cursors.
   size_t num_stripes = 16;
+  /// Entries of the cross-request plan cache (plan_cache.h); hot
+  /// queries skip PlanQuery -- relation sampling, the AGM LP, and the
+  /// grouping search -- on repeat OpenCursor. 0 disables caching.
+  size_t plan_cache_capacity = 256;
 };
 
 /// The outcome of one Fetch slice. `results` is in rank order and
@@ -92,6 +99,13 @@ class ServingEngine {
   /// Planning runs lock-free; only the final registration touches a
   /// stripe. As with Engine::OpenCursor, opts.k becomes the per-cursor
   /// result budget when none is given.
+  ///
+  /// Repeat requests hit the cross-request plan cache: a cached plan
+  /// keyed by (db identity + version, query fingerprint, ranking, opts)
+  /// skips PlanQuery entirely and goes straight to pipeline
+  /// compilation. Any Database::Add or mutable_relation access bumps
+  /// the version and invalidates every plan cached against the old
+  /// contents.
   StatusOr<CursorId> OpenCursor(SessionId session, const Database& db,
                                 const ConjunctiveQuery& query,
                                 const RankingSpec& ranking = {},
@@ -135,6 +149,21 @@ class ServingEngine {
   size_t NumOpenSessions() const;
   size_t num_workers() const { return pool_.num_threads(); }
 
+  /// Plan-cache monitoring: hits/misses/invalidations/evictions.
+  PlanCacheStats GetPlanCacheStats() const { return plan_cache_.stats(); }
+  /// How many times OpenCursor actually ran PlanQuery (i.e., missed the
+  /// plan cache). hits + NumPlansComputed() == successful plan lookups.
+  uint64_t NumPlansComputed() const {
+    return plans_computed_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every cached plan and the sampled statistics for `db`. Data
+  /// *changes* already invalidate through the version key; call this
+  /// before destroying a Database this engine has served, so a future
+  /// allocation reusing its address can never collide with leftover
+  /// entries.
+  void InvalidateCachedPlans(const Database& db);
+
   /// Test hook: drives the idle-eviction clock deterministically (see
   /// ShardedCursorTable::SetTimeSourceForTesting). nullptr restores the
   /// steady clock.
@@ -149,8 +178,25 @@ class ServingEngine {
   void RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket, CursorId id,
                      size_t results_per_slice);
 
-  Engine engine_;  // used only for its stateless Execute
+  /// The sampled statistics for `db` at its current version, built once
+  /// and shared across plan-cache misses (PlanQuery's own contract:
+  /// "pass a prebuilt estimator to amortize sampling"). Single-entry:
+  /// serving workloads hammer one database; alternating databases
+  /// rebuild on each switch, which is still never worse than the
+  /// per-miss transient build it replaces.
+  std::shared_ptr<const CardinalityEstimator> EstimatorFor(
+      const Database& db);
+
   ShardedCursorTable cursors_;
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> plans_computed_{0};
+
+  std::mutex estimator_mu_;
+  struct CachedEstimator {
+    const Database* db = nullptr;
+    uint64_t version = 0;
+    std::shared_ptr<const CardinalityEstimator> estimator;
+  } cached_estimator_;
 
   mutable std::mutex sessions_mu_;
   std::map<SessionId, std::shared_ptr<Session>> sessions_;

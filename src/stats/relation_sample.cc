@@ -1,0 +1,67 @@
+#include "src/stats/relation_sample.h"
+
+#include <algorithm>
+
+namespace topkjoin {
+
+RelationSample::RelationSample(const Relation& relation, size_t max_rows,
+                               uint64_t seed)
+    : relation_(&relation) {
+  const size_t n = relation.NumTuples();
+  const size_t k = std::min(n, std::max<size_t>(1, max_rows));
+  rows_.reserve(k);
+  Rng rng(seed);
+  // Classic reservoir: row i replaces a random slot with probability
+  // k/(i+1), so every row ends up sampled with probability k/n.
+  for (size_t i = 0; i < n; ++i) {
+    if (rows_.size() < k) {
+      rows_.push_back(static_cast<RowId>(i));
+    } else {
+      const uint64_t j = rng.NextBounded(i + 1);
+      if (j < k) rows_[j] = static_cast<RowId>(i);
+    }
+  }
+  std::sort(rows_.begin(), rows_.end());
+  scale_ = rows_.empty()
+               ? 1.0
+               : static_cast<double>(n) / static_cast<double>(rows_.size());
+}
+
+double RelationSample::EstimateDistinct(size_t col) const {
+  if (rows_.empty()) return 0.0;
+  std::unordered_map<Value, uint32_t> freq;
+  freq.reserve(rows_.size());
+  for (const RowId r : rows_) ++freq[relation_->At(r, col)];
+  size_t once = 0;
+  for (const auto& [value, count] : freq) {
+    if (count == 1) ++once;
+  }
+  const double s = static_cast<double>(rows_.size());
+  const double n = static_cast<double>(relation_->NumTuples());
+  // d_hat = d_sample + f1 * (n - s) / s: each singleton in the sample
+  // is evidence of a sparsely-populated value class, so unseen rows
+  // carry proportionally many unseen values. Exact when fully sampled
+  // (n == s makes the correction vanish).
+  const double estimate =
+      static_cast<double>(freq.size()) +
+      static_cast<double>(once) * (n - s) / s;
+  return std::clamp(estimate, static_cast<double>(freq.size()), n);
+}
+
+JoinKeySketch RelationSample::KeySketch(
+    const std::vector<size_t>& cols) const {
+  JoinKeySketch sketch;
+  sketch.scale = scale_;
+  sketch.counts.reserve(rows_.size());
+  ValueKey key;
+  key.values.resize(cols.size());
+  for (const RowId r : rows_) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key.values[i] = relation_->At(r, cols[i]);
+    }
+    ++sketch.counts[key];
+  }
+  return sketch;
+}
+
+}  // namespace topkjoin

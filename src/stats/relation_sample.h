@@ -1,0 +1,81 @@
+// Per-relation statistics for the planner's cardinality estimator: a
+// uniform reservoir sample of the relation's tuples plus sketches
+// derived from it (per-column distinct-value estimates and composite
+// join-key frequency maps).
+//
+// The paper's methodological point (Sections 1-2) is that plan cost
+// must be charged in the RAM model, intermediate results included. The
+// AGM bound the planner used so far only sees relation *sizes*, which
+// makes it wildly loose on skewed data; samples see the actual join-key
+// frequency structure, including correlations between columns, at a
+// bounded (constant per relation) memory cost. The design follows the
+// join-sampling line of work referenced in PAPERS.md: uniform
+// per-relation samples are enough to estimate join sizes by joining the
+// samples and scaling (Horvitz-Thompson), with sketch-based fallbacks
+// when the sampled join is empty.
+#ifndef TOPKJOIN_STATS_RELATION_SAMPLE_H_
+#define TOPKJOIN_STATS_RELATION_SAMPLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/relation.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace topkjoin {
+
+/// Frequency sketch of a composite join key within one relation,
+/// computed from the sample: key -> number of *sampled* rows carrying
+/// it. `scale` converts sampled counts to estimated relation counts.
+/// Because the key is a tuple of column values taken from whole sampled
+/// rows, cross-column correlations survive in the sketch -- the thing a
+/// per-column histogram cannot represent.
+struct JoinKeySketch {
+  std::unordered_map<ValueKey, uint32_t, ValueKeyHash> counts;
+  double scale = 1.0;
+
+  /// Estimated number of relation rows whose projection equals `key`.
+  double EstimateFrequency(const ValueKey& key) const {
+    const auto it = counts.find(key);
+    return it == counts.end() ? 0.0 : scale * it->second;
+  }
+};
+
+/// A uniform (without-replacement) sample of one relation, with the
+/// derived per-column statistics. Borrows the relation: the sample must
+/// not outlive it or survive its mutation (same contract as every join
+/// operator in this library).
+class RelationSample {
+ public:
+  /// Draws a reservoir sample of up to `max_rows` rows. Deterministic
+  /// for a fixed (relation contents, seed) pair.
+  RelationSample(const Relation& relation, size_t max_rows, uint64_t seed);
+
+  const Relation& relation() const { return *relation_; }
+  size_t num_rows() const { return relation_->NumTuples(); }
+  const std::vector<RowId>& sampled_rows() const { return rows_; }
+
+  /// Rows-per-sampled-row scale factor (1.0 when fully sampled).
+  double scale() const { return scale_; }
+
+  /// Estimated number of distinct values in `col`, extrapolated from
+  /// the sample with a first-order (Goodman-style) correction: values
+  /// seen once in the sample hint at unseen values in the relation.
+  double EstimateDistinct(size_t col) const;
+
+  /// Builds the join-key frequency sketch over the given columns.
+  /// O(sample size); callers cache it for the duration of one
+  /// estimation pass.
+  JoinKeySketch KeySketch(const std::vector<size_t>& cols) const;
+
+ private:
+  const Relation* relation_;
+  std::vector<RowId> rows_;  // sampled row ids, ascending
+  double scale_ = 1.0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_STATS_RELATION_SAMPLE_H_

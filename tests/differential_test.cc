@@ -4,9 +4,11 @@
 // executed through Engine::Execute and compared against a brute-force
 // join-then-sort oracle. The comparison is exactly what the any-k
 // contract promises:
-//   * the emitted cost sequence is non-decreasing (ties may reorder);
-//   * the multiset of (assignment, cost) results equals the oracle's --
-//     nothing lost, nothing duplicated, nothing invented.
+//   * the emitted cost sequence is non-decreasing (ties may reorder) --
+//     for LEX under the exact full-vector order, not just the primary;
+//   * the multiset of (assignment, cost) results equals the oracle's,
+//     full LEX cost vectors included -- nothing lost, nothing
+//     duplicated, nothing invented.
 // Every query -- cyclic included -- runs under all four cost dioids
 // (SUM/MAX/PROD/LEX): bag materialization carries per-tuple member
 // weights, so decomposed cyclic plans rank exactly under non-additive
@@ -170,6 +172,7 @@ RandomCase MakeRandomCase(Rng& rng) {
 struct OracleRow {
   std::vector<Value> assignment;
   double cost = 0.0;
+  std::vector<double> cost_vector;  // full components (LEX); else empty
 };
 
 // Brute-force evaluation: backtracking over atoms, one tuple at a time,
@@ -185,7 +188,8 @@ std::vector<OracleRow> BruteForce(const Database& db,
   std::function<void(size_t, typename Policy::CostT)> recurse =
       [&](size_t atom_idx, typename Policy::CostT cost) {
         if (atom_idx == query.NumAtoms()) {
-          out.push_back({assignment, Policy::ToDouble(cost)});
+          out.push_back({assignment, Policy::ToDouble(cost),
+                         Policy::Components(cost)});
           return;
         }
         const Atom& atom = query.atom(atom_idx);
@@ -223,43 +227,55 @@ bool AssignmentLess(const std::vector<Value>& a, const std::vector<Value>& b) {
   return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
 }
 
-// The differential contract. `check_costs` is off only for LEX, whose
-// full cost (a per-stage weight sequence in pipeline combination order)
-// is not observable through the double-valued stream; its assignment
-// multiset and emission monotonicity are still checked.
+// The differential contract, full costs included for every dioid. LEX
+// costs are whole vectors: since the leximax canonicalization the
+// components are the descending-sorted member weights -- raw Weight
+// values, never arithmetically combined -- so vector comparisons
+// against the oracle are exact, and emission order is checked under the
+// same full-vector order the engine's union merge uses.
 void ExpectMatchesOracle(const std::vector<RankedResult>& got,
-                         std::vector<OracleRow> want, bool check_costs,
+                         std::vector<OracleRow> want,
                          const std::string& label) {
   ASSERT_EQ(got.size(), want.size()) << label;
 
-  // Emission order must be non-decreasing in cost.
+  // Emission order must be non-decreasing in cost: primary double with
+  // FP tolerance for the arithmetic dioids, exact full-vector order
+  // (RankedCostLess) when components are present.
   for (size_t i = 1; i < got.size(); ++i) {
-    ASSERT_LE(got[i - 1].cost, got[i].cost + 1e-9)
-        << label << ": rank inversion at " << i;
+    if (got[i].cost_vector.empty() && got[i - 1].cost_vector.empty()) {
+      ASSERT_LE(got[i - 1].cost, got[i].cost + 1e-9)
+          << label << ": rank inversion at " << i;
+    } else {
+      ASSERT_FALSE(RankedCostLess(got[i], got[i - 1]))
+          << label << ": full-vector rank inversion at " << i;
+    }
   }
 
-  // Multiset equality: sort both sides by (assignment, cost) and compare
-  // pairwise. Ties in assignment+cost are interchangeable, and FP noise
+  // Multiset equality: sort both sides by (assignment, cost, vector)
+  // and compare pairwise. Ties are interchangeable, and FP noise
   // between combination orders stays far under the tolerance.
   std::vector<OracleRow> sorted_got;
   sorted_got.reserve(got.size());
-  for (const RankedResult& r : got) sorted_got.push_back({r.assignment, r.cost});
+  for (const RankedResult& r : got) {
+    sorted_got.push_back({r.assignment, r.cost, r.cost_vector});
+  }
   const auto by_assignment_then_cost = [](const OracleRow& a,
                                           const OracleRow& b) {
     if (a.assignment != b.assignment) {
       return AssignmentLess(a.assignment, b.assignment);
     }
-    return a.cost < b.cost;
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.cost_vector < b.cost_vector;
   };
   std::sort(sorted_got.begin(), sorted_got.end(), by_assignment_then_cost);
   std::sort(want.begin(), want.end(), by_assignment_then_cost);
   for (size_t i = 0; i < sorted_got.size(); ++i) {
     ASSERT_EQ(sorted_got[i].assignment, want[i].assignment)
         << label << ": assignment multiset mismatch at " << i;
-    if (check_costs) {
-      ASSERT_NEAR(sorted_got[i].cost, want[i].cost, 1e-6)
-          << label << ": cost mismatch at " << i;
-    }
+    ASSERT_NEAR(sorted_got[i].cost, want[i].cost, 1e-6)
+        << label << ": cost mismatch at " << i;
+    ASSERT_EQ(sorted_got[i].cost_vector, want[i].cost_vector)
+        << label << ": cost vector mismatch at " << i;
   }
 }
 
@@ -272,8 +288,7 @@ void RunDifferential(const RandomCase& c, CostModelKind kind,
   auto result = engine.Execute(c.db, c.query, ranking, {});
   ASSERT_TRUE(result.ok()) << label << ": " << result.status().message();
   ExpectMatchesOracle(Drain(result.value().stream.get()),
-                      BruteForce<Policy>(c.db, c.query),
-                      /*check_costs=*/kind != CostModelKind::kLex, label);
+                      BruteForce<Policy>(c.db, c.query), label);
 }
 
 // Runs one case under all four dioids. Acyclic and cyclic queries get
@@ -344,7 +359,6 @@ TEST(DifferentialTest, AllAlgorithmsAgreeAcrossStrategies) {
       auto result = engine.Execute(c.db, c.query, {}, opts);
       ASSERT_TRUE(result.ok());
       ExpectMatchesOracle(Drain(result.value().stream.get()), want,
-                          /*check_costs=*/true,
                           "algorithm " +
                               std::string(AnyKAlgorithmName(algorithm)) +
                               " on seed=" + std::to_string(seed));

@@ -733,5 +733,224 @@ TEST(ServingStressTest, ConcurrentBudgetedSessionsNeverOverspend) {
   EXPECT_EQ(serving.NumOpenCursors(), 0u);
 }
 
+// ------------------------------------------------------------ plan cache
+
+TEST(PlanCacheTest, HitMissInvalidateAndEvict) {
+  Instance t = MakePathInstance(3, 30, 4, 5);
+  PlanCache cache(/*capacity=*/2);
+
+  QueryPlan plan;
+  plan.estimated_output = 77.0;
+  const auto key = PlanCache::Make(t.db, t.query, {}, {});
+  EXPECT_FALSE(cache.Lookup(key, t.db.version()).has_value());  // miss
+  cache.Insert(key, t.db.version(), plan);
+  const auto hit = cache.Lookup(key, t.db.version());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->estimated_output, 77.0);
+
+  // A version bump makes the entry stale: dropped on the next lookup.
+  EXPECT_FALSE(cache.Lookup(key, t.db.version() + 1).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Distinct execution options fingerprint differently; capacity 2
+  // evicts the least recently used of three.
+  cache.Insert(key, t.db.version(), plan);
+  for (const size_t k : {4u, 9u}) {
+    ExecutionOptions opts;
+    opts.k = k;
+    cache.Insert(PlanCache::Make(t.db, t.query, {}, opts), t.db.version(),
+                 plan);
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_FALSE(cache.Lookup(key, t.db.version()).has_value());  // evicted
+
+  // Rankings fingerprint separately too.
+  RankingSpec max_rank;
+  max_rank.model = CostModelKind::kMax;
+  EXPECT_FALSE(
+      cache.Lookup(PlanCache::Make(t.db, t.query, max_rank, {}), t.db.version())
+          .has_value());
+
+  // Capacity 0 disables caching outright.
+  PlanCache off(0);
+  off.Insert(key, t.db.version(), plan);
+  EXPECT_FALSE(off.Lookup(key, t.db.version()).has_value());
+  EXPECT_EQ(off.stats().entries, 0u);
+}
+
+// The acceptance pin: a warm OpenCursor must skip PlanQuery entirely --
+// counter-verified, not just faster -- and still serve the exact stream.
+TEST(ServingEngineTest, WarmOpenCursorSkipsPlanQuery) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  const auto want = OracleSortedCosts(t);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  auto cold = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);
+  EXPECT_EQ(serving.GetPlanCacheStats().misses, 1u);
+  EXPECT_EQ(serving.GetPlanCacheStats().hits, 0u);
+
+  auto warm = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);  // PlanQuery skipped
+  EXPECT_EQ(serving.GetPlanCacheStats().hits, 1u);
+
+  // The cached plan serves the identical, exact stream.
+  for (const CursorId id : {cold.value(), warm.value()}) {
+    auto outcome = serving.Fetch(id, SIZE_MAX);
+    ASSERT_TRUE(outcome.ok());
+    std::vector<double> got;
+    for (const RankedResult& r : outcome.value().results) {
+      got.push_back(r.cost);
+    }
+    ExpectSameCosts(got, want, "plan-cache stream");
+  }
+
+  // A different ranking or k is a different plan request: both miss.
+  RankingSpec max_rank;
+  max_rank.model = CostModelKind::kMax;
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query, max_rank).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 2u);
+  ExecutionOptions with_k;
+  with_k.k = 3;
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query, {}, with_k).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 3u);
+}
+
+TEST(ServingEngineTest, PlanCacheInvalidatesOnDataChange) {
+  Instance t = MakePathInstance(2, 25, 4, 9);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  auto first = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(serving.Fetch(first.value(), SIZE_MAX).ok());
+  ASSERT_TRUE(serving.CloseCursor(first.value()).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);
+
+  // Mutate the data (all cursors closed: the mutation contract). The
+  // version bump must force a re-plan -- the old cardinalities, and
+  // even the old grouping, no longer describe the data.
+  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({0, 0}, 0.5);
+  const auto want = OracleSortedCosts(t);  // fresh oracle, post-mutation
+
+  auto second = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 2u);  // re-planned
+  EXPECT_EQ(serving.GetPlanCacheStats().invalidations, 1u);
+  auto outcome = serving.Fetch(second.value(), SIZE_MAX);
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> got;
+  for (const RankedResult& r : outcome.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, want, "post-invalidation stream");
+
+  // Warm again at the new version.
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 2u);
+}
+
+// The explicit drop for database-object teardown: data changes already
+// invalidate via the version key, but an operator about to destroy a
+// Database clears its entries (and sampled statistics) so a future
+// allocation reusing the address can never collide.
+TEST(ServingEngineTest, InvalidateCachedPlansDropsDatabaseEntries) {
+  Instance t = MakePathInstance(2, 20, 4, 5);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);
+  EXPECT_EQ(serving.GetPlanCacheStats().entries, 1u);
+
+  serving.InvalidateCachedPlans(t.db);
+  EXPECT_EQ(serving.GetPlanCacheStats().entries, 0u);
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 2u);  // re-planned from scratch
+}
+
+TEST(ServingEngineTest, PlanCacheCapacityZeroDisablesCaching) {
+  Instance t = MakePathInstance(2, 20, 4, 3);
+  ServingOptions options;
+  options.plan_cache_capacity = 0;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession();
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumPlansComputed(), 2u);
+  EXPECT_EQ(serving.GetPlanCacheStats().hits, 0u);
+}
+
+// OpenCursor storm on a small hot query set: the cache must stay
+// consistent under concurrency (TSAN job), serve exact streams, and
+// actually absorb the repeat planning work.
+TEST(ServingStressTest, ConcurrentOpenCursorStormHitsThePlanCache) {
+  constexpr size_t kClientThreads = 8;
+  constexpr size_t kOpensPerThread = 20;
+
+  std::vector<Instance> instances;
+  instances.push_back(MakePathInstance(3, 30, 4, 31));
+  instances.push_back(MakePathInstance(2, 40, 5, 32));
+  instances.push_back(MakeStarInstance(25, 4, 33));
+  std::vector<std::vector<double>> oracles;
+  for (const Instance& t : instances) oracles.push_back(OracleSortedCosts(t));
+
+  ServingOptions options;
+  options.num_workers = 4;
+  ServingEngine serving(options);
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t thread_idx = 0; thread_idx < kClientThreads; ++thread_idx) {
+    clients.emplace_back([&, thread_idx] {
+      Rng rng(4000 + thread_idx);
+      const SessionId session = serving.OpenSession();
+      for (size_t c = 0; c < kOpensPerThread; ++c) {
+        const size_t which = rng.NextBounded(instances.size());
+        auto id = serving.OpenCursor(session, instances[which].db,
+                                     instances[which].query);
+        if (!id.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto outcome = serving.Fetch(id.value(), SIZE_MAX);
+        if (!outcome.ok()) {
+          failures.fetch_add(1);
+        } else {
+          const auto& want = oracles[which];
+          const auto& results = outcome.value().results;
+          if (results.size() != want.size()) {
+            failures.fetch_add(1);
+          } else {
+            for (size_t i = 0; i < results.size(); ++i) {
+              if (std::abs(results[i].cost - want[i]) > 1e-9) {
+                failures.fetch_add(1);
+                break;
+              }
+            }
+          }
+        }
+        if (!serving.CloseCursor(id.value()).ok()) failures.fetch_add(1);
+      }
+      if (!serving.CloseSession(session).ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const PlanCacheStats stats = serving.GetPlanCacheStats();
+  const uint64_t total_opens = kClientThreads * kOpensPerThread;
+  // Every open did exactly one lookup; misses are exactly the plans
+  // computed; concurrent first-opens may each plan, but once a thread
+  // has inserted a query's plan its own later opens always hit.
+  EXPECT_EQ(stats.hits + stats.misses, total_opens);
+  EXPECT_EQ(serving.NumPlansComputed(), stats.misses);
+  EXPECT_LE(serving.NumPlansComputed(), kClientThreads * instances.size());
+  EXPECT_GT(stats.hits, 0u);
+}
+
 }  // namespace
 }  // namespace topkjoin
