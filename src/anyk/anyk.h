@@ -16,14 +16,30 @@
 namespace topkjoin {
 
 /// The ranked-enumeration algorithms the tutorial compares in Part 3.
+/// The four kPart* values are the successor-taking variants of
+/// ANYK-PART (see anyk_part.h): they emit identical ranked streams and
+/// differ in constant factors -- candidate-list maintenance and
+/// frontier pushes per result.
 enum class AnyKAlgorithm {
-  kRec,        // ANYK-REC (recursive enumeration, k-shortest-path lineage)
-  kPartEager,  // ANYK-PART, candidate lists pre-sorted
-  kPartLazy,   // ANYK-PART, candidate lists materialized incrementally
-  kBatch,      // full enumeration + sort (baseline)
+  kRec,          // ANYK-REC (recursive enumeration, k-shortest-path lineage)
+  kPartEager,    // ANYK-PART, candidate lists pre-sorted; ell pushes/result
+  kPartLazy,     // ANYK-PART, lists sorted incrementally; ell pushes/result
+  kPartTake2,    // ANYK-PART, lazy lists + <= 2 frontier pushes per result
+  kPartMemoized, // ANYK-PART, Take2 over incremental-quickselect lists
+  kBatch,        // full enumeration + sort (baseline)
 };
 
 const char* AnyKAlgorithmName(AnyKAlgorithm algorithm);
+
+/// The ANYK-PART successor/sorting variant menu, as a caller-facing
+/// knob (ExecutionOptions::anyk_variant): selects among the kPart*
+/// algorithms without overriding the planner's any-k vs batch routing.
+enum class AnyKPartVariant { kEager, kLazy, kTake2, kMemoized };
+
+const char* AnyKPartVariantName(AnyKPartVariant variant);
+
+/// The kPart* algorithm implementing a variant.
+AnyKAlgorithm AlgorithmForVariant(AnyKPartVariant variant);
 
 /// Builds the T-DP (full reducer + DP + candidate lists) and wraps the
 /// chosen algorithm. The query must be acyclic (CHECK-failed otherwise);

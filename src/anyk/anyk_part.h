@@ -5,20 +5,56 @@
 // A solution serializes the join tree in preorder and picks, for each
 // position, an index into the candidate list of that node's group (the
 // group is determined by the parent's chosen tuple; candidate lists are
-// ordered by best-completion cost). When a solution with deviation
-// position p is popped, its successors bump the index at every position
-// j >= p and re-complete positions > j optimally. Each solution is
-// generated exactly once and a successor never costs less than its
-// parent, so a global priority queue pops results in ranking order.
+// ordered by best-completion cost). The deviations of a popped solution
+// s with deviation position p are: the next rank at p, and rank 1 at
+// every later position (keeping s's prefix, suffix re-completed
+// optimally). Each solution is generated exactly once and a deviation
+// never costs less than its solution, so a global priority queue pops
+// results in ranking order.
 //
-// The Tdp's SortMode selects the Eager variant (candidate lists fully
-// sorted at preprocessing) or the Lazy variant (lists materialized
-// incrementally from per-group heaps) of [90].
+// Successor-taking strategies (the constant-factor menu of [90]):
+//
+//   * kLawler -- push every deviation of the popped solution at once:
+//     up to ell frontier pushes per result.
+//   * kTake2  -- compute the popped solution's deviation list once,
+//     sort it locally, and push only its minimum; when a deviation is
+//     popped it pushes exactly two candidates: the NEXT entry of the
+//     deviation list it came from, and the first entry of its own list.
+//     The sibling chain walks a sorted list and a solution's first
+//     deviation costs at least the solution, so order is preserved
+//     while the global frontier sees <= 2 pushes per result.
+//
+// Either strategy runs over any Tdp SortMode; the planner's named
+// variants are (kLawler x kEager/kLazy) = Eager/Lazy, (kTake2 x kLazy)
+// = Take2, and (kTake2 x kQuickselect) = Memoized.
+//
+// Candidates are arena-pooled, prefix-sharing nodes: a popped candidate
+// stores only (link, dev_pos, bumped, cost) -- its full index vector is
+// implied by the link chain (strictly decreasing deviation positions)
+// and materialized once at pop time into a reusable buffer. The
+// frontier is an intrusive 4-ary min-heap that moves the top out
+// instead of copying it: enumeration performs zero candidate copies and
+// zero per-candidate heap allocations (pinned by
+// tests/anyk_core_test.cc). Under kTake2 a pending candidate is one
+// slab-allocated deviation entry (cost + next-sibling index) plus an
+// 8-byte frontier reference; entries are recycled through a freelist
+// the moment they are popped, so the arena holds only live pending
+// candidates. Per-candidate state is a fraction of the legacy fat
+// frontier's (and of kLawler's all-candidates pool), but the pool
+// retains every POPPED candidate as a prefix anchor, so on drains
+// whose legacy live frontier stays small the totals can flip --
+// bench_e13 reports both, and the peak-memory win is pinned in the
+// top-k regime it belongs to (see ROADMAP: refcounted pool recycling
+// is the recorded follow-up).
 #ifndef TOPKJOIN_ANYK_ANYK_PART_H_
 #define TOPKJOIN_ANYK_ANYK_PART_H_
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
 #include <optional>
-#include <queue>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -27,20 +63,46 @@
 
 namespace topkjoin {
 
-template <typename CM>
+/// How a popped candidate generates its successors (see file comment).
+enum class PartStrategy { kLawler, kTake2 };
+
+template <typename CM, PartStrategy S = PartStrategy::kLawler>
 class AnyKPart : public RankedIterator {
  public:
   using CostT = typename CM::CostT;
 
   explicit AnyKPart(Tdp<CM>* tdp) : tdp_(tdp) {
+    const size_t num_nodes = tdp_->NumNodes();
+    indices_buf_.assign(num_nodes, 0);
+    choice_buf_.resize(num_nodes);
+    groups_buf_.resize(num_nodes);
+    prefix_costs_.resize(num_nodes + 1);
+    tails_.resize(num_nodes + 1);
+    // skip_[i] = the first preorder position after subtree(i): the
+    // boundary the O(1) deviation evaluation hangs its tail on.
+    skip_.assign(num_nodes, 0);
+    for (size_t i = num_nodes; i-- > 0;) {
+      uint32_t size = 1;
+      for (const size_t c : tdp_->node(i).children) {
+        size += skip_[c] - static_cast<uint32_t>(c);
+      }
+      skip_[i] = static_cast<uint32_t>(i) + size;
+    }
     if (!tdp_->HasResults()) return;
-    // Seed: the optimal solution (index 0 everywhere).
-    Candidate seed;
-    seed.indices.assign(tdp_->NumNodes(), 0);
-    seed.dev_pos = 0;
-    TOPKJOIN_CHECK(Evaluate(&seed));
-    frontier_.push(std::move(seed));
-    ++pq_pushes_;
+    // Seed: the optimal solution (index 0 everywhere), pool node 0. Its
+    // cost is the root group's best completion (the root subtree is the
+    // whole tree).
+    CostT seed =
+        CM::Combine(CM::Identity(), tdp_->GroupBest(0, tdp_->RootGroup()));
+    const double seed_key = CM::ToDouble(seed);
+    MakeNode(/*link=*/kNone, /*dev_pos=*/0, /*bumped=*/0);
+    if constexpr (S == PartStrategy::kTake2) {
+      seed_cost_ = std::move(seed);
+      HeapPush(seed_key, SibRef{kNone, kNone});
+    } else {
+      pool_costs_.push_back(std::move(seed));
+      HeapPush(seed_key, 0);
+    }
   }
 
   std::optional<RankedResult> Next() override {
@@ -54,75 +116,432 @@ class AnyKPart : public RankedIterator {
   }
 
   std::optional<std::pair<std::vector<Value>, CostT>> NextWithCost() {
-    if (frontier_.empty()) return std::nullopt;
-    Candidate top = frontier_.top();
-    frontier_.pop();
-    // Lawler expansion: bump every position >= the popped solution's
-    // deviation position.
-    for (size_t j = top.dev_pos; j < tdp_->NumNodes(); ++j) {
-      Candidate succ;
-      succ.indices.assign(top.indices.begin(),
-                          top.indices.begin() + static_cast<ptrdiff_t>(j + 1));
-      succ.indices.resize(tdp_->NumNodes(), 0);
-      ++succ.indices[j];
-      succ.dev_pos = j;
-      if (Evaluate(&succ)) {
-        frontier_.push(std::move(succ));
-        ++pq_pushes_;
+    if (FrontierEmpty()) return std::nullopt;
+    const HeapEntry top = HeapPopMin();
+    uint32_t idx;
+    CostT popped_cost;
+    if constexpr (S == PartStrategy::kTake2) {
+      if (top.parent == kNone) {
+        idx = 0;  // the seed is pre-instantiated
+        popped_cost = std::move(seed_cost_);
+      } else {
+        // Instantiate the popped deviation as a (cost-free) pool node,
+        // move its cost out for emission, hand its frontier slot to the
+        // next entry of the same sorted list, and recycle the entry --
+        // the arena only ever holds live pending candidates.
+        DevEntry& e = devs_[top.entry];
+        idx = MakeNode(LinkFor(top.parent, e.dev_pos), e.dev_pos, e.bumped);
+        popped_cost = std::move(e.cost);
+        const uint32_t next = e.next;
+        FreeEntry(top.entry);
+        if (next != kNone) {
+          HeapPush(CM::ToDouble(devs_[next].cost), SibRef{top.parent, next});
+        }
       }
+    } else {
+      idx = top;
+      popped_cost = std::move(pool_costs_[idx]);
+    }
+    MaterializeIndices(idx);
+    ResolveSolution();
+    if constexpr (S == PartStrategy::kTake2) {
+      const uint32_t head = BuildDeviationList(idx);
+      if (head != kNone) {
+        HeapPush(CM::ToDouble(devs_[head].cost), SibRef{idx, head});
+      }
+    } else {
+      LawlerSuccessors(idx);
     }
     std::pair<std::vector<Value>, CostT> out;
-    tdp_->AssignmentOf(top.choice, &out.first);
-    out.second = std::move(top.cost);
+    tdp_->AssignmentOf(choice_buf_, &out.first);
+    out.second = std::move(popped_cost);
     return out;
   }
 
   int64_t pq_pushes() const { return pq_pushes_; }
 
- private:
-  struct Candidate {
-    std::vector<uint32_t> indices;  // per node: rank within its group
-    std::vector<RowId> choice;      // resolved tuples (filled by Evaluate)
-    size_t dev_pos = 0;
-    CostT cost = CM::Identity();
-  };
+  int64_t WorkUnits() const override {
+    return tdp_->heap_extractions() + pq_pushes_;
+  }
 
-  struct CandidateOrder {
-    bool operator()(const Candidate& a, const Candidate& b) const {
-      return CM::Less(b.cost, a.cost);  // min-queue
+  /// Exact peak footprint of the candidate state (pool + deviation-list
+  /// arena + frontier), from container capacities -- they only grow.
+  /// Vector-valued dioids (LEX) additionally hold their components on
+  /// the heap; this counts the per-candidate structures the rewrite is
+  /// accountable for.
+  size_t peak_candidate_bytes() const {
+    size_t frontier = heap_.capacity() * sizeof(HeapSlot);
+    for (const auto& bucket : buckets_) {
+      frontier += bucket.capacity() * sizeof(RadixSlot);
     }
+    frontier += redistribute_.capacity() * sizeof(RadixSlot);
+    return pool_.capacity() * sizeof(Node) +
+           pool_costs_.capacity() * sizeof(CostT) +
+           devs_.capacity() * sizeof(DevEntry) + frontier;
+  }
+
+ private:
+  static constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+
+  /// One pooled candidate: exactly (link, dev_pos, bumped) -- 12 bytes.
+  /// The solution's index vector is implied: follow `link` (each hop's
+  /// dev_pos strictly decreases) and record bumped at dev_pos;
+  /// unvisited positions are rank 0. Under kTake2 only popped
+  /// candidates become nodes, and their costs never enter the pool at
+  /// all (a candidate's cost lives in its pending deviation entry and
+  /// is emitted the moment the node is instantiated); under kLawler the
+  /// pending costs live in the parallel pool_costs_ array.
+  struct Node {
+    uint32_t link = kNone;  // nearest ancestor with dev_pos < mine
+    uint32_t dev_pos = 0;
+    uint32_t bumped = 0;    // rank within my group at dev_pos
   };
 
-  // Resolves indices to tuples by walking the tree in preorder (node i's
-  // parent has a smaller index, so its tuple -- and hence node i's group
-  // -- is known by the time we reach i). Returns false when some index
-  // is out of range for its group. Fills choice and exact cost.
-  bool Evaluate(Candidate* cand) {
+  /// One pending deviation (kTake2): a slab entry holding its exact
+  /// cost and the index of the next-more-expensive deviation of the
+  /// same solution. Recycled via free_head_ when popped.
+  struct DevEntry {
+    CostT cost;
+    uint32_t next = kNone;
+    uint32_t dev_pos = 0;
+    uint32_t bumped = 0;
+  };
+
+  /// Take2 frontier entry: deviation `entry` of pool node `parent`
+  /// ({kNone, kNone} = the seed, whose cost lives in pool node 0).
+  struct SibRef {
+    uint32_t parent = kNone;
+    uint32_t entry = kNone;
+  };
+
+  using HeapEntry =
+      std::conditional_t<S == PartStrategy::kTake2, SibRef, uint32_t>;
+
+  /// Scalar dioids (CostT = double): ToDouble IS the total order, and
+  /// ranked enumeration is a monotone PQ workload (pops never decrease;
+  /// every push is a deviation of -- so at least as costly as -- an
+  /// already-popped solution). That admits a radix heap: O(1)-ish
+  /// amortized push/pop over contiguous buckets, instead of a
+  /// comparison heap whose sift walks one cold cache line per level.
+  /// Profiling shows the sift is ~3/4 of the whole per-result cost at
+  /// k = 10^6, so this is the single biggest lever in the engine.
+  /// Vector dioids (LEX) keep the 4-ary comparison heap: equal primary
+  /// keys there are not equivalent, so bucket order is not enough.
+  static constexpr bool kScalarKeys = std::is_same_v<CostT, double>;
+
+  /// One comparison-heap slot: the candidate reference plus its primary
+  /// sort key inlined, so sifts compare within the contiguous heap
+  /// array. CM::ToDouble is a monotone projection of CM::Less for every
+  /// shipped dioid, so equal keys -- and only equal keys -- fall back
+  /// to the exact comparison.
+  struct HeapSlot {
+    double key = 0.0;
+    HeapEntry ref{};
+  };
+
+  /// One radix-heap slot: the order-preserving bit image of the key.
+  struct RadixSlot {
+    uint64_t bits = 0;
+    HeapEntry ref{};
+  };
+
+  /// Scratch row for building one solution's deviation list before it
+  /// is sorted and chained into the arena.
+  struct ScratchDev {
+    CostT cost;
+    uint32_t dev_pos = 0;
+    uint32_t bumped = 0;
+  };
+
+  // ----------------------------------------------------------- frontier
+  // Monotone radix heap (scalar dioids) or intrusive 4-ary min-heap
+  // (vector dioids) over pool indices (kLawler) / arena references
+  // (kTake2), ordered by candidate cost.
+
+  const CostT& EntryCost(const HeapEntry& e) const {
+    if constexpr (S == PartStrategy::kTake2) {
+      if (e.parent == kNone) return seed_cost_;
+      return devs_[e.entry].cost;
+    } else {
+      return pool_costs_[e];
+    }
+  }
+
+  bool SlotLess(const HeapSlot& a, const HeapSlot& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return CM::Less(EntryCost(a.ref), EntryCost(b.ref));
+  }
+
+  /// Order-preserving bijection from double to uint64: bit order equals
+  /// double order (negatives flipped entirely, positives offset).
+  static uint64_t OrderedBits(double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return (u >> 63) ? ~u : (u | (uint64_t{1} << 63));
+  }
+
+  /// Radix bucket of `bits` relative to the current minimum: 0 for the
+  /// minimum itself, else one past the most significant differing bit.
+  static int BucketOf(uint64_t bits, uint64_t min_bits) {
+    const uint64_t x = bits ^ min_bits;
+    return x == 0 ? 0 : 64 - std::countl_zero(x);
+  }
+
+  bool FrontierEmpty() const {
+    if constexpr (kScalarKeys) {
+      return radix_size_ == 0;
+    } else {
+      return heap_.empty();
+    }
+  }
+
+  void HeapPush(double key, HeapEntry entry) {
+    ++pq_pushes_;
+    if constexpr (kScalarKeys) {
+      uint64_t bits = OrderedBits(key);
+      if (radix_size_ == 0 && !radix_seeded_) {
+        // The very first push (the seed, the global minimum) anchors
+        // the bucket scale.
+        min_bits_ = bits;
+        radix_seeded_ = true;
+      }
+      // The monotone contract holds in exact arithmetic (a deviation
+      // never costs less than the popped solution it derives from),
+      // but EvaluateDeviation associates the Combine chain differently
+      // than the parent's own evaluation did, so the computed double
+      // can round an ulp or two BELOW the current minimum. Clamp the
+      // key: the true value is >= the minimum, and the emitted CostT is
+      // unaffected, so ordering stays exact up to FP tolerance and the
+      // radix invariant (all stored bits >= min_bits_) is preserved.
+      if (bits < min_bits_) bits = min_bits_;
+      buckets_[BucketOf(bits, min_bits_)].push_back(RadixSlot{bits, entry});
+      ++radix_size_;
+      return;
+    } else {
+      heap_.push_back(HeapSlot{key, entry});
+      size_t i = heap_.size() - 1;
+      while (i > 0) {
+        const size_t parent = (i - 1) / 4;
+        if (!SlotLess(heap_[i], heap_[parent])) break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+      }
+    }
+  }
+
+  HeapEntry HeapPopMin() {
+    if constexpr (kScalarKeys) {
+      if (buckets_[0].empty()) {
+        // Classic radix-heap refill: pull the lowest nonempty bucket,
+        // re-anchor the scale at its minimum, and redistribute -- every
+        // element lands in a strictly lower bucket (it agrees with the
+        // new minimum on all bits above the old bucket's), so each
+        // element redistributes at most 64 times over its lifetime.
+        size_t i = 1;
+        while (buckets_[i].empty()) ++i;
+        uint64_t m = buckets_[i][0].bits;
+        for (const RadixSlot& s : buckets_[i]) m = std::min(m, s.bits);
+        min_bits_ = m;
+        redistribute_.swap(buckets_[i]);
+        for (const RadixSlot& s : redistribute_) {
+          buckets_[BucketOf(s.bits, min_bits_)].push_back(s);
+        }
+        redistribute_.clear();
+        // Cap capacity churn: the emptied source bucket inherited the
+        // previous scratch capacity via the swap; keep the scratch
+        // itself from pinning one huge batch forever.
+        if (redistribute_.capacity() > 4096) {
+          redistribute_.shrink_to_fit();
+        }
+      }
+      const HeapEntry top = buckets_[0].back().ref;
+      buckets_[0].pop_back();
+      --radix_size_;
+      return top;
+    } else {
+      const HeapEntry top = heap_[0].ref;
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      const size_t n = heap_.size();
+      size_t i = 0;
+      while (true) {
+        const size_t first_child = 4 * i + 1;
+        if (first_child >= n) break;
+        size_t best = first_child;
+        const size_t last_child = std::min(first_child + 4, n);
+        for (size_t c = first_child + 1; c < last_child; ++c) {
+          if (SlotLess(heap_[c], heap_[best])) best = c;
+        }
+        if (!SlotLess(heap_[best], heap_[i])) break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+      }
+      return top;
+    }
+  }
+
+  // --------------------------------------------------------- evaluation
+
+  /// Rebuilds the index vector of `idx` from its prefix chain.
+  void MaterializeIndices(uint32_t idx) {
+    std::fill(indices_buf_.begin(), indices_buf_.end(), 0);
+    for (uint32_t u = idx; u != kNone; u = pool_[u].link) {
+      indices_buf_[pool_[u].dev_pos] = pool_[u].bumped;
+    }
+  }
+
+  /// Resolves indices_buf_ to concrete tuples: fills choice_buf_ and
+  /// groups_buf_, the running prefix costs (prefix_costs_[i] =
+  /// positions [0, i) combined left to right), and the tail completions
+  /// (tails_[p] = optimal completion cost of positions [p, ell) under
+  /// this solution's prefix -- [p, ell) is a disjoint union of maximal
+  /// subtrees whose groups the prefix fixes, so tails_[p] =
+  /// GroupBest(p) (+) tails_[skip(p)]). The popped solution was valid
+  /// when pushed, so this cannot fail.
+  void ResolveSolution() {
     const size_t num_nodes = tdp_->NumNodes();
-    cand->choice.resize(num_nodes);
-    groups_buffer_.resize(num_nodes);
-    groups_buffer_[0] = tdp_->RootGroup();
-    CostT cost = CM::Identity();
+    groups_buf_[0] = tdp_->RootGroup();
+    prefix_costs_[0] = CM::Identity();
     for (size_t i = 0; i < num_nodes; ++i) {
       const auto& node = tdp_->node(i);
       RowId row = 0;
-      if (!tdp_->GroupTuple(i, groups_buffer_[i], cand->indices[i], &row)) {
-        return false;
-      }
-      cand->choice[i] = row;
-      cost = CM::Combine(cost, tdp_->TupleCost(i, row));
+      TOPKJOIN_CHECK(
+          tdp_->GroupTuple(i, groups_buf_[i], indices_buf_[i], &row));
+      choice_buf_[i] = row;
+      prefix_costs_[i + 1] =
+          CM::Combine(prefix_costs_[i], tdp_->TupleCost(i, row));
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
-        groups_buffer_[node.children[ci]] = node.child_groups[row][ci];
+        groups_buf_[node.children[ci]] = node.child_group(row, ci);
       }
     }
-    cand->cost = std::move(cost);
+    tails_[num_nodes] = CM::Identity();
+    for (size_t p = num_nodes; p-- > 0;) {
+      tails_[p] = CM::Combine(tdp_->GroupBest(p, groups_buf_[p]),
+                              tails_[skip_[p]]);
+    }
+  }
+
+  /// Cost of the deviation of the resolved solution that bumps position
+  /// j to rank r -- O(1) beyond the group-list access: positions < j
+  /// keep the solution's prefix (prefix_costs_), the bumped tuple's
+  /// subtree completes optimally via the T-DP's own best[], and the
+  /// remaining open subtrees are the precomputed tail. Returns false
+  /// when r is out of range for the group.
+  bool EvaluateDeviation(size_t j, size_t r, CostT* out) {
+    RowId row = 0;
+    if (!tdp_->GroupTuple(j, groups_buf_[j], r, &row)) return false;
+    *out = CM::Combine(
+        CM::Combine(prefix_costs_[j], tdp_->node(j).best[row]),
+        tails_[skip_[j]]);
     return true;
   }
 
+  // --------------------------------------------------------- successors
+
+  uint32_t MakeNode(uint32_t link, uint32_t dev_pos, uint32_t bumped) {
+    const uint32_t idx = static_cast<uint32_t>(pool_.size());
+    pool_.push_back(Node{link, dev_pos, bumped});
+    return idx;
+  }
+
+  /// The link of a deviation of solution `idx` at position j: the
+  /// solution itself when it deviates later than its own position,
+  /// otherwise (same-position bump) the solution's own link.
+  uint32_t LinkFor(uint32_t idx, uint32_t j) const {
+    return j == pool_[idx].dev_pos ? pool_[idx].link : idx;
+  }
+
+  /// Lawler: push every deviation of the popped solution directly.
+  void LawlerSuccessors(uint32_t idx) {
+    const size_t num_nodes = tdp_->NumNodes();
+    for (size_t j = pool_[idx].dev_pos; j < num_nodes; ++j) {
+      const uint32_t bumped = indices_buf_[j] + 1;
+      CostT cost;
+      if (EvaluateDeviation(j, bumped, &cost)) {
+        const double key = CM::ToDouble(cost);
+        const uint32_t succ = MakeNode(LinkFor(idx, static_cast<uint32_t>(j)),
+                                       static_cast<uint32_t>(j), bumped);
+        pool_costs_.push_back(std::move(cost));
+        HeapPush(key, succ);
+      }
+    }
+  }
+
+  uint32_t AllocEntry() {
+    if (free_head_ != kNone) {
+      const uint32_t e = free_head_;
+      free_head_ = devs_[e].next;
+      return e;
+    }
+    devs_.emplace_back();
+    return static_cast<uint32_t>(devs_.size() - 1);
+  }
+
+  void FreeEntry(uint32_t e) {
+    devs_[e].next = free_head_;
+    free_head_ = e;
+  }
+
+  /// Take2: evaluate the popped solution's deviations once, sort them,
+  /// and chain them into the arena as a cost-ascending sibling list.
+  /// Returns the head (cheapest) entry, kNone when no deviation is
+  /// valid. Only the head enters the frontier; the rest follow one at a
+  /// time through the sibling chain.
+  uint32_t BuildDeviationList(uint32_t idx) {
+    const size_t num_nodes = tdp_->NumNodes();
+    dev_scratch_.clear();
+    for (size_t j = pool_[idx].dev_pos; j < num_nodes; ++j) {
+      const uint32_t bumped = indices_buf_[j] + 1;
+      CostT cost;
+      if (EvaluateDeviation(j, bumped, &cost)) {
+        ScratchDev d;
+        d.cost = std::move(cost);
+        d.dev_pos = static_cast<uint32_t>(j);
+        d.bumped = bumped;
+        dev_scratch_.push_back(std::move(d));
+      }
+    }
+    std::sort(dev_scratch_.begin(), dev_scratch_.end(),
+              [](const ScratchDev& a, const ScratchDev& b) {
+                return CM::Less(a.cost, b.cost);
+              });
+    uint32_t head = kNone;
+    for (auto it = dev_scratch_.rbegin(); it != dev_scratch_.rend(); ++it) {
+      const uint32_t e = AllocEntry();
+      DevEntry& slot = devs_[e];
+      slot.cost = std::move(it->cost);
+      slot.next = head;
+      slot.dev_pos = it->dev_pos;
+      slot.bumped = it->bumped;
+      head = e;
+    }
+    return head;
+  }
+
   Tdp<CM>* tdp_;
-  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder>
-      frontier_;
-  std::vector<GroupId> groups_buffer_;
+  std::vector<Node> pool_;       // kTake2: popped candidates; kLawler: all
+  std::vector<CostT> pool_costs_;  // kLawler only: pending costs by node
+  CostT seed_cost_{};              // kTake2: the seed's cost until popped
+  std::vector<DevEntry> devs_;   // pending-deviation slab (kTake2)
+  uint32_t free_head_ = kNone;   // recycled DevEntry freelist
+
+  // The frontier: radix heap (scalar dioids) / 4-ary heap (vector).
+  std::vector<HeapSlot> heap_;
+  std::array<std::vector<RadixSlot>, 65> buckets_;
+  std::vector<RadixSlot> redistribute_;
+  uint64_t min_bits_ = 0;
+  bool radix_seeded_ = false;
+  size_t radix_size_ = 0;
+
+  // Reusable per-pop scratch (no per-candidate allocation).
+  std::vector<uint32_t> indices_buf_;
+  std::vector<RowId> choice_buf_;
+  std::vector<GroupId> groups_buf_;
+  std::vector<CostT> prefix_costs_;
+  std::vector<CostT> tails_;
+  std::vector<uint32_t> skip_;
+  std::vector<ScratchDev> dev_scratch_;
+
   int64_t pq_pushes_ = 0;
 };
 

@@ -1,0 +1,154 @@
+// The pre-rewrite ANYK-PART enumerator, kept verbatim as the measured
+// baseline for bench_e13_anyk_core and the frontier-push regression
+// guard. Production pipelines use the pooled engine in anyk_part.h;
+// nothing outside the bench and its pin tests should include this file.
+//
+// What makes it the "legacy Lawler expansion": every popped solution
+// generates up to one successor per serialized position (ell pushes per
+// result), each successor deep-copies the full index vector, the popped
+// top is deep-copied out of priority_queue::top() (choice + indices +
+// cost vector), and the frontier stores fat candidates by value.
+#ifndef TOPKJOIN_ANYK_ANYK_PART_LEGACY_H_
+#define TOPKJOIN_ANYK_ANYK_PART_LEGACY_H_
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/anyk/ranked_iterator.h"
+#include "src/anyk/tdp.h"
+
+namespace topkjoin {
+
+template <typename CM>
+class LegacyAnyKPart : public RankedIterator {
+ public:
+  using CostT = typename CM::CostT;
+
+  explicit LegacyAnyKPart(Tdp<CM>* tdp) : tdp_(tdp) {
+    if (!tdp_->HasResults()) return;
+    // Seed: the optimal solution (index 0 everywhere).
+    Candidate seed;
+    seed.indices.assign(tdp_->NumNodes(), 0);
+    seed.dev_pos = 0;
+    TOPKJOIN_CHECK(Evaluate(&seed));
+    frontier_.push(std::move(seed));
+    ++pq_pushes_;
+    peak_frontier_ = 1;
+  }
+
+  std::optional<RankedResult> Next() override {
+    auto r = NextWithCost();
+    if (!r.has_value()) return std::nullopt;
+    RankedResult out;
+    out.assignment = std::move(r->first);
+    out.cost = CM::ToDouble(r->second);
+    out.cost_vector = CM::Components(r->second);
+    return out;
+  }
+
+  std::optional<std::pair<std::vector<Value>, CostT>> NextWithCost() {
+    if (frontier_.empty()) return std::nullopt;
+    Candidate top = frontier_.top();  // the deep copy the rewrite removed
+    frontier_.pop();
+    // Lawler expansion: bump every position >= the popped solution's
+    // deviation position.
+    for (size_t j = top.dev_pos; j < tdp_->NumNodes(); ++j) {
+      Candidate succ;
+      succ.indices.assign(top.indices.begin(),
+                          top.indices.begin() + static_cast<ptrdiff_t>(j + 1));
+      succ.indices.resize(tdp_->NumNodes(), 0);
+      ++succ.indices[j];
+      succ.dev_pos = j;
+      if (Evaluate(&succ)) {
+        frontier_.push(std::move(succ));
+        ++pq_pushes_;
+      }
+    }
+    peak_frontier_ = std::max(peak_frontier_, frontier_.size());
+    std::pair<std::vector<Value>, CostT> out;
+    tdp_->AssignmentOf(top.choice, &out.first);
+    out.second = std::move(top.cost);
+    return out;
+  }
+
+  int64_t pq_pushes() const { return pq_pushes_; }
+
+  int64_t WorkUnits() const override {
+    return tdp_->heap_extractions() + pq_pushes_;
+  }
+
+  /// Approximate peak frontier footprint, modeling what the process
+  /// actually holds: the priority queue's backing vector grows by
+  /// doubling (capacity = next power of two above the high-water
+  /// element count, sizeof(Candidate) each), and every live candidate
+  /// owns two heap blocks (indices + choice) whose small payloads round
+  /// up to the allocator's minimum chunk (16-byte header + alignment;
+  /// 32 bytes for the few-element vectors of typical queries).
+  /// Comparable with the pooled engine's capacity-exact
+  /// peak_candidate_bytes().
+  size_t peak_candidate_bytes() const {
+    size_t cap = 1;
+    while (cap < peak_frontier_) cap <<= 1;
+    const size_t chunk = [](size_t payload) {
+      return (payload + 16 + 15) / 16 * 16;  // header + 16B alignment
+    }(tdp_->NumNodes() * sizeof(uint32_t));
+    const size_t chunk2 = [](size_t payload) {
+      return (payload + 16 + 15) / 16 * 16;
+    }(tdp_->NumNodes() * sizeof(RowId));
+    return cap * sizeof(Candidate) + peak_frontier_ * (chunk + chunk2);
+  }
+
+ private:
+  struct Candidate {
+    std::vector<uint32_t> indices;  // per node: rank within its group
+    std::vector<RowId> choice;      // resolved tuples (filled by Evaluate)
+    size_t dev_pos = 0;
+    CostT cost = CM::Identity();
+  };
+
+  struct CandidateOrder {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return CM::Less(b.cost, a.cost);  // min-queue
+    }
+  };
+
+  // Resolves indices to tuples by walking the tree in preorder (node i's
+  // parent has a smaller index, so its tuple -- and hence node i's group
+  // -- is known by the time we reach i). Returns false when some index
+  // is out of range for its group. Fills choice and exact cost.
+  bool Evaluate(Candidate* cand) {
+    const size_t num_nodes = tdp_->NumNodes();
+    cand->choice.resize(num_nodes);
+    groups_buffer_.resize(num_nodes);
+    groups_buffer_[0] = tdp_->RootGroup();
+    CostT cost = CM::Identity();
+    for (size_t i = 0; i < num_nodes; ++i) {
+      const auto& node = tdp_->node(i);
+      RowId row = 0;
+      if (!tdp_->GroupTuple(i, groups_buffer_[i], cand->indices[i], &row)) {
+        return false;
+      }
+      cand->choice[i] = row;
+      cost = CM::Combine(cost, tdp_->TupleCost(i, row));
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        groups_buffer_[node.children[ci]] = node.child_group(row, ci);
+      }
+    }
+    cand->cost = std::move(cost);
+    return true;
+  }
+
+  Tdp<CM>* tdp_;
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder>
+      frontier_;
+  std::vector<GroupId> groups_buffer_;
+  int64_t pq_pushes_ = 0;
+  size_t peak_frontier_ = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_ANYK_ANYK_PART_LEGACY_H_

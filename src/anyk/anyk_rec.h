@@ -66,6 +66,10 @@ class AnyKRec : public RankedIterator {
   /// Total priority-queue pushes across all streams (RAM-model cost).
   int64_t pq_pushes() const { return pq_pushes_; }
 
+  int64_t WorkUnits() const override {
+    return tdp_->heap_extractions() + pq_pushes_;
+  }
+
  private:
   // One subtree solution within a stream: a tuple of the group (by rank
   // in the group's best-sorted order) plus one rank per child stream.
@@ -139,7 +143,7 @@ class AnyKRec : public RankedIterator {
     for (uint32_t ci = sol.last_incremented;
          ci < static_cast<uint32_t>(node.children.size()); ++ci) {
       const size_t child_node = node.children[ci];
-      const GroupId child_group = node.child_groups[row][ci];
+      const GroupId child_group = node.child_group(row, ci);
       const uint32_t new_rank = sol.child_ranks[ci] + 1;
       const Sol* child_sol = GetSol(child_node, child_group, new_rank);
       if (child_sol == nullptr) continue;  // child stream exhausted
@@ -153,7 +157,7 @@ class AnyKRec : public RankedIterator {
       CostT cost = tdp_->TupleCost(node_idx, row);
       for (size_t cj = 0; cj < node.children.size(); ++cj) {
         const Sol* cs = GetSol(node.children[cj],
-                               node.child_groups[row][cj],
+                               node.child_group(row, cj),
                                succ.child_ranks[cj]);
         TOPKJOIN_CHECK(cs != nullptr);
         cost = CM::Combine(cost, cs->cost);
@@ -173,7 +177,7 @@ class AnyKRec : public RankedIterator {
     (*choice)[node_idx] = row;
     const auto& node = tdp_->node(node_idx);
     for (size_t ci = 0; ci < node.children.size(); ++ci) {
-      const GroupId child_group = node.child_groups[row][ci];
+      const GroupId child_group = node.child_group(row, ci);
       const Sol* child_sol =
           GetSol(node.children[ci], child_group, sol.child_ranks[ci]);
       TOPKJOIN_CHECK(child_sol != nullptr);

@@ -55,7 +55,7 @@ class UnrankedEnumerator {
       choice_[i] = row;
       const auto& node = tdp_->node(i);
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
-        groups_[node.children[ci]] = node.child_groups[row][ci];
+        groups_[node.children[ci]] = node.child_group(row, ci);
       }
     }
     return true;
@@ -71,7 +71,7 @@ class UnrankedEnumerator {
         choice_[i] = row;
         const auto& node = tdp_->node(i);
         for (size_t ci = 0; ci < node.children.size(); ++ci) {
-          groups_[node.children[ci]] = node.child_groups[row][ci];
+          groups_[node.children[ci]] = node.child_group(row, ci);
         }
         // Reset the suffix.
         for (size_t j = i + 1; j < tdp_->NumNodes(); ++j) ranks_[j] = 0;
@@ -90,7 +90,7 @@ class UnrankedEnumerator {
       choice_[i] = row;
       const auto& node = tdp_->node(i);
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
-        groups_[node.children[ci]] = node.child_groups[row][ci];
+        groups_[node.children[ci]] = node.child_group(row, ci);
       }
     }
     return true;
@@ -168,7 +168,7 @@ class BatchSorted : public RankedIterator {
         const auto parent = static_cast<size_t>(next.parent);
         const RowId prow = (*choice)[parent];
         const GroupId ng =
-            tdp_->node(parent).child_groups[prow][next.child_slot];
+            tdp_->node(parent).child_group(prow, next.child_slot);
         Recurse(i + 1, ng, choice, groups);
       }
     }

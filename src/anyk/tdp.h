@@ -14,13 +14,19 @@
 //      any-k to k-shortest-path algorithms.
 //
 // Group candidate lists can be maintained eagerly (fully sorted at
-// preprocessing time) or lazily (binary heap, incrementally popped) --
-// the distinction behind the Eager/Lazy any-k variants of [90].
+// preprocessing time), lazily via a binary heap, or lazily via
+// incremental quickselect -- the distinction behind the
+// Eager/Lazy/Memoized any-k variants of [90].
+//
+// Construction is allocation-frugal by design: group keys are interned
+// into a flat open-addressing (hash, offset) index built columnar-first,
+// rows live in one contiguous arena per node, and per-tuple child-group
+// ids go into one flat array -- BuildGroups/ComputeBest perform zero
+// per-tuple heap allocations (pinned by tests/anyk_core_test.cc).
 #ifndef TOPKJOIN_ANYK_TDP_H_
 #define TOPKJOIN_ANYK_TDP_H_
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -39,8 +45,83 @@ using GroupId = uint32_t;
 
 /// How group candidate lists are sorted.
 enum class SortMode {
-  kEager,  // sort every group fully during preprocessing
-  kLazy,   // heapify during preprocessing; pop incrementally on demand
+  kEager,        // sort every group fully during preprocessing
+  kLazy,         // heapify during preprocessing; pop incrementally on demand
+  kQuickselect,  // incremental quickselect (IQS): partition on demand, so
+                 // deep ranks cost amortized O(1) extra comparisons instead
+                 // of a heap pop each -- the Memoized variant's substrate
+};
+
+/// Flat group-key interning: an open-addressing (hash -> GroupId) table
+/// whose key values live in one contiguous arena (group id * width).
+/// Replaces the per-node unordered_map<ValueKey, GroupId>: probing does
+/// no allocation and key storage is one flat buffer, so interning n
+/// tuples costs zero per-tuple heap allocations.
+class GroupKeyIndex {
+ public:
+  static constexpr GroupId kNoGroup = static_cast<GroupId>(-1);
+
+  /// Prepares for ~expected_keys insertions of `width`-value keys.
+  void Reset(size_t expected_keys, size_t width) {
+    width_ = width;
+    size_t cap = 8;
+    while (cap < expected_keys * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    key_values_.clear();
+    num_keys_ = 0;
+  }
+
+  /// Returns the group of `key` (of `width()` values, prehashed to
+  /// `hash`), interning it as a fresh group when unseen.
+  GroupId Intern(uint64_t hash, const Value* key) {
+    size_t i = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.group == kNoGroup) {
+        slot.hash = hash;
+        slot.group = static_cast<GroupId>(num_keys_++);
+        key_values_.insert(key_values_.end(), key, key + width_);
+        return slot.group;
+      }
+      if (slot.hash == hash && KeyEquals(slot.group, key)) return slot.group;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Lookup without interning; kNoGroup when absent.
+  GroupId Find(uint64_t hash, const Value* key) const {
+    size_t i = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.group == kNoGroup) return kNoGroup;
+      if (slot.hash == hash && KeyEquals(slot.group, key)) return slot.group;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t width() const { return width_; }
+  size_t num_keys() const { return num_keys_; }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    GroupId group = kNoGroup;
+  };
+
+  bool KeyEquals(GroupId group, const Value* key) const {
+    const Value* stored = key_values_.data() + size_t{group} * width_;
+    for (size_t c = 0; c < width_; ++c) {
+      if (stored[c] != key[c]) return false;
+    }
+    return true;
+  }
+
+  size_t width_ = 0;
+  size_t mask_ = 0;
+  size_t num_keys_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<Value> key_values_;  // num_keys_ * width_, insertion order
 };
 
 template <typename CM>
@@ -48,11 +129,21 @@ class Tdp {
  public:
   using CostT = typename CM::CostT;
 
-  /// A candidate group: the tuples of one node sharing a parent join
-  /// key, ordered by best-completion cost on demand.
+  /// A candidate group: one contiguous segment of the owning node's row
+  /// arena (group_rows[begin, begin+size)), ordered by best-completion
+  /// cost on demand. Layout depends on the sort mode:
+  ///   * eager:       fully sorted ascending; rank r at begin + r.
+  ///   * lazy:        min-heap in [begin, begin+size-done); extracted
+  ///                  elements accumulate at the tail in reverse order,
+  ///                  so rank r sits at begin + size - 1 - r.
+  ///   * quickselect: sorted prefix [begin, begin+done); the remainder
+  ///                  is partitioned per the pivot stack; rank r at
+  ///                  begin + r once done > r.
   struct Group {
-    std::vector<RowId> heap;      // min-heap on best[] (lazy remainder)
-    std::vector<RowId> ordered;   // extracted sorted prefix
+    uint32_t begin = 0;
+    uint32_t size = 0;
+    uint32_t done = 0;
+    std::vector<uint32_t> pivots;  // IQS boundary stack, offsets rel. begin
   };
 
   struct Node {
@@ -67,10 +158,16 @@ class Tdp {
     // differ from FromWeight(scalar weight) -- see TupleCost().
     std::vector<CostT> tuple_costs;
     std::vector<CostT> best;          // per tuple: best subtree cost
-    // Per tuple, per child slot: the group id within that child node.
-    std::vector<std::vector<GroupId>> child_groups;
+    // Per tuple, per child slot: the group id within that child node --
+    // flat row-major (stride = children.size()), one allocation total.
+    std::vector<GroupId> child_groups;
     std::vector<Group> groups;
-    std::unordered_map<ValueKey, GroupId, ValueKeyHash> group_of_key;
+    std::vector<RowId> group_rows;    // row arena; grouped contiguously
+    GroupKeyIndex key_index;          // join-key -> group id
+
+    GroupId child_group(RowId row, size_t ci) const {
+      return child_groups[size_t{row} * children.size() + ci];
+    }
   };
 
   /// `atom_weights`, when given, is index-aligned with query.atoms():
@@ -102,21 +199,25 @@ class Tdp {
 
   /// Number of tuples in a group.
   size_t GroupSize(size_t node_idx, GroupId g) const {
-    const Group& group = nodes_[node_idx].groups[g];
-    return group.heap.size() + group.ordered.size();
+    return nodes_[node_idx].groups[g].size;
   }
 
   /// The rank-th best tuple of the group (0-based), forcing incremental
-  /// sorting in lazy mode. Returns false when rank >= group size.
+  /// sorting in lazy/quickselect mode. Returns false when rank >= group
+  /// size.
   bool GroupTuple(size_t node_idx, GroupId g, size_t rank, RowId* out);
 
   /// Best (minimal) subtree-completion cost within a group. The group
   /// must be non-empty.
   const CostT& GroupBest(size_t node_idx, GroupId g) const {
-    const Group& group = nodes_[node_idx].groups[g];
-    const RowId top = group.ordered.empty() ? group.heap.front()
-                                            : group.ordered.front();
-    return nodes_[node_idx].best[top];
+    const Node& n = nodes_[node_idx];
+    const Group& group = n.groups[g];
+    // Lazy extractions park rank 0 at the arena tail; every other mode
+    // (and the pre-extraction lazy heap) keeps the minimum up front.
+    const RowId top = (sort_mode_ == SortMode::kLazy && group.done > 0)
+                          ? n.group_rows[group.begin + group.size - 1]
+                          : n.group_rows[group.begin];
+    return n.best[top];
   }
 
   /// Builds the output assignment (indexed by VarId) for one tuple
@@ -134,9 +235,10 @@ class Tdp {
   /// Total number of group lists (for instrumentation).
   size_t NumGroups() const;
 
-  /// Monotone RAM-model work counter: lazy-heap extractions performed so
-  /// far by GroupTuple. Together with an algorithm's pq_pushes() this is
-  /// the per-result work the any-k delay guarantee bounds.
+  /// Monotone RAM-model work counter: lazy group-list extractions
+  /// (heap pops / quickselect finalizations) performed so far by
+  /// GroupTuple. Together with an algorithm's pq_pushes() this is the
+  /// per-result work the any-k delay guarantee bounds.
   int64_t heap_extractions() const { return heap_extractions_; }
 
  private:
@@ -144,6 +246,8 @@ class Tdp {
                  const std::vector<WeightMatrix>* atom_weights);
   void BuildGroups();
   void ComputeBest();
+  void OrganizeGroups(Node& n);
+  void IqsStep(Node& n, Group& group);
 
   bool HeapLess(const Node& n, RowId a, RowId b) const {
     return CM::Less(n.best[a], n.best[b]);
@@ -214,68 +318,197 @@ void Tdp<CM>::BuildTree(const Database& db, JoinStats* stats,
 
 template <typename CM>
 void Tdp<CM>::BuildGroups() {
+  // Scratch reused across nodes; sized once per node, never per tuple.
+  std::vector<uint64_t> hashes;
+  std::vector<GroupId> group_of_row;
+  std::vector<uint32_t> fill;
+  std::vector<Value> key_scratch;
   for (Node& n : nodes_) {
-    ValueKey key;
-    key.values.resize(n.key_cols.size());
-    for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
-      for (size_t i = 0; i < n.key_cols.size(); ++i) {
-        key.values[i] = n.rel.At(r, n.key_cols[i]);
+    const size_t num = n.rel.NumTuples();
+    const size_t width = n.key_cols.size();
+    key_scratch.resize(std::max<size_t>(width, 1));
+    Value* const key_buf = key_scratch.data();
+
+    // Columnar-first hashing: one pass per key column keeps the inner
+    // loop a tight mix over a single relation column.
+    hashes.assign(num, 0x51ab42ae5c1970ffULL);
+    for (const size_t col : n.key_cols) {
+      for (RowId r = 0; r < num; ++r) {
+        hashes[r] = HashMix(hashes[r], static_cast<uint64_t>(n.rel.At(r, col)));
       }
-      auto [it, inserted] = n.group_of_key.try_emplace(
-          key, static_cast<GroupId>(n.groups.size()));
-      if (inserted) n.groups.emplace_back();
-      n.groups[it->second].heap.push_back(r);
+    }
+
+    n.key_index.Reset(num, width);
+    group_of_row.resize(num);
+    for (RowId r = 0; r < num; ++r) {
+      for (size_t c = 0; c < width; ++c) key_buf[c] = n.rel.At(r, n.key_cols[c]);
+      const GroupId g = n.key_index.Intern(hashes[r], key_buf);
+      if (g == n.groups.size()) n.groups.emplace_back();
+      n.groups[g].size += 1;
+      group_of_row[r] = g;
     }
     // The root gets exactly one group even when empty.
     if (n.parent < 0 && n.groups.empty()) n.groups.emplace_back();
+
+    // Prefix-sum the group sizes into arena offsets, then scatter the
+    // rows; within a group, rows keep ascending RowId order.
+    uint32_t offset = 0;
+    for (Group& g : n.groups) {
+      g.begin = offset;
+      offset += g.size;
+    }
+    fill.assign(n.groups.size(), 0);
+    n.group_rows.resize(num);
+    for (RowId r = 0; r < num; ++r) {
+      const GroupId g = group_of_row[r];
+      n.group_rows[n.groups[g].begin + fill[g]++] = r;
+    }
   }
 }
 
 template <typename CM>
 void Tdp<CM>::ComputeBest() {
+  // Scratch reused across nodes/rows (no per-tuple allocation).
+  std::vector<size_t> child_key_parent_cols;  // flat: per child, width cols
+  std::vector<size_t> child_key_offset;
+  std::vector<Value> key_scratch;
   // Reverse preorder: children before parents.
   for (size_t idx = nodes_.size(); idx-- > 0;) {
     Node& n = nodes_[idx];
-    n.best.resize(n.rel.NumTuples());
-    n.child_groups.assign(n.rel.NumTuples(), {});
-    ValueKey key;
-    for (RowId r = 0; r < n.rel.NumTuples(); ++r) {
+    const size_t num = n.rel.NumTuples();
+    const size_t num_children = n.children.size();
+    n.best.resize(num);
+    n.child_groups.assign(num * num_children, 0);
+
+    // Resolve, once per (node, child), which of this node's columns
+    // carry the child's join-key variables. The per-tuple loop below
+    // then only gathers values -- the lookups that used to allocate a
+    // fresh column vector per tuple per child are hoisted here.
+    child_key_parent_cols.clear();
+    child_key_offset.assign(num_children + 1, 0);
+    const auto& my_vars = query_->atom(n.atom).vars;
+    for (size_t ci = 0; ci < num_children; ++ci) {
+      const Node& c = nodes_[n.children[ci]];
+      const auto& child_vars = query_->atom(c.atom).vars;
+      for (const size_t kc : c.key_cols) {
+        const VarId v = child_vars[kc];
+        size_t col = 0;
+        while (col < my_vars.size() && my_vars[col] != v) ++col;
+        TOPKJOIN_CHECK(col < my_vars.size());  // key vars are shared vars
+        child_key_parent_cols.push_back(col);
+      }
+      child_key_offset[ci + 1] = child_key_parent_cols.size();
+    }
+    key_scratch.resize(std::max<size_t>(child_key_parent_cols.size(), 1));
+    Value* const key_buf = key_scratch.data();
+
+    for (RowId r = 0; r < num; ++r) {
       CostT cost = TupleCost(idx, r);
-      auto& cgs = n.child_groups[r];
-      cgs.resize(n.children.size());
-      for (size_t ci = 0; ci < n.children.size(); ++ci) {
-        const Node& c = nodes_[n.children[ci]];
-        // Project this tuple onto the child's join key. The child's
-        // key_cols are child columns of the shared vars; find the same
-        // vars in this node.
-        const auto& child_atom_vars = query_->atom(c.atom).vars;
-        key.values.clear();
-        for (size_t kc : c.key_cols) {
-          const VarId v = child_atom_vars[kc];
-          const auto cols = query_->ColumnsOf(n.atom, {v});
-          key.values.push_back(n.rel.At(r, cols[0]));
+      for (size_t ci = 0; ci < num_children; ++ci) {
+        Node& c = nodes_[n.children[ci]];
+        const size_t begin = child_key_offset[ci];
+        const size_t width = child_key_offset[ci + 1] - begin;
+        uint64_t hash = 0x51ab42ae5c1970ffULL;
+        for (size_t k = 0; k < width; ++k) {
+          key_buf[k] = n.rel.At(r, child_key_parent_cols[begin + k]);
+          hash = HashMix(hash, static_cast<uint64_t>(key_buf[k]));
         }
-        const auto it = c.group_of_key.find(key);
+        const GroupId g = c.key_index.Find(hash, key_buf);
         // Full reduction guarantees a matching child group.
-        TOPKJOIN_CHECK(it != c.group_of_key.end());
-        cgs[ci] = it->second;
-        cost = CM::Combine(cost, GroupBest(n.children[ci], it->second));
+        TOPKJOIN_CHECK(g != GroupKeyIndex::kNoGroup);
+        n.child_groups[size_t{r} * num_children + ci] = g;
+        cost = CM::Combine(cost, GroupBest(n.children[ci], g));
       }
       n.best[r] = std::move(cost);
     }
-    // Organize each group: heapify; in eager mode fully sort.
-    for (Group& g : n.groups) {
-      auto less = [&](RowId a, RowId b) { return HeapLess(n, a, b); };
-      if (sort_mode_ == SortMode::kEager) {
-        std::sort(g.heap.begin(), g.heap.end(), less);
-        g.ordered = std::move(g.heap);
-        g.heap.clear();
-      } else {
+    OrganizeGroups(n);
+  }
+}
+
+template <typename CM>
+void Tdp<CM>::OrganizeGroups(Node& n) {
+  for (Group& g : n.groups) {
+    RowId* const begin = n.group_rows.data() + g.begin;
+    RowId* const end = begin + g.size;
+    const auto less = [&](RowId a, RowId b) { return HeapLess(n, a, b); };
+    switch (sort_mode_) {
+      case SortMode::kEager:
+        std::sort(begin, end, less);
+        g.done = g.size;
+        break;
+      case SortMode::kLazy: {
         // std::*_heap comparators are max-heap; invert for min-heap.
-        auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
-        std::make_heap(g.heap.begin(), g.heap.end(), greater);
+        const auto greater = [&](RowId a, RowId b) {
+          return HeapLess(n, b, a);
+        };
+        std::make_heap(begin, end, greater);
+        break;
+      }
+      case SortMode::kQuickselect:
+        if (g.size > 0) {
+          // Park the minimum up front so GroupBest and rank 0 are O(1)
+          // without touching the pivot machinery; the remainder is
+          // partitioned on demand (IqsStep).
+          RowId* min_it = std::min_element(begin, end, less);
+          std::swap(*begin, *min_it);
+          g.done = 1;
+          g.pivots.push_back(g.size);
+        }
+        break;
+    }
+  }
+}
+
+// One incremental-quickselect step: finalizes at least one more
+// position of the group's sorted prefix. The pivot stack holds segment
+// boundaries (strictly non-increasing toward the top, bottom sentinel =
+// size); everything before a boundary compares <= everything after it.
+// A fat three-way partition finalizes whole runs of equal costs at
+// once, so all-equal groups drain in linear total time.
+template <typename CM>
+void Tdp<CM>::IqsStep(Node& n, Group& group) {
+  RowId* const rows = n.group_rows.data() + group.begin;
+  auto& pivots = group.pivots;
+  while (true) {
+    uint32_t top = pivots.back();
+    if (top == group.done) {
+      pivots.pop_back();
+      continue;
+    }
+    if (top == group.done + 1) {
+      // Single-element segment: already in place.
+      group.done += 1;
+      ++heap_extractions_;
+      return;
+    }
+    // Median-of-three pivot over [done, top).
+    const uint32_t lo = group.done;
+    const uint32_t mid = lo + (top - lo) / 2;
+    RowId a = rows[lo], b = rows[mid], c = rows[top - 1];
+    RowId pivot = HeapLess(n, a, b)
+                      ? (HeapLess(n, b, c) ? b : (HeapLess(n, a, c) ? c : a))
+                      : (HeapLess(n, a, c) ? a : (HeapLess(n, b, c) ? c : b));
+    // Three-way (Dutch flag) partition: [lo, lt) < pivot, [lt, gt) ==
+    // pivot, [gt, top) > pivot.
+    uint32_t lt = lo, i = lo, gt = top;
+    while (i < gt) {
+      if (HeapLess(n, rows[i], pivot)) {
+        std::swap(rows[lt++], rows[i++]);
+      } else if (HeapLess(n, pivot, rows[i])) {
+        std::swap(rows[i], rows[--gt]);
+      } else {
+        ++i;
       }
     }
+    if (lt == group.done) {
+      // The pivot run starts at the prefix: the whole equal run is
+      // finalized in one step.
+      heap_extractions_ += gt - group.done;
+      group.done = gt;
+      return;
+    }
+    pivots.push_back(gt);
+    pivots.push_back(lt);
   }
 }
 
@@ -284,16 +517,32 @@ bool Tdp<CM>::GroupTuple(size_t node_idx, GroupId g, size_t rank,
                          RowId* out) {
   Node& n = nodes_[node_idx];
   Group& group = n.groups[g];
-  auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
-  while (group.ordered.size() <= rank && !group.heap.empty()) {
-    std::pop_heap(group.heap.begin(), group.heap.end(), greater);
-    group.ordered.push_back(group.heap.back());
-    group.heap.pop_back();
-    ++heap_extractions_;
+  if (rank >= group.size) return false;
+  switch (sort_mode_) {
+    case SortMode::kEager:
+      *out = n.group_rows[group.begin + rank];
+      return true;
+    case SortMode::kLazy: {
+      RowId* const begin = n.group_rows.data() + group.begin;
+      const auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
+      while (group.done <= rank) {
+        // pop_heap parks the minimum at the end of the heap range, so
+        // extracted elements accumulate at the arena tail in reverse
+        // rank order: rank r lives at begin + size - 1 - r.
+        std::pop_heap(begin, begin + (group.size - group.done), greater);
+        group.done += 1;
+        ++heap_extractions_;
+      }
+      *out = n.group_rows[group.begin + group.size - 1 -
+                          static_cast<uint32_t>(rank)];
+      return true;
+    }
+    case SortMode::kQuickselect:
+      while (group.done <= rank) IqsStep(n, group);
+      *out = n.group_rows[group.begin + rank];
+      return true;
   }
-  if (rank >= group.ordered.size()) return false;
-  *out = group.ordered[rank];
-  return true;
+  return false;
 }
 
 template <typename CM>
@@ -327,7 +576,7 @@ void Tdp<CM>::CompleteOptimally(size_t node_idx, GroupId g,
   (*choice)[node_idx] = top;
   const Node& n = nodes_[node_idx];
   for (size_t ci = 0; ci < n.children.size(); ++ci) {
-    CompleteOptimally(n.children[ci], n.child_groups[top][ci], choice);
+    CompleteOptimally(n.children[ci], n.child_group(top, ci), choice);
   }
 }
 

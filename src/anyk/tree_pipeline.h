@@ -63,11 +63,21 @@ std::unique_ptr<RankedIterator> MakeTreeIterator(
       return std::make_unique<TreePipeline<CM, AnyKRec<CM>>>(
           db, query, SortMode::kLazy, stats, atom_weights);
     case AnyKAlgorithm::kPartEager:
-      return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
+      return std::make_unique<
+          TreePipeline<CM, AnyKPart<CM, PartStrategy::kLawler>>>(
           db, query, SortMode::kEager, stats, atom_weights);
     case AnyKAlgorithm::kPartLazy:
-      return std::make_unique<TreePipeline<CM, AnyKPart<CM>>>(
+      return std::make_unique<
+          TreePipeline<CM, AnyKPart<CM, PartStrategy::kLawler>>>(
           db, query, SortMode::kLazy, stats, atom_weights);
+    case AnyKAlgorithm::kPartTake2:
+      return std::make_unique<
+          TreePipeline<CM, AnyKPart<CM, PartStrategy::kTake2>>>(
+          db, query, SortMode::kLazy, stats, atom_weights);
+    case AnyKAlgorithm::kPartMemoized:
+      return std::make_unique<
+          TreePipeline<CM, AnyKPart<CM, PartStrategy::kTake2>>>(
+          db, query, SortMode::kQuickselect, stats, atom_weights);
     case AnyKAlgorithm::kBatch:
       return std::make_unique<TreePipeline<CM, BatchSorted<CM>>>(
           db, query, SortMode::kEager, stats, atom_weights);

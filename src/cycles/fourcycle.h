@@ -38,6 +38,7 @@
 #include "src/query/cq.h"
 #include "src/query/decomposition.h"
 #include "src/ranking/cost_model.h"
+#include "src/stats/cardinality_estimator.h"
 
 namespace topkjoin {
 
@@ -59,9 +60,26 @@ struct FourCyclePlans {
   size_t heavy_d_count = 0;
 };
 
+/// `threshold` overrides the heavy/light degree cutoff tau; 0 keeps the
+/// static sqrt(n) split. The planner feeds the estimator-chosen value
+/// (ChooseFourCycleThreshold) through QueryPlan::fourcycle_threshold.
 FourCyclePlans BuildFourCyclePlans(const Database& db,
                                    const ConjunctiveQuery& query,
-                                   JoinStats* stats);
+                                   JoinStats* stats, size_t threshold = 0);
+
+/// Picks the heavy/light threshold tau from the instance instead of the
+/// static sqrt(n): exact light-bag sizes from the four degree maps
+/// (sum over light join values of the cross-degree products -- the
+/// tuples the LL/LH light bags actually materialize) plus the
+/// heavy-loop probe and expected-output cost, with the probe hit rate
+/// scaled by the estimator's per-edge selectivities. Minimized over a
+/// geometric tau grid; on skewed instances (a light-degree hub with a
+/// huge cross degree) this undercuts the static split by orders of
+/// magnitude of intermediate tuples. `estimator` nullptr falls back to
+/// the static sqrt(n) value.
+size_t ChooseFourCycleThreshold(const Database& db,
+                                const ConjunctiveQuery& query,
+                                const CardinalityEstimator* estimator);
 
 /// Ranked enumeration of 4-cycles by merging per-case any-k streams.
 /// The cases partition the result space, so no deduplication is needed.
@@ -69,10 +87,11 @@ FourCyclePlans BuildFourCyclePlans(const Database& db,
 /// ranks exactly (LEX streams merge by their primary component, the
 /// only part of the vector cost a merged double-valued stream can
 /// observe; within each case the full lexicographic order holds).
+/// `threshold`: as in BuildFourCyclePlans.
 std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
     const Database& db, const ConjunctiveQuery& query,
     AnyKAlgorithm algorithm, JoinStats* stats,
-    CostModelKind model = CostModelKind::kSum);
+    CostModelKind model = CostModelKind::kSum, size_t threshold = 0);
 
 /// Boolean 4-cycle query via the case plans: O~(n^{1.5}) (the claim the
 /// introduction of the paper highlights against the O~(n^2) of WCO

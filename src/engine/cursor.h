@@ -81,12 +81,29 @@ class Cursor {
     return work_used_.load(std::memory_order_relaxed);
   }
 
+  /// The pipeline's own monotone RAM-model work counter (heap
+  /// extractions + priority-queue pushes; see RankedIterator). This is
+  /// what the serving layer charges session work budgets with --
+  /// work-proportional spend, unlike the cursor-level `work_used`
+  /// pull counter. Mutator-serialized: call only while holding the
+  /// cursor's external lock (it reads pipeline state).
+  int64_t pipeline_work_units() const { return pipeline_->WorkUnits(); }
+
+  /// Serving-layer scratch: session work units a past pull performed
+  /// but could not reserve (the session went dry mid-pull). The next
+  /// slice pays the debt before pulling again, keeping session spend
+  /// work-proportional without ever overspending. Mutator-serialized,
+  /// exactly like Next().
+  size_t session_work_debt() const { return session_work_debt_; }
+  void set_session_work_debt(size_t debt) { session_work_debt_ = debt; }
+
  private:
   std::unique_ptr<RankedIterator> pipeline_;
   CursorOptions options_;
   std::atomic<CursorState> state_{CursorState::kActive};
   std::atomic<size_t> results_emitted_{0};
   std::atomic<size_t> work_used_{0};
+  size_t session_work_debt_ = 0;
 };
 
 }  // namespace topkjoin

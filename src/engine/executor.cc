@@ -39,8 +39,10 @@ StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
           });
     }
     case PlanStrategy::kUnionCases:
+      // The estimator-chosen heavy/light threshold rides in the plan
+      // (0 = static sqrt(n) fallback, e.g. hand-built plans).
       return MakeFourCycleAnyK(db, query, plan.algorithm, stats,
-                               plan.ranking.model);
+                               plan.ranking.model, plan.fourcycle_threshold);
   }
   return Status::Error("unknown plan strategy");
 }

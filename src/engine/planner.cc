@@ -53,12 +53,33 @@ double ResolveAgmBound(const StatusOr<double>& agm, QueryPlan* plan) {
   return std::numeric_limits<double>::infinity();
 }
 
+namespace {
+
+// The ANYK-PART variant to instantiate when the heuristic (or the
+// caller) lands on the PART family: the caller's anyk_variant when
+// given, else Take2 -- the successor strategy with the fewest frontier
+// pushes per result (<= 2 vs ell) and the smallest candidate footprint.
+AnyKAlgorithm ResolvePartVariant(const ExecutionOptions& opts,
+                                 QueryPlan* plan) {
+  if (opts.anyk_variant.has_value()) {
+    Explain(plan, std::string("anyk-part variant selected by caller: ") +
+                      AnyKPartVariantName(*opts.anyk_variant));
+    return AlgorithmForVariant(*opts.anyk_variant);
+  }
+  Explain(plan,
+          "anyk-part variant defaulted to take2 (<= 2 frontier pushes "
+          "per result vs ell for eager/lazy)");
+  return AnyKAlgorithm::kPartTake2;
+}
+
+}  // namespace
+
 // Chooses the per-tree algorithm for an acyclic (sub)plan from the
 // requested k and the output estimate. Section 4 of the paper: any-k
 // wins time-to-first-result, batch-then-sort amortizes best when nearly
-// the whole output is consumed; among the any-k variants PART(Lazy)
-// reaches the first results fastest while REC amortizes toward a full
-// drain.
+// the whole output is consumed; among the any-k variants the PART
+// family reaches the first results fastest while REC amortizes toward a
+// full drain.
 AnyKAlgorithm ChooseTreeAlgorithm(const ExecutionOptions& opts,
                                   double estimated_output, QueryPlan* plan) {
   if (opts.force_algorithm.has_value()) {
@@ -89,9 +110,9 @@ AnyKAlgorithm ChooseTreeAlgorithm(const ExecutionOptions& opts,
   }
   if (*opts.k <= kAlwaysAnyKThreshold) {
     Explain(plan, "k=" + FormatCount(k) +
-                      " is small: anyk-part-lazy minimizes "
+                      " is small: anyk-part minimizes "
                       "time-to-first-result");
-    return AnyKAlgorithm::kPartLazy;
+    return ResolvePartVariant(opts, plan);
   }
   Explain(plan, "k=" + FormatCount(k) + " is moderate vs estimated output " +
                     FormatCount(estimated_output) +
@@ -132,6 +153,10 @@ std::string QueryPlan::DebugString() const {
   if (grouping.has_value()) {
     out += ", bags=";
     out += FormatCount(static_cast<double>(grouping->groups.size()));
+  }
+  if (fourcycle_threshold > 0) {
+    out += ", tau=";
+    out += FormatCount(static_cast<double>(fourcycle_threshold));
   }
   out += "}\n";
   out += rationale;
@@ -206,12 +231,20 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
     plan.strategy = PlanStrategy::kUnionCases;
     plan.estimated_intermediate =
         EstimateFourCycleIntermediate(query, *estimator);
+    plan.fourcycle_threshold =
+        ChooseFourCycleThreshold(db, query, estimator);
     Explain(&plan,
             "4-cycle shape detected: heavy/light case plans partition the "
             "output, ranked union merges the per-case any-k streams "
             "(O~(n^1.5) preprocessing vs O~(n^2) single-tree); case bags "
             "estimated <= " +
                 FormatCount(plan.estimated_intermediate) + " tuples");
+    Explain(&plan,
+            "heavy/light threshold tau=" +
+                FormatCount(static_cast<double>(plan.fourcycle_threshold)) +
+                " minimizes estimated light-bag + heavy-probe cost "
+                "(estimator edge selectivities; static split is "
+                "tau=sqrt(n))");
   } else {
     // Cost-aware grouping: greedy merges minimize the estimated
     // materialized bag size instead of blindly maximizing shared

@@ -44,6 +44,13 @@ struct ExecutionOptions {
   std::optional<size_t> k;
   /// Overrides the planner's tree-algorithm heuristic when set.
   std::optional<AnyKAlgorithm> force_algorithm;
+  /// Selects the ANYK-PART successor/sorting variant whenever the
+  /// planner routes to the PART family (it does not override the any-k
+  /// vs batch vs REC routing the way force_algorithm does); recorded in
+  /// the plan rationale and part of the plan-cache fingerprint. Unset:
+  /// the planner's default PART variant (Take2 -- fewest frontier
+  /// pushes per result).
+  std::optional<AnyKPartVariant> anyk_variant;
 };
 
 /// The structural family a plan belongs to.
@@ -78,6 +85,10 @@ struct QueryPlan {
   /// next to the sampled estimate so Explain output shows how loose the
   /// worst case is on this instance.
   double agm_bound = 0.0;
+  /// kUnionCases only: the heavy/light degree threshold tau chosen from
+  /// the estimator's per-edge selectivities (cycles/fourcycle.h). 0 =
+  /// unset; the executor falls back to the static sqrt(n) split.
+  size_t fourcycle_threshold = 0;
   /// Human-readable trace of every heuristic decision taken.
   std::string rationale;
 

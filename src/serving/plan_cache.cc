@@ -24,7 +24,7 @@ PlanCache::Fingerprint PlanCache::Make(const Database& db,
   Fingerprint f;
   f.db = &db;
   auto& e = f.encoded;
-  e.reserve(8 + query.NumAtoms() * 6);
+  e.reserve(10 + query.NumAtoms() * 6);
   e.push_back(static_cast<uint64_t>(query.num_vars()));
   e.push_back(static_cast<uint64_t>(ranking.model));
   e.push_back(opts.k.has_value() ? kPresent : kAbsent);
@@ -32,6 +32,9 @@ PlanCache::Fingerprint PlanCache::Make(const Database& db,
   e.push_back(opts.force_algorithm.has_value() ? kPresent : kAbsent);
   e.push_back(static_cast<uint64_t>(
       opts.force_algorithm.value_or(AnyKAlgorithm::kRec)));
+  e.push_back(opts.anyk_variant.has_value() ? kPresent : kAbsent);
+  e.push_back(static_cast<uint64_t>(
+      opts.anyk_variant.value_or(AnyKPartVariant::kTake2)));
   e.push_back(query.NumAtoms());
   for (const Atom& atom : query.atoms()) {
     e.push_back(static_cast<uint64_t>(atom.relation));

@@ -46,9 +46,10 @@ class PlanCache {
 
   /// Structural identity of a plan request. Two requests fingerprint
   /// equal iff they reference the same Database object and encode the
-  /// same (atoms, num_vars, ranking dioid, k, forced algorithm) --
-  /// everything PlanQuery's output depends on besides the data itself,
-  /// which the version argument of Lookup/Insert covers.
+  /// same (atoms, num_vars, ranking dioid, k, forced algorithm, any-k
+  /// part variant) -- everything PlanQuery's output depends on besides
+  /// the data itself, which the version argument of Lookup/Insert
+  /// covers.
   struct Fingerprint {
     const Database* db = nullptr;
     std::vector<uint64_t> encoded;

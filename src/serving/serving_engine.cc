@@ -20,6 +20,20 @@ Status NoSessionError(SessionId id) {
   return Status::Error("no open session with id " + std::to_string(id));
 }
 
+// Reserves and immediately spends up to `amount` work units from the
+// session ledger; returns the unpaid remainder (> 0 means the session
+// ran dry mid-payment). The only way Fetch converts performed work into
+// session spend, for both debt payoff and post-pull settlement.
+size_t PayWork(Session& session, size_t amount) {
+  while (amount > 0) {
+    const size_t grant = session.ReserveWork(amount);
+    if (grant == 0) break;
+    session.SettleWork(grant, grant);
+    amount -= grant;
+  }
+  return amount;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(ServingOptions options)
@@ -157,35 +171,63 @@ StatusOr<FetchOutcome> ServingEngine::Fetch(CursorId id, size_t max_results) {
         out.cursor_state = cursor.state();
         if (max_results == 0) return;
 
-        // Reserve one result slot + one work unit per pull rather than a
-        // whole slice up front: unit reservations are consumed (almost)
-        // as soon as they are taken, so a concurrent slice observing a
-        // zero grant means the session really is out of budget, not that
-        // a sibling briefly over-reserved and will refund. The only
-        // refunds left are the one-unit corners below.
+        // Session work is charged in pipeline work units (the
+        // RankedIterator::WorkUnits delta of each pull), not one unit
+        // per pull: a deep-rank pull that drains group heaps costs what
+        // it actually did. Reservation always precedes spend -- a
+        // one-unit ante before the pull, the measured remainder after
+        // it -- so the budget can never be overspent. A pull is
+        // indivisible, though: units the session could not cover are
+        // carried as cursor work debt and must be paid off before that
+        // cursor pulls again, keeping accounting exact across slices.
         while (out.results.size() < max_results) {
+          // Pay outstanding debt from a previous pull first.
+          const size_t debt =
+              PayWork(session, cursor.session_work_debt());
+          cursor.set_session_work_debt(debt);
+          if (debt > 0) {
+            out.session_dry = true;
+            break;
+          }
           const size_t r = session.ReserveResults(1);
           if (r == 0) {
             out.session_dry = true;
             break;
           }
-          const size_t w = session.ReserveWork(1);
+          const size_t w = session.ReserveWork(1);  // the pull's ante
           if (w == 0) {
             session.SettleResults(1, 0);
             out.session_dry = true;
             break;
           }
-          const size_t work_before = cursor.work_used();
+          const int64_t units_before = cursor.pipeline_work_units();
+          const size_t pulls_before = cursor.work_used();
           auto result = cursor.Next();
-          const size_t pulled = cursor.work_used() - work_before;
-          session.SettleWork(1, pulled);  // refund iff the cursor was
-                                          // already stopped (no pull)
+          if (cursor.work_used() == pulls_before) {
+            // The cursor was already stopped (its own budget): nothing
+            // was pulled, so both unit reservations are refunded.
+            session.SettleWork(1, 0);
+            session.SettleResults(1, 0);
+            break;
+          }
+          const int64_t delta = cursor.pipeline_work_units() - units_before;
+          const size_t units =
+              std::max<size_t>(delta > 0 ? static_cast<size_t>(delta) : 0, 1);
+          session.SettleWork(1, 1);  // the ante covers the first unit
+          const size_t extra = PayWork(session, units - 1);
+          if (extra > 0) {
+            // Mid-pull dryness: record the shortfall; the slice ends
+            // after delivering what the pull already produced.
+            cursor.set_session_work_debt(extra);
+            out.session_dry = true;
+          }
           if (!result.has_value()) {
             session.SettleResults(1, 0);  // pull found no result
             break;
           }
           session.SettleResults(1, 1);
           out.results.push_back(std::move(*result));
+          if (out.session_dry) break;
         }
         out.cursor_state = cursor.state();
       });

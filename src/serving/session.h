@@ -1,17 +1,23 @@
 // Serving sessions: aggregate budgets across all of a session's cursors.
 //
 // Per-cursor budgets (engine/cursor.h) bound one enumeration; a session
-// bounds a *tenant*: the total results and total pipeline pulls spent
-// across every cursor the session opens. That is the fairness unit of
-// the serving layer -- one heavy query (or many cheap ones) cannot
-// starve other sessions by monopolizing worker time, because each Fetch
-// slice must first reserve headroom from its session.
+// bounds a *tenant*: the total results and total pipeline work units
+// (RankedIterator::WorkUnits -- heap extractions + priority-queue
+// pushes, charged per pull as the pull's measured delta) spent across
+// every cursor the session opens. That is the fairness unit of the
+// serving layer -- one heavy query (or many cheap ones) cannot starve
+// other sessions by monopolizing worker time, because each Fetch slice
+// must first reserve headroom from its session, and a deep, expensive
+// pull is charged what it actually did rather than a flat unit.
 //
 // Accounting is reserve -> spend -> settle: a worker atomically reserves
-// up to a slice's worth of budget, runs the slice, then refunds what the
-// slice did not use. Reservations come out of the remaining budget
-// before any work happens, so the budget can never be overspent, no
-// matter how many workers fetch the session's cursors concurrently.
+// budget, runs the pull, then settles what was used and refunds the
+// rest. Reservations come out of the remaining budget before they are
+// spent, so the budget can never be overspent, no matter how many
+// workers fetch the session's cursors concurrently; work a pull
+// performed past the last grant (a pull is indivisible) is carried as
+// per-cursor debt and must be reserved before that cursor pulls again
+// (see ServingEngine::Fetch).
 #ifndef TOPKJOIN_SERVING_SESSION_H_
 #define TOPKJOIN_SERVING_SESSION_H_
 
@@ -28,7 +34,9 @@ using SessionId = uint64_t;
 /// Aggregate lifetime limits for one session. nullopt = unlimited.
 struct SessionBudget {
   std::optional<size_t> result_budget;  // total results across cursors
-  std::optional<size_t> work_budget;    // total pulls across cursors
+  std::optional<size_t> work_budget;    // total pipeline work units
+                                        // across cursors (see file
+                                        // comment)
 };
 
 /// Monitoring snapshot (each field individually consistent).

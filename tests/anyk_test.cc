@@ -150,7 +150,8 @@ TEST(TdpTest, OptimalCompletionIsMinimumCost) {
 
 TEST(TdpTest, GroupTupleRanksAreMonotoneLazyAndEager) {
   TestInstance t = MakePathInstance(2, 40, 3, 7);
-  for (SortMode mode : {SortMode::kEager, SortMode::kLazy}) {
+  for (SortMode mode :
+       {SortMode::kEager, SortMode::kLazy, SortMode::kQuickselect}) {
     Tdp<SumCost> tdp(t.db, t.query, mode, nullptr);
     for (size_t n = 0; n < tdp.NumNodes(); ++n) {
       for (GroupId g = 0; g < tdp.node(n).groups.size(); ++g) {
@@ -220,6 +221,20 @@ TEST_P(AnyKSweepTest, PartLazyMatchesOracle) {
   TestInstance t = MakeInstance();
   Tdp<SumCost> tdp(t.db, t.query, SortMode::kLazy, nullptr);
   AnyKPart<SumCost> part(&tdp);
+  CheckAgainstOracle(t, Drain(&part));
+}
+
+TEST_P(AnyKSweepTest, PartTake2MatchesOracle) {
+  TestInstance t = MakeInstance();
+  Tdp<SumCost> tdp(t.db, t.query, SortMode::kLazy, nullptr);
+  AnyKPart<SumCost, PartStrategy::kTake2> part(&tdp);
+  CheckAgainstOracle(t, Drain(&part));
+}
+
+TEST_P(AnyKSweepTest, PartMemoizedMatchesOracle) {
+  TestInstance t = MakeInstance();
+  Tdp<SumCost> tdp(t.db, t.query, SortMode::kQuickselect, nullptr);
+  AnyKPart<SumCost, PartStrategy::kTake2> part(&tdp);
   CheckAgainstOracle(t, Drain(&part));
 }
 
@@ -343,7 +358,8 @@ TEST(FactoryTest, AllAlgorithmsAgreeViaFactory) {
   const auto expected = OracleSortedCosts(t);
   for (AnyKAlgorithm algo :
        {AnyKAlgorithm::kRec, AnyKAlgorithm::kPartEager,
-        AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kBatch}) {
+        AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kPartTake2,
+        AnyKAlgorithm::kPartMemoized, AnyKAlgorithm::kBatch}) {
     auto it = MakeAnyK(t.db, t.query, algo);
     const auto results = Drain(it.get());
     ASSERT_EQ(results.size(), expected.size()) << AnyKAlgorithmName(algo);

@@ -178,6 +178,84 @@ TEST(FourCycleTest, PlansIntermediateSmallerThanFhw2OnHub) {
   EXPECT_LT(hl.intermediate_tuples, 20 * static_cast<int64_t>(n));
 }
 
+// The estimator-fed heavy/light threshold (ROADMAP estimator
+// follow-up): a hub join value with a small driving degree but a huge
+// cross degree is light under the static sqrt(n) cutoff -- its whole
+// fan-out lands in the light bags -- while the instance-aware cost
+// model pushes it to the heavy side. Pinned: the estimated threshold
+// materializes less than half the static split's intermediate tuples,
+// and both thresholds enumerate the identical ranked stream.
+TEST(FourCycleTest, EstimatedThresholdBeatsStaticOnSkewedHub) {
+  constexpr size_t n = 400;
+  Relation r("R", {"a", "b"});
+  Relation s("S", {"b", "c"});
+  Relation t_rel("T", {"c", "d"});
+  Relation w("W", {"d", "a"});
+  Rng rng(5);
+  // Hub b* = 0: only six R edges reach it (regular b values have
+  // R-degree 2), but S fans it out to every c. Static tau ~ sqrt(n) =
+  // 20 keeps it light (deg_R = 6 <= 20), so the light bag ABC
+  // materializes 6 * n hub tuples; a tau in [2, 5] isolates exactly the
+  // hub on the heavy side.
+  for (Value a = 1; a <= 6; ++a) r.AddTuple({a, 0}, rng.NextDouble());
+  for (size_t i = 0; i < n; ++i) {
+    r.AddTuple({static_cast<Value>(i), 1 + static_cast<Value>(i % 200)},
+               rng.NextDouble());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    s.AddTuple({0, static_cast<Value>(i)}, rng.NextDouble());
+  }
+  for (size_t i = 0; i < 200; ++i) {
+    s.AddTuple({1 + static_cast<Value>(i % 200), static_cast<Value>(i)},
+               rng.NextDouble());
+  }
+  // T and W stay skew-free with tiny degrees.
+  for (size_t i = 0; i < n; ++i) {
+    t_rel.AddTuple({static_cast<Value>(i), static_cast<Value>(i)},
+                   rng.NextDouble());
+    w.AddTuple({static_cast<Value>(i), static_cast<Value>(i % 40)},
+               rng.NextDouble());
+  }
+  Instance t;
+  const RelationId rid = t.db.Add(std::move(r));
+  const RelationId sid = t.db.Add(std::move(s));
+  const RelationId tid = t.db.Add(std::move(t_rel));
+  const RelationId wid = t.db.Add(std::move(w));
+  t.query.AddAtom(rid, {0, 1});
+  t.query.AddAtom(sid, {1, 2});
+  t.query.AddAtom(tid, {2, 3});
+  t.query.AddAtom(wid, {3, 0});
+
+  const CardinalityEstimator estimator(t.db);
+  const size_t est_tau = ChooseFourCycleThreshold(t.db, t.query, &estimator);
+  const size_t static_tau = ChooseFourCycleThreshold(t.db, t.query, nullptr);
+  EXPECT_LT(est_tau, 6u) << "hub must land on the heavy side";
+  ASSERT_GE(static_tau, 6u) << "hub must be light under the static split";
+
+  JoinStats est_stats, static_stats;
+  const FourCyclePlans est_plans =
+      BuildFourCyclePlans(t.db, t.query, &est_stats, est_tau);
+  const FourCyclePlans static_plans =
+      BuildFourCyclePlans(t.db, t.query, &static_stats, /*threshold=*/0);
+  EXPECT_LT(est_stats.intermediate_tuples,
+            static_stats.intermediate_tuples / 2)
+      << "estimated tau " << est_tau << " vs static " << static_tau;
+
+  // Any threshold partitions the output; the ranked streams agree.
+  auto est_stream = MakeFourCycleAnyK(t.db, t.query, AnyKAlgorithm::kRec,
+                                      nullptr, CostModelKind::kSum, est_tau);
+  auto static_stream = MakeFourCycleAnyK(t.db, t.query, AnyKAlgorithm::kRec,
+                                         nullptr, CostModelKind::kSum, 0);
+  std::vector<double> est_costs, static_costs;
+  while (auto res = est_stream->Next()) est_costs.push_back(res->cost);
+  while (auto res = static_stream->Next()) static_costs.push_back(res->cost);
+  ASSERT_FALSE(est_costs.empty());
+  ASSERT_EQ(est_costs.size(), static_costs.size());
+  for (size_t i = 0; i < est_costs.size(); ++i) {
+    EXPECT_NEAR(est_costs[i], static_costs[i], 1e-9) << "rank " << i;
+  }
+}
+
 TEST(FourCycleTest, ThresholdAndHeavyCounts) {
   Instance t = MakeFourCycleInstance(100, 4, 77);  // heavy collisions
   const FourCyclePlans plans = BuildFourCyclePlans(t.db, t.query, nullptr);

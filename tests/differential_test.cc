@@ -20,11 +20,22 @@
 //   TOPKJOIN_DIFF_SEED=<s> TOPKJOIN_DIFF_QUERIES=1 ./differential_test
 // (the extended CI job raises TOPKJOIN_DIFF_QUERIES; the same two
 // variables make any CI failure a one-command local repro).
+//
+// TOPKJOIN_DIFF_VARIANT=eager|lazy|take2|memoized forces the main dioid
+// sweep through one ANYK-PART successor variant (it sets
+// force_algorithm to the matching kPart* algorithm), so the whole
+// random-query x dioid matrix can be replayed under any variant of the
+// rebuilt enumeration core. Unset: the planner routes normally. The
+// PartVariantsEmitIdenticalRankedStreams test additionally sweeps all
+// four variants against each other on every query and dioid,
+// asserting bit-identical cost sequences.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +69,21 @@ size_t EnvSize(const char* name, size_t fallback) {
 
 size_t NumRandomQueries() { return EnvSize("TOPKJOIN_DIFF_QUERIES", 230); }
 uint64_t BaseSeed() { return EnvSize("TOPKJOIN_DIFF_SEED", 20260729); }
+
+// TOPKJOIN_DIFF_VARIANT: force the main sweep through one ANYK-PART
+// variant (see file comment). An unknown name aborts loudly.
+std::optional<AnyKPartVariant> EnvVariant() {
+  const char* v = std::getenv("TOPKJOIN_DIFF_VARIANT");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  for (const AnyKPartVariant variant :
+       {AnyKPartVariant::kEager, AnyKPartVariant::kLazy,
+        AnyKPartVariant::kTake2, AnyKPartVariant::kMemoized}) {
+    if (std::string(v) == AnyKPartVariantName(variant)) return variant;
+  }
+  std::fprintf(stderr, "unknown TOPKJOIN_DIFF_VARIANT '%s'\n", v);
+  TOPKJOIN_CHECK(false);
+  return std::nullopt;
+}
 
 struct RandomCase {
   Database db;
@@ -285,7 +311,11 @@ void RunDifferential(const RandomCase& c, CostModelKind kind,
   Engine engine;
   RankingSpec ranking;
   ranking.model = kind;
-  auto result = engine.Execute(c.db, c.query, ranking, {});
+  ExecutionOptions opts;
+  if (const auto variant = EnvVariant(); variant.has_value()) {
+    opts.force_algorithm = AlgorithmForVariant(*variant);
+  }
+  auto result = engine.Execute(c.db, c.query, ranking, opts);
   ASSERT_TRUE(result.ok()) << label << ": " << result.status().message();
   ExpectMatchesOracle(Drain(result.value().stream.get()),
                       BruteForce<Policy>(c.db, c.query), label);
@@ -352,7 +382,8 @@ TEST(DifferentialTest, AllAlgorithmsAgreeAcrossStrategies) {
     const auto want = BruteForce<SumCost>(c.db, c.query);
     for (const AnyKAlgorithm algorithm :
          {AnyKAlgorithm::kRec, AnyKAlgorithm::kPartEager,
-          AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kBatch}) {
+          AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kPartTake2,
+          AnyKAlgorithm::kPartMemoized, AnyKAlgorithm::kBatch}) {
       Engine engine;
       ExecutionOptions opts;
       opts.force_algorithm = algorithm;
@@ -366,6 +397,94 @@ TEST(DifferentialTest, AllAlgorithmsAgreeAcrossStrategies) {
   }
   EXPECT_GE(tested_acyclic, 10u);
   EXPECT_GE(tested_cyclic, 3u);
+}
+
+// The four ANYK-PART successor variants share one candidate-evaluation
+// routine (anyk_part.h), so across Eager/Lazy/Take2/Memoized the ranked
+// streams must be *identical*: the emitted cost sequences bit-equal
+// (same doubles, same full LEX vectors -- no FP tolerance needed), and
+// the (assignment, cost) multisets equal. Equal-cost ties may permute
+// between variants (group-list maintenance breaks ties differently);
+// the multiset comparison absorbs exactly that and nothing else.
+template <typename Policy>
+void RunVariantSweep(const RandomCase& c, CostModelKind kind,
+                     const std::string& label) {
+  struct Row {
+    std::vector<Value> assignment;
+    double cost;
+    std::vector<double> cost_vector;
+    bool operator<(const Row& o) const {
+      if (assignment != o.assignment) return assignment < o.assignment;
+      if (cost != o.cost) return cost < o.cost;
+      return cost_vector < o.cost_vector;
+    }
+    bool operator==(const Row& o) const {
+      return assignment == o.assignment && cost == o.cost &&
+             cost_vector == o.cost_vector;
+    }
+  };
+  std::vector<double> ref_costs;
+  std::vector<std::vector<double>> ref_vectors;
+  std::vector<Row> ref_rows;
+  bool have_ref = false;
+  for (const AnyKPartVariant variant :
+       {AnyKPartVariant::kEager, AnyKPartVariant::kLazy,
+        AnyKPartVariant::kTake2, AnyKPartVariant::kMemoized}) {
+    Engine engine;
+    RankingSpec ranking;
+    ranking.model = kind;
+    ExecutionOptions opts;
+    opts.force_algorithm = AlgorithmForVariant(variant);
+    auto result = engine.Execute(c.db, c.query, ranking, opts);
+    ASSERT_TRUE(result.ok())
+        << label << ": " << result.status().message();
+    const auto results = Drain(result.value().stream.get());
+    std::vector<double> costs;
+    std::vector<std::vector<double>> vectors;
+    std::vector<Row> rows;
+    for (const RankedResult& r : results) {
+      costs.push_back(r.cost);
+      vectors.push_back(r.cost_vector);
+      rows.push_back({r.assignment, r.cost, r.cost_vector});
+    }
+    std::sort(rows.begin(), rows.end());
+    if (!have_ref) {
+      ref_costs = std::move(costs);
+      ref_vectors = std::move(vectors);
+      ref_rows = std::move(rows);
+      have_ref = true;
+      continue;
+    }
+    const std::string vlabel =
+        label + " [" + AnyKPartVariantName(variant) + "]";
+    ASSERT_EQ(costs, ref_costs) << vlabel << ": cost sequence diverged";
+    ASSERT_EQ(vectors, ref_vectors)
+        << vlabel << ": cost-vector sequence diverged";
+    ASSERT_EQ(rows.size(), ref_rows.size()) << vlabel;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(rows[i] == ref_rows[i])
+          << vlabel << ": result multiset diverged at " << i;
+    }
+  }
+}
+
+TEST(DifferentialTest, PartVariantsEmitIdenticalRankedStreams) {
+  // Scaled down relative to the main sweep (each query runs 4 variants
+  // x 4 dioids), scaled up together with it by TOPKJOIN_DIFF_QUERIES.
+  const size_t num_queries = std::max<size_t>(NumRandomQueries() / 4, 20);
+  const uint64_t base_seed = BaseSeed() + 7700000;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const uint64_t seed = base_seed + q;
+    Rng rng(seed);
+    const RandomCase c = MakeRandomCase(rng);
+    const std::string label =
+        "variant-sweep seed=" + std::to_string(seed) + " " +
+        c.query.DebugString(c.db);
+    RunVariantSweep<SumCost>(c, CostModelKind::kSum, label + " [sum]");
+    RunVariantSweep<MaxCost>(c, CostModelKind::kMax, label + " [max]");
+    RunVariantSweep<ProdCost>(c, CostModelKind::kProd, label + " [prod]");
+    RunVariantSweep<LexCost>(c, CostModelKind::kLex, label + " [lex]");
+  }
 }
 
 }  // namespace

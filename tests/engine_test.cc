@@ -45,8 +45,39 @@ TEST(PlannerTest, SmallKPicksAnyK) {
   const auto plan = engine.Explain(t.db, t.query, {}, opts);
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan.value().strategy, PlanStrategy::kAnyKDirect);
-  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kPartLazy);
+  // Take2 is the default PART variant: fewest frontier pushes/result.
+  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kPartTake2);
   EXPECT_FALSE(plan.value().rationale.empty());
+}
+
+// The anyk_variant knob selects among the PART successor strategies
+// without overriding the any-k vs batch routing, and the choice shows
+// up in the Explain rationale.
+TEST(PlannerTest, AnyKVariantSelectsPartStrategy) {
+  Instance t = MakePathInstance(3, 60, 5, 7);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.k = 5;
+  for (const auto& [variant, algorithm] :
+       {std::pair{AnyKPartVariant::kEager, AnyKAlgorithm::kPartEager},
+        std::pair{AnyKPartVariant::kLazy, AnyKAlgorithm::kPartLazy},
+        std::pair{AnyKPartVariant::kTake2, AnyKAlgorithm::kPartTake2},
+        std::pair{AnyKPartVariant::kMemoized,
+                  AnyKAlgorithm::kPartMemoized}}) {
+    opts.anyk_variant = variant;
+    const auto plan = engine.Explain(t.db, t.query, {}, opts);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan.value().algorithm, algorithm)
+        << AnyKPartVariantName(variant);
+    EXPECT_NE(plan.value().rationale.find(AnyKPartVariantName(variant)),
+              std::string::npos);
+  }
+  // A large k still routes to batch regardless of the variant knob.
+  opts.k = 100000;
+  opts.anyk_variant = AnyKPartVariant::kEager;
+  const auto plan = engine.Explain(t.db, t.query, {}, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().algorithm, AnyKAlgorithm::kBatch);
 }
 
 TEST(PlannerTest, LargeKPicksBatch) {
@@ -267,7 +298,8 @@ TEST(EngineExecuteTest, MaxRankingOrdersByBottleneck) {
 TEST(EngineExecuteTest, PerResultWorkStaysWithinAnyKDelayBound) {
   for (const AnyKAlgorithm algorithm :
        {AnyKAlgorithm::kRec, AnyKAlgorithm::kPartEager,
-        AnyKAlgorithm::kPartLazy}) {
+        AnyKAlgorithm::kPartLazy, AnyKAlgorithm::kPartTake2,
+        AnyKAlgorithm::kPartMemoized}) {
     for (uint64_t seed = 0; seed < 3; ++seed) {
       Instance t = MakePathInstance(3, 150, 8, seed);
       Engine engine;

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regression guard over BENCH_e13.json (bench_e13_anyk_core).
+
+Gates the rebuilt any-k enumeration core on every workload that reports
+frontier counters:
+
+  * Take2 must push at most 2.5 candidates per emitted result (its
+    design bound is 2 + the seed);
+  * Take2 must never push more than the legacy Lawler expansion
+    (allowing 0.1% slack for counter rounding).
+
+Wall-clock TTL ratios (take2 vs legacy on the path workloads; >= 2x
+under the MAX ranking on a quiet machine) are REPORTED but not gated:
+shared-runner timing is too noisy to fail a build on, so only the
+structural counters are hard gates.
+
+Usage: check_bench_e13.py path/to/BENCH_e13.json
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_e13 regression: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_e13.py BENCH_e13.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+    workloads = data.get("workloads", {})
+    if not workloads:
+        fail("no workloads in JSON")
+
+    checked_pushes = 0
+    for name, variants in workloads.items():
+        take2 = variants.get("take2")
+        legacy = variants.get("legacy-lazy")
+        if take2 is None:
+            fail(f"{name}: no take2 readout")
+        pushes = take2.get("pushes_per_result", -1.0)
+        if pushes >= 0:
+            checked_pushes += 1
+            if pushes > 2.5:
+                fail(f"{name}: take2 pushes/result {pushes:.3f} > 2.5")
+            if legacy is not None:
+                legacy_pushes = legacy.get("pushes_per_result", -1.0)
+                if legacy_pushes >= 0 and pushes > legacy_pushes * 1.001:
+                    fail(
+                        f"{name}: take2 pushes/result {pushes:.3f} exceeds "
+                        f"legacy {legacy_pushes:.3f}"
+                    )
+        if legacy is not None and take2.get("ttl_us"):
+            k = max(take2["ttl_us"], key=lambda s: int(s))
+            t2 = take2["ttl_us"][k]
+            lg = legacy["ttl_us"][k]
+            if t2 > 0:
+                print(f"{name}: take2 TTL({k}) speedup vs legacy = {lg / t2:.2f}x")
+    if checked_pushes == 0:
+        fail("no workload reported pushes_per_result")
+    print("BENCH_e13 guard: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
