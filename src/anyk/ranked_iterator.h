@@ -36,6 +36,19 @@ inline bool RankedCostLess(const RankedResult& a, const RankedResult& b) {
                                       b.cost_vector.end());
 }
 
+/// Detailed pipeline counters behind WorkUnits, exposed so the
+/// observability layer (src/obs/) can export them as metrics without
+/// knowing the concrete algorithm. All values are monotone lifetime
+/// totals except candidate_pool_bytes, which is a high-water mark.
+struct PipelineCounters {
+  /// Successor candidates pushed into the any-k frontier.
+  int64_t frontier_pushes = 0;
+  /// T-DP lazy-sort heap extractions (IqsStep pops).
+  int64_t heap_extractions = 0;
+  /// Peak bytes held by the candidate pool / frontier storage.
+  int64_t candidate_pool_bytes = 0;
+};
+
 /// Pull-based ranked enumeration. Next() returns results in
 /// non-decreasing cost order; nullopt when exhausted.
 class RankedIterator {
@@ -49,6 +62,10 @@ class RankedIterator {
   /// any-k guarantee bounds -- tests assert it never spikes to
   /// O(output). Pipelines without instrumentation report 0.
   virtual int64_t WorkUnits() const { return 0; }
+
+  /// Breakdown of WorkUnits for metrics export. Pipelines without
+  /// instrumentation return zeros.
+  virtual PipelineCounters Counters() const { return {}; }
 };
 
 }  // namespace topkjoin

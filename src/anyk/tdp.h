@@ -103,6 +103,12 @@ class GroupKeyIndex {
   size_t width() const { return width_; }
   size_t num_keys() const { return num_keys_; }
 
+  /// Resident bytes of the slot table and key arena (instrumentation).
+  size_t ApproxBytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           key_values_.capacity() * sizeof(Value);
+  }
+
  private:
   struct Slot {
     uint64_t hash = 0;
@@ -234,6 +240,25 @@ class Tdp {
 
   /// Total number of group lists (for instrumentation).
   size_t NumGroups() const;
+
+  /// Approximate resident bytes of the preprocessing arenas: reduced
+  /// relation payloads, cost/best arrays, the flat child-group matrix,
+  /// the row arenas, and the key indexes. Capacity-based, so it tracks
+  /// what the allocator actually holds; exported as the T-DP
+  /// arena-bytes metric (tdp.arena_bytes).
+  size_t ApproxBytes() const {
+    size_t total = 0;
+    for (const Node& node : nodes_) {
+      total += node.rel.PayloadBytes();
+      total += node.tuple_costs.capacity() * sizeof(CostT);
+      total += node.best.capacity() * sizeof(CostT);
+      total += node.child_groups.capacity() * sizeof(GroupId);
+      total += node.group_rows.capacity() * sizeof(RowId);
+      total += node.groups.capacity() * sizeof(Group);
+      total += node.key_index.ApproxBytes();
+    }
+    return total;
+  }
 
   /// Monotone RAM-model work counter: lazy group-list extractions
   /// (heap pops / quickselect finalizations) performed so far by

@@ -17,6 +17,7 @@
 #include "src/anyk/tdp.h"
 #include "src/data/database.h"
 #include "src/join/join_stats.h"
+#include "src/obs/metrics.h"
 #include "src/query/cq.h"
 #include "src/query/decomposition.h"
 
@@ -36,8 +37,20 @@ class TreePipeline : public RankedIterator {
                JoinStats* stats,
                const std::vector<WeightMatrix>* atom_weights = nullptr)
       : query_(std::move(query)),
+        build_start_(FastClock::Now()),
         tdp_(db, query_, mode, stats, atom_weights),
-        algo_(&tdp_) {}
+        algo_(&tdp_) {
+    if constexpr (kMetricsEnabled) {
+      // T-DP preprocessing metrics, recorded once per pipeline. The
+      // metric objects are process-wide, so repeated builds aggregate.
+      auto& registry = MetricsRegistry::Global();
+      registry.GetHistogram("tdp.build_ns")
+          ->RecordTicksAsNs(FastClock::Now() - build_start_);
+      registry.GetHistogram("tdp.arena_bytes")->Record(tdp_.ApproxBytes());
+      registry.GetHistogram("tdp.groups")->Record(tdp_.NumGroups());
+      registry.GetCounter("tdp.builds")->Increment();
+    }
+  }
 
   std::optional<RankedResult> Next() override { return algo_.Next(); }
 
@@ -45,8 +58,20 @@ class TreePipeline : public RankedIterator {
     return tdp_.heap_extractions() + algo_.pq_pushes();
   }
 
+  PipelineCounters Counters() const override {
+    PipelineCounters counters;
+    counters.frontier_pushes = algo_.pq_pushes();
+    counters.heap_extractions = tdp_.heap_extractions();
+    if constexpr (requires(const Algo& a) { a.peak_candidate_bytes(); }) {
+      counters.candidate_pool_bytes =
+          static_cast<int64_t>(algo_.peak_candidate_bytes());
+    }
+    return counters;
+  }
+
  private:
   ConjunctiveQuery query_;
+  FastClock::Ticks build_start_;  // declared before tdp_: times its build
   Tdp<CM> tdp_;
   Algo algo_;
 };
@@ -102,6 +127,8 @@ class BagPipeline : public RankedIterator {
   std::optional<RankedResult> Next() override { return inner_->Next(); }
 
   int64_t WorkUnits() const override { return inner_->WorkUnits(); }
+
+  PipelineCounters Counters() const override { return inner_->Counters(); }
 
  private:
   DecomposedQuery dq_;

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/util/common.h"
 
 namespace topkjoin {
+namespace {
+
+// Sum of outstanding session work debt across live cursors. Interned
+// once; cursors on any thread update it through the returned pointer.
+Gauge* DebtGauge() {
+  static Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "serving.budget_debt");
+  return gauge;
+}
+
+}  // namespace
 
 const char* CursorStateName(CursorState state) {
   switch (state) {
@@ -26,6 +38,14 @@ Cursor::Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options)
   TOPKJOIN_CHECK(pipeline_ != nullptr);
 }
 
+Cursor::~Cursor() {
+  // Settle outstanding debt so a cursor closed mid-slice cannot leave
+  // the process-wide debt gauge inflated forever.
+  if (session_work_debt_ != 0) {
+    DebtGauge()->Add(-static_cast<int64_t>(session_work_debt_));
+  }
+}
+
 std::optional<RankedResult> Cursor::Next() {
   if (state() != CursorState::kActive) return std::nullopt;
   if (options_.result_budget.has_value() &&
@@ -38,14 +58,31 @@ std::optional<RankedResult> Cursor::Next() {
     state_.store(CursorState::kWorkBudgetHit, std::memory_order_relaxed);
     return std::nullopt;
   }
-  work_used_.fetch_add(1, std::memory_order_relaxed);
+  // Charge the measured RAM-model cost of this pull (the pipeline's
+  // WorkUnits delta), with a one-unit floor: exhaustion probes and
+  // uninstrumented pipelines (WorkUnits() == 0 forever) still pay for
+  // the pull itself, which also guarantees forward progress against
+  // the budget. The charge is at least 1, so callers can detect
+  // "no pull happened" via an unchanged work_used().
+  const int64_t units_before = pipeline_->WorkUnits();
   auto result = pipeline_->Next();
+  const int64_t delta = pipeline_->WorkUnits() - units_before;
+  work_used_.fetch_add(delta > 1 ? static_cast<size_t>(delta) : size_t{1},
+                       std::memory_order_relaxed);
   if (!result.has_value()) {
     state_.store(CursorState::kExhausted, std::memory_order_relaxed);
     return std::nullopt;
   }
   results_emitted_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+void Cursor::set_session_work_debt(size_t debt) {
+  if (debt != session_work_debt_) {
+    DebtGauge()->Add(static_cast<int64_t>(debt) -
+                     static_cast<int64_t>(session_work_debt_));
+  }
+  session_work_debt_ = debt;
 }
 
 std::vector<RankedResult> Cursor::Fetch(size_t max_results) {

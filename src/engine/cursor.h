@@ -5,8 +5,16 @@
 // or repeating ranked results -- the iterator state is the resume token.
 // Budgets bound what one enumeration may consume over its lifetime:
 //   * result budget: total results the cursor may emit;
-//   * work budget:   total pipeline pulls (RAM-model "operations") the
-//     cursor may spend, charged one unit per Next() on the pipeline.
+//   * work budget:   total RAM-model work units the cursor may spend,
+//     charged per pull as the pipeline's measured WorkUnits delta
+//     (min 1 -- even a free pull costs the pull itself). Pipelines
+//     without instrumentation degrade to one unit per pull. The same
+//     units the serving layer charges session budgets with, so the two
+//     budget levels are directly comparable. The charge lands after
+//     the pull (cost is unknowable beforehand), so a cursor may
+//     overshoot its work budget by at most one pull's delay before
+//     stopping -- the same bounded-overshoot contract session budgets
+//     have.
 // Budgets are what let a session manager interleave many concurrent
 // enumerations fairly (see engine.h and serving/serving_engine.h).
 //
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "src/anyk/ranked_iterator.h"
+#include "src/obs/trace.h"
 
 namespace topkjoin {
 
@@ -51,6 +60,7 @@ const char* CursorStateName(CursorState state);
 class Cursor {
  public:
   Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options);
+  ~Cursor();
 
   /// Pulls the next result, or nullopt when the stream is exhausted or a
   /// budget is hit (inspect state() to distinguish).
@@ -95,11 +105,24 @@ class Cursor {
   /// work-proportional without ever overspending. Mutator-serialized,
   /// exactly like Next().
   size_t session_work_debt() const { return session_work_debt_; }
-  void set_session_work_debt(size_t debt) { session_work_debt_ = debt; }
+  /// Also maintains the process-wide "serving.budget_debt" gauge (the
+  /// sum of outstanding debt across cursors); the destructor settles
+  /// whatever is left so closed cursors cannot leak gauge value.
+  void set_session_work_debt(size_t debt);
+
+  /// Optional per-query trace shared with the pipeline (see
+  /// ExecutionOptions::collect_trace). The pipeline appends milestones
+  /// under the same external serialization as Next(), so read it only
+  /// under the cursor's lock (ServingEngine::GetQueryTrace does).
+  void set_trace(std::shared_ptr<QueryTrace> trace) {
+    trace_ = std::move(trace);
+  }
+  const std::shared_ptr<QueryTrace>& trace() const { return trace_; }
 
  private:
   std::unique_ptr<RankedIterator> pipeline_;
   CursorOptions options_;
+  std::shared_ptr<QueryTrace> trace_;
   std::atomic<CursorState> state_{CursorState::kActive};
   std::atomic<size_t> results_emitted_{0};
   std::atomic<size_t> work_used_{0};

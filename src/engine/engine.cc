@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace topkjoin {
 
 CursorOptions ResolveCursorOptions(CursorOptions options,
@@ -16,14 +18,27 @@ StatusOr<ExecutionResult> Engine::Execute(const Database& db,
                                           const ConjunctiveQuery& query,
                                           const RankingSpec& ranking,
                                           const ExecutionOptions& opts) {
-  auto plan = PlanQuery(db, query, ranking, opts);
+  std::shared_ptr<QueryTrace> trace;
+  FastClock::Ticks plan_start = 0;
+  if (opts.collect_trace) {
+    trace = std::make_shared<QueryTrace>();
+    plan_start = FastClock::Now();
+  }
+  auto plan =
+      PlanQuery(db, query, ranking, opts, estimators_.For(db).get());
   if (!plan.ok()) return plan.status();
+  if (trace != nullptr) {
+    trace->AddPhase("plan", FastClock::TicksToNs(FastClock::Now() -
+                                                 plan_start));
+  }
 
   ExecutionResult result;
   result.plan = std::move(plan).value();
-  auto stream = CompilePlan(db, query, result.plan, &result.preprocessing);
+  auto stream =
+      CompilePlan(db, query, result.plan, &result.preprocessing, trace);
   if (!stream.ok()) return stream.status();
   result.stream = std::move(stream).value();
+  result.trace = std::move(trace);
   return result;
 }
 
@@ -31,7 +46,7 @@ StatusOr<QueryPlan> Engine::Explain(const Database& db,
                                     const ConjunctiveQuery& query,
                                     const RankingSpec& ranking,
                                     const ExecutionOptions& opts) const {
-  return PlanQuery(db, query, ranking, opts);
+  return PlanQuery(db, query, ranking, opts, estimators_.For(db).get());
 }
 
 StatusOr<CursorId> Engine::OpenCursor(const Database& db,

@@ -24,7 +24,9 @@
 #include "src/engine/executor.h"
 #include "src/engine/planner.h"
 #include "src/join/join_stats.h"
+#include "src/obs/trace.h"
 #include "src/query/cq.h"
+#include "src/stats/estimator_cache.h"
 #include "src/util/status.h"
 
 namespace topkjoin {
@@ -36,6 +38,11 @@ struct ExecutionResult {
   QueryPlan plan;
   std::unique_ptr<RankedIterator> stream;
   JoinStats preprocessing;
+  /// Present iff opts.collect_trace. Shared with the stream, which
+  /// appends TTL milestones from Next() and finalizes the totals when
+  /// destroyed -- read it between pulls or after dropping the stream,
+  /// not from another thread mid-pull.
+  std::shared_ptr<QueryTrace> trace;
 };
 
 /// The defaulting rule shared by Engine::OpenCursor and
@@ -44,7 +51,8 @@ struct ExecutionResult {
 CursorOptions ResolveCursorOptions(CursorOptions options,
                                    const ExecutionOptions& opts);
 
-/// The engine. Execute/Explain are stateless and safe to call from many
+/// The engine. Execute/Explain share only an internally-synchronized
+/// per-(db, version) estimator cache and are safe to call from many
 /// threads at once (over a database that is not being mutated);
 /// OpenCursor/CloseCursor/StepAll maintain a CursorTable and are NOT
 /// thread-safe -- use serving/ServingEngine for concurrent serving.
@@ -91,6 +99,10 @@ class Engine {
 
  private:
   CursorTable cursors_;
+  /// One estimator per (db, version), shared by Execute and Explain so
+  /// repeated queries stop re-sampling every relation. Mutable: the
+  /// cache is internally synchronized and Explain stays const.
+  mutable EstimatorCache estimators_;
 };
 
 }  // namespace topkjoin

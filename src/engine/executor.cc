@@ -4,12 +4,15 @@
 
 #include "src/anyk/tree_pipeline.h"
 #include "src/cycles/fourcycle.h"
+#include "src/obs/instrumented_iterator.h"
+#include "src/obs/metrics.h"
 #include "src/query/decomposition.h"
 #include "src/ranking/cost_model.h"
 
 namespace topkjoin {
+namespace {
 
-StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
+StatusOr<std::unique_ptr<RankedIterator>> CompileInner(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
     JoinStats* stats) {
   switch (plan.strategy) {
@@ -45,6 +48,39 @@ StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
                                plan.ranking.model, plan.fourcycle_threshold);
   }
   return Status::Error("unknown plan strategy");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
+    const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
+    JoinStats* stats, std::shared_ptr<QueryTrace> trace) {
+  // Skip even the clock reads when nothing would consume them: a
+  // metrics-off build with no trace requested compiles and enumerates
+  // exactly the pre-observability pipeline.
+  if (!kMetricsEnabled && trace == nullptr) {
+    return CompileInner(db, query, plan, stats);
+  }
+
+  const FastClock::Ticks start = FastClock::Now();
+  auto inner = CompileInner(db, query, plan, stats);
+  if (!inner.ok()) return inner.status();
+  const uint64_t compile_ns = FastClock::TicksToNs(FastClock::Now() - start);
+  if constexpr (kMetricsEnabled) {
+    auto& registry = MetricsRegistry::Global();
+    registry.GetHistogram("executor.compile_ns")->Record(compile_ns);
+    registry.GetCounter("executor.pipelines")->Increment();
+  }
+  if (trace != nullptr) {
+    // Covers preprocessing too: CompileInner pays the full reducer /
+    // bag materialization / T-DP build before returning.
+    trace->AddPhase("compile+preprocess", compile_ns);
+    trace->strategy = std::string(PlanStrategyName(plan.strategy)) + "/" +
+                      AnyKAlgorithmName(plan.algorithm);
+  }
+  return StatusOr<std::unique_ptr<RankedIterator>>(
+      std::make_unique<InstrumentedIterator>(std::move(inner).value(),
+                                             std::move(trace)));
 }
 
 }  // namespace topkjoin

@@ -19,6 +19,7 @@
 #include "src/data/database.h"
 #include "src/engine/planner.h"
 #include "src/join/join_stats.h"
+#include "src/obs/trace.h"
 #include "src/query/cq.h"
 #include "src/util/status.h"
 
@@ -30,9 +31,15 @@ namespace topkjoin {
 /// iterator is pure enumeration. The pipeline owns a copy of `query`
 /// (and any materialized bag databases), so it does not retain `db`,
 /// `query`, or `stats` -- cursors may outlive all three.
+///
+/// When metrics are compiled in (kMetricsEnabled) or `trace` is given,
+/// the pipeline is wrapped in an InstrumentedIterator that records the
+/// per-Next delay histogram / frontier counters and feeds the trace's
+/// TTL milestones; the wrapper also takes shared ownership of `trace`,
+/// so it stays readable after the stream is destroyed.
 StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
-    JoinStats* stats = nullptr);
+    JoinStats* stats = nullptr, std::shared_ptr<QueryTrace> trace = nullptr);
 
 }  // namespace topkjoin
 

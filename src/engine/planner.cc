@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/cycles/fourcycle.h"
+#include "src/obs/metrics.h"
 #include "src/query/agm.h"
 #include "src/query/hypergraph.h"
 
@@ -168,6 +169,19 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
                               const RankingSpec& ranking,
                               const ExecutionOptions& opts,
                               const CardinalityEstimator* estimator) {
+  ScopedTimer plan_timer(kMetricsEnabled ? MetricsRegistry::Global()
+                                               .GetHistogram("planner.plan_ns")
+                                         : nullptr);
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("planner.plans")->Increment();
+    if (estimator == nullptr) {
+      // Transient estimator builds are the cost Engine's EstimatorCache
+      // exists to avoid; count the ones that slip through.
+      MetricsRegistry::Global()
+          .GetCounter("planner.transient_estimator_builds")
+          ->Increment();
+    }
+  }
   if (query.NumAtoms() == 0) {
     return Status::Error("cannot plan an empty query");
   }

@@ -51,6 +51,12 @@ struct ExecutionOptions {
   /// the planner's default PART variant (Take2 -- fewest frontier
   /// pushes per result).
   std::optional<AnyKPartVariant> anyk_variant;
+  /// Attach a QueryTrace (phase timings + per-k TTL milestones, see
+  /// src/obs/trace.h) to the execution: ExecutionResult::trace for
+  /// Engine::Execute, ServingEngine::GetQueryTrace for cursors. Does
+  /// not affect the chosen plan (and is deliberately excluded from the
+  /// plan-cache fingerprint); works even in metrics-off builds.
+  bool collect_trace = false;
 };
 
 /// The structural family a plan belongs to.

@@ -1,0 +1,96 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace topkjoin {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+uint64_t QueryTrace::NextMilestone(uint64_t k) {
+  // 1-2-5 series: after k, the next of {1,2,5} * 10^d strictly above.
+  uint64_t decade = 1;
+  while (decade * 10 <= k) decade *= 10;
+  for (uint64_t m : {uint64_t{1}, uint64_t{2}, uint64_t{5}, uint64_t{10}}) {
+    if (decade * m > k) return decade * m;
+  }
+  return decade * 10;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out;
+  out.reserve(512);
+  out += "{\"strategy\":";
+  AppendEscaped(out, strategy);
+  out += ",\"plan_cache_hit\":";
+  out += plan_cache_hit ? "true" : "false";
+  out += ",\"phases\":{";
+  bool first = true;
+  for (const auto& phase : phases) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(out, phase.name);
+    out.push_back(':');
+    AppendUint(out, phase.nanos);
+  }
+  out += "},\"results\":";
+  AppendUint(out, results);
+  out += ",\"work_units\":";
+  AppendUint(out, static_cast<uint64_t>(work_units < 0 ? 0 : work_units));
+  out += ",\"enumeration_ns\":";
+  AppendUint(out, enumeration_nanos);
+  out += ",\"ttl_ns\":{";
+  first = true;
+  for (const auto& milestone : ttl) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendUint(out, milestone.k);
+    out += "\":";
+    AppendUint(out, milestone.nanos);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string QueryTrace::DebugString() const {
+  std::string out;
+  char buf[128];
+  out += "QueryTrace{strategy=" + strategy;
+  out += plan_cache_hit ? ", plan_cache_hit" : "";
+  out += "}\n";
+  for (const auto& phase : phases) {
+    std::snprintf(buf, sizeof(buf), "  phase %-20s %10.1f us\n",
+                  phase.name.c_str(), phase.nanos / 1e3);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  enumeration: %" PRIu64 " results, %" PRId64
+                " work units, %.1f us\n",
+                results, work_units, enumeration_nanos / 1e3);
+  out += buf;
+  for (const auto& milestone : ttl) {
+    std::snprintf(buf, sizeof(buf), "  TTL(%" PRIu64 ") = %10.1f us\n",
+                  milestone.k, milestone.nanos / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace topkjoin

@@ -1,0 +1,71 @@
+// Per-query trace: phase timings and per-k time-to-last (TTL)
+// milestones for one execution, requested via
+// ExecutionOptions::collect_trace.
+//
+// A QueryTrace is the single-query complement of the process-wide
+// MetricsRegistry: the registry aggregates across every query, the
+// trace tells you where *this* query spent its time -- plan vs
+// compile/preprocess vs enumeration -- and how TT(k) grew with k
+// (milestones at k = 1, 2, 5, 10, 20, 50, ... measured from the first
+// pull). That is exactly the shape of the paper's TT(k) plots, so a
+// trace can be dumped straight into the bench JSON artifacts.
+//
+// Ownership/threading: the engine allocates the trace as a
+// shared_ptr, the instrumented pipeline appends milestones from
+// inside Next() (serialized by whoever serializes Next -- the cursor
+// lock in serving), and the caller reads it after pulling, or via
+// ServingEngine::GetQueryTrace which copies under the cursor's stripe
+// lock. Milestone storage is pre-reserved so the enumeration hot path
+// never allocates.
+#ifndef TOPKJOIN_OBS_TRACE_H_
+#define TOPKJOIN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topkjoin {
+
+struct QueryTrace {
+  struct Phase {
+    std::string name;
+    uint64_t nanos = 0;
+  };
+  /// k -> nanoseconds from the first pull until the k-th result.
+  struct TtlMilestone {
+    uint64_t k = 0;
+    uint64_t nanos = 0;
+  };
+
+  QueryTrace() { ttl.reserve(64); }
+
+  /// Setup phases in execution order ("plan", "compile+preprocess").
+  std::vector<Phase> phases;
+  /// Whether the plan came from the serving plan cache.
+  bool plan_cache_hit = false;
+  /// Human-readable strategy/algorithm from the chosen QueryPlan.
+  std::string strategy;
+
+  /// Log-spaced TT(k) milestones (k = 1, 2, 5, 10, 20, 50, ...).
+  std::vector<TtlMilestone> ttl;
+  /// Totals at the last flush/finalize of the instrumented pipeline.
+  uint64_t results = 0;
+  int64_t work_units = 0;
+  uint64_t enumeration_nanos = 0;
+
+  void AddPhase(std::string name, uint64_t nanos) {
+    phases.push_back(Phase{std::move(name), nanos});
+  }
+
+  /// Next milestone k after `k` in the 1-2-5 log series.
+  static uint64_t NextMilestone(uint64_t k);
+
+  std::string ToJson() const;
+  /// Multi-line human-readable rendering (for logs and the README
+  /// example).
+  std::string DebugString() const;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_OBS_TRACE_H_

@@ -101,6 +101,13 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
   std::shared_ptr<Session> session = FindSession(session_id);
   if (session == nullptr) return NoSessionError(session_id);
 
+  ScopedTimer open_timer(
+      kMetricsEnabled
+          ? MetricsRegistry::Global().GetHistogram("serving.open_cursor_ns")
+          : nullptr);
+  std::shared_ptr<QueryTrace> trace;
+  if (opts.collect_trace) trace = std::make_shared<QueryTrace>();
+
   // Plan + compile without holding any cursor lock: both are stateless,
   // and preprocessing (full reducer, bag materialization) can be the
   // expensive part of a request. Hot queries skip planning entirely:
@@ -110,42 +117,48 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
       PlanCache::Make(db, query, ranking, opts);
   std::optional<QueryPlan> plan = plan_cache_.Lookup(key, db.version());
   if (!plan.has_value()) {
+    if constexpr (kMetricsEnabled) {
+      MetricsRegistry::Global()
+          .GetCounter("serving.plan_cache_misses")
+          ->Increment();
+    }
+    const FastClock::Ticks plan_start = FastClock::Now();
     const std::shared_ptr<const CardinalityEstimator> estimator =
-        EstimatorFor(db);
+        estimator_cache_.For(db);
     auto planned = PlanQuery(db, query, ranking, opts, estimator.get());
     if (!planned.ok()) return planned.status();
     plans_computed_.fetch_add(1, std::memory_order_relaxed);
     plan = std::move(planned).value();
     plan_cache_.Insert(key, db.version(), *plan);
+    if (trace != nullptr) {
+      trace->AddPhase("plan",
+                      FastClock::TicksToNs(FastClock::Now() - plan_start));
+    }
+  } else {
+    if constexpr (kMetricsEnabled) {
+      MetricsRegistry::Global()
+          .GetCounter("serving.plan_cache_hits")
+          ->Increment();
+    }
+    if (trace != nullptr) trace->plan_cache_hit = true;
   }
-  auto stream = CompilePlan(db, query, *plan);
+  auto stream = CompilePlan(db, query, *plan, nullptr, trace);
   if (!stream.ok()) return stream.status();
 
-  session->AddCursor();
-  return cursors_.Insert(
-      std::make_unique<Cursor>(std::move(stream).value(),
-                               ResolveCursorOptions(cursor_options, opts)),
-      std::move(session));
-}
-
-std::shared_ptr<const CardinalityEstimator> ServingEngine::EstimatorFor(
-    const Database& db) {
-  std::lock_guard<std::mutex> lock(estimator_mu_);
-  if (cached_estimator_.db == &db &&
-      cached_estimator_.version == db.version()) {
-    return cached_estimator_.estimator;
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("serving.cursors_opened")
+        ->Increment();
   }
-  // Building under the lock serializes concurrent first-misses of the
-  // same database onto one sampling pass instead of racing duplicates.
-  auto built = std::make_shared<const CardinalityEstimator>(db);
-  cached_estimator_ = {&db, db.version(), built};
-  return built;
+  session->AddCursor();
+  auto cursor = std::make_unique<Cursor>(
+      std::move(stream).value(), ResolveCursorOptions(cursor_options, opts));
+  cursor->set_trace(std::move(trace));
+  return cursors_.Insert(std::move(cursor), std::move(session));
 }
 
 void ServingEngine::InvalidateCachedPlans(const Database& db) {
   plan_cache_.InvalidateDatabase(&db);
-  std::lock_guard<std::mutex> lock(estimator_mu_);
-  if (cached_estimator_.db == &db) cached_estimator_ = {};
+  estimator_cache_.Invalidate(&db);
 }
 
 Status ServingEngine::CloseCursor(CursorId id) {
@@ -161,13 +174,37 @@ size_t ServingEngine::EvictIdleCursors(
   for (const std::shared_ptr<Session>& session : evicted) {
     session->RemoveCursor();
   }
+  if constexpr (kMetricsEnabled) {
+    if (!evicted.empty()) {
+      MetricsRegistry::Global()
+          .GetCounter("serving.cursors_evicted")
+          ->Add(static_cast<int64_t>(evicted.size()));
+    }
+  }
   return evicted.size();
 }
 
 StatusOr<FetchOutcome> ServingEngine::Fetch(CursorId id, size_t max_results) {
+  return FetchSlice(id, max_results, std::nullopt);
+}
+
+StatusOr<FetchOutcome> ServingEngine::FetchSlice(
+    CursorId id, size_t max_results, std::optional<uint64_t> queue_wait_ns) {
+  if constexpr (kMetricsEnabled) {
+    if (queue_wait_ns.has_value()) {
+      MetricsRegistry::Global()
+          .GetHistogram("serving.queue_wait_ns")
+          ->Record(*queue_wait_ns);
+    }
+  }
+  ScopedTimer slice_timer(
+      kMetricsEnabled
+          ? MetricsRegistry::Global().GetHistogram("serving.slice_service_ns")
+          : nullptr);
   FetchOutcome out;
   const bool found =
       cursors_.WithCursor(id, [&](Cursor& cursor, Session& session) {
+        session.RecordSlice(queue_wait_ns.value_or(0));
         out.cursor_state = cursor.state();
         if (max_results == 0) return;
 
@@ -248,9 +285,13 @@ Status ServingEngine::ExtendCursorBudgets(CursorId id, size_t extra_results,
 void ServingEngine::SubmitFetch(CursorId id, size_t max_results,
                                 FetchCallback callback) {
   TOPKJOIN_CHECK(callback != nullptr);
-  pool_.Submit([this, id, max_results, callback = std::move(callback)] {
-    callback(id, Fetch(id, max_results));
-  });
+  const FastClock::Ticks enqueued = FastClock::Now();
+  pool_.Submit(
+      [this, id, max_results, enqueued, callback = std::move(callback)] {
+        callback(id, FetchSlice(id, max_results,
+                                FastClock::TicksToNs(FastClock::Now() -
+                                                     enqueued)));
+      });
 }
 
 // -------------------------------------------------------------- draining
@@ -269,8 +310,11 @@ struct ServingEngine::DrainTicket {
 };
 
 void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
-                                  CursorId id, size_t results_per_slice) {
-  auto outcome = Fetch(id, results_per_slice);
+                                  CursorId id, size_t results_per_slice,
+                                  FastClock::Ticks enqueued) {
+  auto outcome = FetchSlice(
+      id, results_per_slice,
+      FastClock::TicksToNs(FastClock::Now() - enqueued));
   // Keep going while the cursor is active and its session has budget; a
   // closed cursor (!ok) or any stop condition ends this cursor's chain.
   const bool requeue = outcome.ok() &&
@@ -298,8 +342,9 @@ void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
     }
   }
   // Tail re-enqueue: every other waiting cursor gets a slice first.
-  pool_.Submit([this, ticket, id, results_per_slice] {
-    RunDrainSlice(ticket, id, results_per_slice);
+  const FastClock::Ticks requeued = FastClock::Now();
+  pool_.Submit([this, ticket, id, results_per_slice, requeued] {
+    RunDrainSlice(ticket, id, results_per_slice, requeued);
   });
 }
 
@@ -318,8 +363,9 @@ std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
                       results_per_slice](std::vector<CursorId> ids) {
     pool_.Submit([this, ticket, ids = std::move(ids), results_per_slice] {
       for (const CursorId id : ids) {
-        pool_.Submit([this, ticket, id, results_per_slice] {
-          RunDrainSlice(ticket, id, results_per_slice);
+        const FastClock::Ticks enqueued = FastClock::Now();
+        pool_.Submit([this, ticket, id, results_per_slice, enqueued] {
+          RunDrainSlice(ticket, id, results_per_slice, enqueued);
         });
       }
     });
@@ -354,6 +400,46 @@ std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
     round.clear();
     round.swap(ticket->dried);
   }
+}
+
+// --------------------------------------------------------- observability
+
+MetricsSnapshot ServingEngine::GetMetricsSnapshot() const {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  // Overlay live operational state this engine owns. These are derived
+  // levels (not recordings), so they appear even in metrics-off builds.
+  snap.gauges["serving.open_cursors"] =
+      static_cast<int64_t>(cursors_.NumCursors());
+  snap.gauges["serving.open_sessions"] =
+      static_cast<int64_t>(NumOpenSessions());
+  snap.counters["serving.plans_computed"] =
+      static_cast<int64_t>(plans_computed_.load(std::memory_order_relaxed));
+  const PlanCacheStats cache = plan_cache_.stats();
+  snap.counters["serving.plan_cache.hits"] = static_cast<int64_t>(cache.hits);
+  snap.counters["serving.plan_cache.misses"] =
+      static_cast<int64_t>(cache.misses);
+  snap.counters["serving.plan_cache.invalidations"] =
+      static_cast<int64_t>(cache.invalidations);
+  snap.counters["serving.plan_cache.evictions"] =
+      static_cast<int64_t>(cache.evictions);
+  snap.gauges["serving.plan_cache.entries"] =
+      static_cast<int64_t>(cache.entries);
+  return snap;
+}
+
+StatusOr<QueryTrace> ServingEngine::GetQueryTrace(CursorId id) {
+  std::optional<QueryTrace> trace;
+  const bool found =
+      cursors_.WithCursor(id, [&](Cursor& cursor, Session& session) {
+        (void)session;
+        if (cursor.trace() != nullptr) trace = *cursor.trace();
+      });
+  if (!found) return NoCursorError(id);
+  if (!trace.has_value()) {
+    return Status::Error("cursor " + std::to_string(id) +
+                         " was not opened with collect_trace");
+  }
+  return *std::move(trace);
 }
 
 }  // namespace topkjoin

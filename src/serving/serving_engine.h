@@ -30,13 +30,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/engine/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serving/plan_cache.h"
 #include "src/serving/session.h"
 #include "src/serving/sharded_cursor_table.h"
 #include "src/serving/worker_pool.h"
+#include "src/stats/estimator_cache.h"
 #include "src/util/status.h"
 
 namespace topkjoin {
@@ -149,6 +153,23 @@ class ServingEngine {
   size_t NumOpenSessions() const;
   size_t num_workers() const { return pool_.num_threads(); }
 
+  /// Full observability snapshot: every process-wide metric (counters,
+  /// gauges, log-bucketed histograms from all layers -- planner, T-DP
+  /// preprocessing, enumeration, serving) overlaid with this engine's
+  /// live operational state (open cursors/sessions, plan-cache
+  /// counters). Safe to call from a stats thread while workers drain;
+  /// hot-path metrics are flushed periodically, so histogram contents
+  /// trail the hot loops by at most one flush period (~4096 results).
+  /// Serialize with MetricsSnapshot::ToJson().
+  MetricsSnapshot GetMetricsSnapshot() const;
+
+  /// Copies the QueryTrace of a cursor opened with
+  /// ExecutionOptions::collect_trace (error otherwise). Taken under the
+  /// cursor's stripe lock, so it is a consistent mid-enumeration view;
+  /// totals are refreshed on milestones/flushes and finalized when the
+  /// cursor closes.
+  StatusOr<QueryTrace> GetQueryTrace(CursorId id);
+
   /// Plan-cache monitoring: hits/misses/invalidations/evictions.
   PlanCacheStats GetPlanCacheStats() const { return plan_cache_.stats(); }
   /// How many times OpenCursor actually ran PlanQuery (i.e., missed the
@@ -176,27 +197,24 @@ class ServingEngine {
 
   std::shared_ptr<Session> FindSession(SessionId id) const;
   void RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket, CursorId id,
-                     size_t results_per_slice);
+                     size_t results_per_slice, FastClock::Ticks enqueued);
 
-  /// The sampled statistics for `db` at its current version, built once
-  /// and shared across plan-cache misses (PlanQuery's own contract:
-  /// "pass a prebuilt estimator to amortize sampling"). Single-entry:
-  /// serving workloads hammer one database; alternating databases
-  /// rebuild on each switch, which is still never worse than the
-  /// per-miss transient build it replaces.
-  std::shared_ptr<const CardinalityEstimator> EstimatorFor(
-      const Database& db);
+  /// The one Fetch implementation. `queue_wait_ns`, when set, is the
+  /// submit->start wait of an asynchronous slice (SubmitFetch /
+  /// DrainAll) and is recorded against the session and the global
+  /// queue-wait histogram; the synchronous Fetch passes nullopt.
+  StatusOr<FetchOutcome> FetchSlice(CursorId id, size_t max_results,
+                                    std::optional<uint64_t> queue_wait_ns);
 
   ShardedCursorTable cursors_;
   PlanCache plan_cache_;
   std::atomic<uint64_t> plans_computed_{0};
 
-  std::mutex estimator_mu_;
-  struct CachedEstimator {
-    const Database* db = nullptr;
-    uint64_t version = 0;
-    std::shared_ptr<const CardinalityEstimator> estimator;
-  } cached_estimator_;
+  /// Sampled statistics per (db, version), built once and shared across
+  /// plan-cache misses (PlanQuery's own contract: "pass a prebuilt
+  /// estimator to amortize sampling"). Single-entry by design -- see
+  /// stats/estimator_cache.h; Engine shares the same class.
+  EstimatorCache estimator_cache_;
 
   mutable std::mutex sessions_mu_;
   std::map<SessionId, std::shared_ptr<Session>> sessions_;

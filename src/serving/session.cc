@@ -75,6 +75,8 @@ SessionStats Session::Stats() const {
   stats.results_spent = results_.spent.load(std::memory_order_relaxed);
   stats.work_spent = work_.spent.load(std::memory_order_relaxed);
   stats.open_cursors = open_cursors_.load(std::memory_order_relaxed);
+  stats.fetch_slices = fetch_slices_.load(std::memory_order_relaxed);
+  stats.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
   return stats;
 }
 

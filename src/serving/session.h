@@ -44,6 +44,12 @@ struct SessionStats {
   size_t results_spent = 0;
   size_t work_spent = 0;
   size_t open_cursors = 0;
+  /// Fetch slices served for this session's cursors.
+  uint64_t fetch_slices = 0;
+  /// Total queue wait (submit -> slice start) across the session's
+  /// asynchronous slices, in nanoseconds. Synchronous Fetch calls do
+  /// not queue and contribute nothing.
+  uint64_t queue_wait_ns = 0;
 };
 
 /// Budget ledger for one session. All methods are thread-safe and
@@ -74,6 +80,15 @@ class Session {
 
   SessionStats Stats() const;
 
+  /// Accounts one served Fetch slice and its queue wait (0 for
+  /// synchronous slices that never queued).
+  void RecordSlice(uint64_t queue_wait_ns) {
+    fetch_slices_.fetch_add(1, std::memory_order_relaxed);
+    if (queue_wait_ns != 0) {
+      queue_wait_ns_.fetch_add(queue_wait_ns, std::memory_order_relaxed);
+    }
+  }
+
   void AddCursor() { open_cursors_.fetch_add(1, std::memory_order_relaxed); }
   void RemoveCursor() {
     open_cursors_.fetch_sub(1, std::memory_order_relaxed);
@@ -97,6 +112,8 @@ class Session {
   Ledger results_;
   Ledger work_;
   std::atomic<size_t> open_cursors_{0};
+  std::atomic<uint64_t> fetch_slices_{0};
+  std::atomic<uint64_t> queue_wait_ns_{0};
 };
 
 }  // namespace topkjoin

@@ -6,6 +6,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
 #include "src/util/hash.h"
 
 namespace topkjoin {
@@ -26,6 +27,15 @@ struct JoinStep {
 CardinalityEstimator::CardinalityEstimator(const Database& db,
                                            EstimatorOptions options)
     : db_(&db), options_(options) {
+  // Sampling every relation is the cost the estimator caches exist to
+  // amortize; exporting it makes double-builds visible in the planner
+  // metrics.
+  ScopedTimer timer(kMetricsEnabled ? MetricsRegistry::Global().GetHistogram(
+                                          "stats.estimator_build_ns")
+                                    : nullptr);
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("stats.estimator_builds")->Increment();
+  }
   samples_.reserve(db.NumRelations());
   for (RelationId id = 0; id < db.NumRelations(); ++id) {
     // Per-relation seed: reproducible independently of catalog order

@@ -1,0 +1,39 @@
+#include "src/stats/estimator_cache.h"
+
+#include "src/obs/metrics.h"
+
+namespace topkjoin {
+
+std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
+    const Database& db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (db_ == &db && version_ == db.version()) {
+    if constexpr (kMetricsEnabled) {
+      MetricsRegistry::Global()
+          .GetCounter("stats.estimator_cache_hits")
+          ->Increment();
+    }
+    return estimator_;
+  }
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global()
+        .GetCounter("stats.estimator_cache_misses")
+        ->Increment();
+  }
+  auto built = std::make_shared<const CardinalityEstimator>(db);
+  db_ = &db;
+  version_ = db.version();
+  estimator_ = built;
+  return built;
+}
+
+void EstimatorCache::Invalidate(const Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (db_ == db) {
+    db_ = nullptr;
+    version_ = 0;
+    estimator_.reset();
+  }
+}
+
+}  // namespace topkjoin

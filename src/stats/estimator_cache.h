@@ -1,0 +1,53 @@
+// Single-entry cache of a CardinalityEstimator keyed on (database
+// identity, version).
+//
+// Building an estimator samples every relation (O(total tuples)), so
+// bare Engine::Execute/Explain calls that rebuilt one per query paid
+// the sampling cost over and over -- and double-counted it in the
+// planner metrics. Both Engine and ServingEngine now share this cache:
+// one estimator per database version, rebuilt only when the data
+// actually changes. Single-entry is deliberate -- a process serves one
+// (or very few) databases, and Database::version() epochs guarantee a
+// (pointer, version) pair can never be replayed by an unrelated
+// database reusing the address, so a stale entry is unreachable rather
+// than wrong.
+//
+// Thread-safety: all methods are safe to call concurrently. Building
+// happens under the lock, so concurrent first-misses of the same
+// database serialize onto one sampling pass instead of racing
+// duplicates.
+#ifndef TOPKJOIN_STATS_ESTIMATOR_CACHE_H_
+#define TOPKJOIN_STATS_ESTIMATOR_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/data/database.h"
+#include "src/stats/cardinality_estimator.h"
+
+namespace topkjoin {
+
+class EstimatorCache {
+ public:
+  /// The estimator for `db` at its current version; builds (and
+  /// caches) one when the cached entry is missing or stale. The
+  /// returned shared_ptr stays valid after the cache moves on, but the
+  /// estimator borrows `db` -- do not use it past the database's
+  /// lifetime or next mutation.
+  std::shared_ptr<const CardinalityEstimator> For(const Database& db);
+
+  /// Drops the entry if it belongs to `db` (e.g. before freeing the
+  /// database).
+  void Invalidate(const Database* db);
+
+ private:
+  std::mutex mu_;
+  const Database* db_ = nullptr;
+  uint64_t version_ = 0;
+  std::shared_ptr<const CardinalityEstimator> estimator_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_STATS_ESTIMATOR_CACHE_H_

@@ -12,6 +12,7 @@
 
 #include "src/anyk/anyk.h"
 #include "src/engine/engine.h"
+#include "src/obs/metrics.h"
 #include "src/query/hypergraph.h"
 #include "src/util/rng.h"
 #include "tests/test_instances.h"
@@ -408,14 +409,28 @@ TEST(CursorTest, ResultBudgetStopsAndExtends) {
 TEST(CursorTest, WorkBudgetStops) {
   Instance t = MakePathInstance(3, 40, 4, 9);
   Engine engine;
+
+  // Work is charged in measured pipeline units (WorkUnits deltas), so
+  // calibrate the budget from an unbudgeted reference cursor: the exact
+  // cost of the first two pulls. The pipeline is deterministic, so a
+  // budget of exactly that cost stops the cursor after result two.
+  auto ref_id = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(ref_id.ok());
+  Cursor* ref = engine.cursor(ref_id.value());
+  ASSERT_EQ(ref->Fetch(2).size(), 2u);
+  const size_t two_pull_work = ref->work_used();
+
   CursorOptions limits;
-  limits.work_budget = 3;
+  limits.work_budget = two_pull_work;
   auto id = engine.OpenCursor(t.db, t.query, {}, {}, limits);
   ASSERT_TRUE(id.ok());
   Cursor* cursor = engine.cursor(id.value());
-  EXPECT_EQ(cursor->Fetch(100).size(), 3u);
+  // The budget is checked before each pull and charged after it, so the
+  // cursor overshoots by at most one pull: two results, then a stop.
+  EXPECT_EQ(cursor->Fetch(100).size(), 2u);
   EXPECT_EQ(cursor->state(), CursorState::kWorkBudgetHit);
-  EXPECT_EQ(cursor->work_used(), 3u);
+  EXPECT_EQ(cursor->work_used(), two_pull_work);
+  EXPECT_GE(cursor->work_used(), *limits.work_budget);
 }
 
 TEST(CursorTest, OptsKBecomesResultBudget) {
@@ -448,10 +463,14 @@ TEST(CursorTest, FetchZeroIsANoOpInEveryState) {
   // Exhausted cursor: state (and counters) are preserved.
   const size_t total = cursor->Fetch(SIZE_MAX).size();
   ASSERT_EQ(cursor->state(), CursorState::kExhausted);
+  const size_t work_after_drain = cursor->work_used();
+  // Every pull charges at least one measured work unit, including the
+  // final exhaustion probe.
+  EXPECT_GE(work_after_drain, total + 1);
   EXPECT_TRUE(cursor->Fetch(0).empty());
   EXPECT_EQ(cursor->state(), CursorState::kExhausted);
   EXPECT_EQ(cursor->results_emitted(), total);
-  EXPECT_EQ(cursor->work_used(), total + 1);
+  EXPECT_EQ(cursor->work_used(), work_after_drain);
 
   // Budget-stopped cursor: the stop reason survives a zero fetch.
   CursorOptions limits;
@@ -494,9 +513,19 @@ TEST(CursorTest, ExtendBudgetsZeroPreservesState) {
   ASSERT_GE(want.size(), 4u);
   EXPECT_NEAR(more[0].cost, want[3], 1e-9);
 
-  // Work-budget stops behave the same way.
+  // Work-budget stops behave the same way. Work is charged in measured
+  // pipeline units, so calibrate the budget and the resume grant from an
+  // unbudgeted reference cursor (the pipeline is deterministic).
+  auto wref_id = engine.OpenCursor(t.db, t.query);
+  ASSERT_TRUE(wref_id.ok());
+  Cursor* wref = engine.cursor(wref_id.value());
+  ASSERT_EQ(wref->Fetch(2).size(), 2u);
+  const size_t two_pull_work = wref->work_used();
+  ASSERT_EQ(wref->Fetch(1).size(), 1u);
+  const size_t three_pull_work = wref->work_used();
+
   CursorOptions work_limits;
-  work_limits.work_budget = 2;
+  work_limits.work_budget = two_pull_work;
   auto wid = engine.OpenCursor(t.db, t.query, {}, {}, work_limits);
   ASSERT_TRUE(wid.ok());
   Cursor* worker = engine.cursor(wid.value());
@@ -505,7 +534,7 @@ TEST(CursorTest, ExtendBudgetsZeroPreservesState) {
   worker->ExtendBudgets(0, 0);
   EXPECT_EQ(worker->state(), CursorState::kWorkBudgetHit);
   EXPECT_TRUE(worker->Fetch(100).empty());
-  worker->ExtendBudgets(0, 1);
+  worker->ExtendBudgets(0, three_pull_work - two_pull_work);
   EXPECT_EQ(worker->Fetch(100).size(), 1u);
 
   // Exhaustion is final: budget grants change nothing.
@@ -591,6 +620,79 @@ TEST(EngineSessionTest, InterleavesManyCursors) {
   EXPECT_EQ(engine.NumOpenCursors(), 0u);
   EXPECT_FALSE(engine.CloseCursor(ids[0]).ok());
   EXPECT_EQ(engine.cursor(ids[0]), nullptr);
+}
+
+// --------------------------------------------------------- observability
+
+TEST(EngineTraceTest, ExecuteWithoutCollectTraceReturnsNoTrace) {
+  Instance t = MakePathInstance(3, 30, 4, 9);
+  Engine engine;
+  auto result = engine.Execute(t.db, t.query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().trace, nullptr);
+}
+
+TEST(EngineTraceTest, CollectTraceRecordsPhasesAndMilestones) {
+  Instance t = MakePathInstance(4, 30, 4, 9);
+  Engine engine;
+  ExecutionOptions opts;
+  opts.collect_trace = true;
+  auto result = engine.Execute(t.db, t.query, {}, opts);
+  ASSERT_TRUE(result.ok());
+  auto trace = result.value().trace;
+  ASSERT_NE(trace, nullptr);
+
+  // Both pre-enumeration phases were timed.
+  ASSERT_EQ(trace->phases.size(), 2u);
+  EXPECT_EQ(trace->phases[0].name, "plan");
+  EXPECT_EQ(trace->phases[1].name, "compile+preprocess");
+  EXPECT_FALSE(trace->strategy.empty());
+  EXPECT_FALSE(trace->plan_cache_hit);  // Engine has no plan cache
+
+  const size_t total = Drain(result.value().stream.get()).size();
+  ASSERT_GT(total, 5u);
+  result.value().stream.reset();  // finalizes the trace
+
+  EXPECT_EQ(trace->results, total);
+  EXPECT_GT(trace->enumeration_nanos, 0u);
+  EXPECT_GT(trace->work_units, 0);
+  // TTL milestones follow the 1-2-5 series from k = 1 and never exceed
+  // the result count; the times are monotone in k.
+  ASSERT_FALSE(trace->ttl.empty());
+  EXPECT_EQ(trace->ttl.front().k, 1u);
+  uint64_t prev_k = 0, prev_ns = 0;
+  for (const auto& milestone : trace->ttl) {
+    EXPECT_GT(milestone.k, prev_k);
+    EXPECT_GE(milestone.nanos, prev_ns);
+    EXPECT_LE(milestone.k, total);
+    prev_k = milestone.k;
+    prev_ns = milestone.nanos;
+  }
+  EXPECT_NE(trace->ToJson().find("\"strategy\""), std::string::npos);
+}
+
+TEST(EngineEstimatorCacheTest, ExecuteReusesEstimatorUntilDbChanges) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "observed via metrics counters";
+  Instance t = MakePathInstance(3, 30, 4, 9);
+  Engine engine;
+  auto& registry = MetricsRegistry::Global();
+  Counter* hits = registry.GetCounter("stats.estimator_cache_hits");
+  Counter* misses = registry.GetCounter("stats.estimator_cache_misses");
+
+  const int64_t hits_before = hits->value();
+  const int64_t misses_before = misses->value();
+  ASSERT_TRUE(engine.Execute(t.db, t.query).ok());
+  EXPECT_EQ(misses->value(), misses_before + 1);  // first touch builds
+  ASSERT_TRUE(engine.Execute(t.db, t.query).ok());
+  ASSERT_TRUE(engine.Explain(t.db, t.query).ok());
+  EXPECT_EQ(misses->value(), misses_before + 1);  // same (db, version)
+  EXPECT_EQ(hits->value(), hits_before + 2);
+
+  // Mutating the database bumps its version: the next plan rebuilds.
+  Rng rng(123);
+  t.db.Add(UniformBinaryRelation("fresh", 10, 4, rng));
+  ASSERT_TRUE(engine.Explain(t.db, t.query).ok());
+  EXPECT_EQ(misses->value(), misses_before + 2);
 }
 
 }  // namespace
