@@ -38,14 +38,18 @@
 // tests/anyk_core_test.cc). Under kTake2 a pending candidate is one
 // slab-allocated deviation entry (cost + next-sibling index) plus an
 // 8-byte frontier reference; entries are recycled through a freelist
-// the moment they are popped, so the arena holds only live pending
-// candidates. Per-candidate state is a fraction of the legacy fat
-// frontier's (and of kLawler's all-candidates pool), but the pool
-// retains every POPPED candidate as a prefix anchor, so on drains
-// whose legacy live frontier stays small the totals can flip --
-// bench_e13 reports both, and the peak-memory win is pinned in the
-// top-k regime it belongs to (see ROADMAP: refcounted pool recycling
-// is the recorded follow-up).
+// the moment they are popped. Pool nodes are REFCOUNTED prefix anchors:
+// a node holds one reference on its link, and the frontier holds one
+// reference on each node whose deviation list is still pending. When a
+// node's pending list drains and no descendant candidate anchors on it,
+// the node (and any chain suffix it alone kept alive) returns to a
+// freelist, so steady-state pool memory tracks the LIVE candidate tree
+// instead of the full drain history (pinned by
+// tests/anyk_core_test.cc on a full path4 drain).
+//
+// Enumeration reads the Tdp through a private TdpCursor, so many
+// AnyKPart instances can share one immutable (preprocessed) Tdp
+// concurrently -- see anyk/artifact.h.
 #ifndef TOPKJOIN_ANYK_ANYK_PART_H_
 #define TOPKJOIN_ANYK_ANYK_PART_H_
 
@@ -71,8 +75,8 @@ class AnyKPart : public RankedIterator {
  public:
   using CostT = typename CM::CostT;
 
-  explicit AnyKPart(Tdp<CM>* tdp) : tdp_(tdp) {
-    const size_t num_nodes = tdp_->NumNodes();
+  explicit AnyKPart(const Tdp<CM>* tdp) : tdp_(tdp) {
+    const size_t num_nodes = tdp_.NumNodes();
     indices_buf_.assign(num_nodes, 0);
     choice_buf_.resize(num_nodes);
     groups_buf_.resize(num_nodes);
@@ -83,17 +87,17 @@ class AnyKPart : public RankedIterator {
     skip_.assign(num_nodes, 0);
     for (size_t i = num_nodes; i-- > 0;) {
       uint32_t size = 1;
-      for (const size_t c : tdp_->node(i).children) {
+      for (const size_t c : tdp_.node(i).children) {
         size += skip_[c] - static_cast<uint32_t>(c);
       }
       skip_[i] = static_cast<uint32_t>(i) + size;
     }
-    if (!tdp_->HasResults()) return;
+    if (!tdp_.HasResults()) return;
     // Seed: the optimal solution (index 0 everywhere), pool node 0. Its
     // cost is the root group's best completion (the root subtree is the
     // whole tree).
     CostT seed =
-        CM::Combine(CM::Identity(), tdp_->GroupBest(0, tdp_->RootGroup()));
+        CM::Combine(CM::Identity(), tdp_.GroupBest(0, tdp_.RootGroup()));
     const double seed_key = CM::ToDouble(seed);
     MakeNode(/*link=*/kNone, /*dev_pos=*/0, /*bumped=*/0);
     if constexpr (S == PartStrategy::kTake2) {
@@ -128,7 +132,10 @@ class AnyKPart : public RankedIterator {
         // Instantiate the popped deviation as a (cost-free) pool node,
         // move its cost out for emission, hand its frontier slot to the
         // next entry of the same sorted list, and recycle the entry --
-        // the arena only ever holds live pending candidates.
+        // the arena only ever holds live pending candidates. When the
+        // list is exhausted, the frontier's anchor on the parent drops;
+        // MakeNode already took the new node's own link reference, so
+        // the chain it needs stays alive through any cascade.
         DevEntry& e = devs_[top.entry];
         idx = MakeNode(LinkFor(top.parent, e.dev_pos), e.dev_pos, e.bumped);
         popped_cost = std::move(e.cost);
@@ -136,6 +143,8 @@ class AnyKPart : public RankedIterator {
         FreeEntry(top.entry);
         if (next != kNone) {
           HeapPush(CM::ToDouble(devs_[next].cost), SibRef{top.parent, next});
+        } else {
+          ReleaseRef(top.parent);
         }
       }
     } else {
@@ -147,22 +156,36 @@ class AnyKPart : public RankedIterator {
     if constexpr (S == PartStrategy::kTake2) {
       const uint32_t head = BuildDeviationList(idx);
       if (head != kNone) {
+        // The frontier anchors idx while its list is pending.
+        ++rc_[idx];
         HeapPush(CM::ToDouble(devs_[head].cost), SibRef{idx, head});
+      } else {
+        // No deviations at all: nothing will ever link to idx.
+        FreeIfDead(idx);
       }
     } else {
       LawlerSuccessors(idx);
     }
     std::pair<std::vector<Value>, CostT> out;
-    tdp_->AssignmentOf(choice_buf_, &out.first);
+    tdp_.AssignmentOf(choice_buf_, &out.first);
     out.second = std::move(popped_cost);
     return out;
   }
 
   int64_t pq_pushes() const { return pq_pushes_; }
 
+  /// Lazy group-list extractions performed by this enumeration's
+  /// private TdpCursor.
+  int64_t heap_extractions() const { return tdp_.heap_extractions(); }
+
   int64_t WorkUnits() const override {
-    return tdp_->heap_extractions() + pq_pushes_;
+    return tdp_.heap_extractions() + pq_pushes_;
   }
+
+  /// High-water mark of pool slots: with kTake2 recycling, freed slots
+  /// are reused before the pool grows, so this is the peak LIVE node
+  /// count (kLawler: total candidates ever created).
+  size_t pool_nodes() const { return pool_.size(); }
 
   /// Exact peak footprint of the candidate state (pool + deviation-list
   /// arena + frontier), from container capacities -- they only grow.
@@ -176,6 +199,7 @@ class AnyKPart : public RankedIterator {
     }
     frontier += redistribute_.capacity() * sizeof(RadixSlot);
     return pool_.capacity() * sizeof(Node) +
+           rc_.capacity() * sizeof(uint32_t) +
            pool_costs_.capacity() * sizeof(CostT) +
            devs_.capacity() * sizeof(DevEntry) + frontier;
   }
@@ -190,7 +214,8 @@ class AnyKPart : public RankedIterator {
   /// candidates become nodes, and their costs never enter the pool at
   /// all (a candidate's cost lives in its pending deviation entry and
   /// is emitted the moment the node is instantiated); under kLawler the
-  /// pending costs live in the parallel pool_costs_ array.
+  /// pending costs live in the parallel pool_costs_ array. Freed kTake2
+  /// nodes chain through `link` into node_free_head_.
   struct Node {
     uint32_t link = kNone;  // nearest ancestor with dev_pos < mine
     uint32_t dev_pos = 0;
@@ -208,7 +233,7 @@ class AnyKPart : public RankedIterator {
   };
 
   /// Take2 frontier entry: deviation `entry` of pool node `parent`
-  /// ({kNone, kNone} = the seed, whose cost lives in pool node 0).
+  /// ({kNone, kNone} = the seed, whose cost lives in seed_cost_).
   struct SibRef {
     uint32_t parent = kNone;
     uint32_t entry = kNone;
@@ -399,24 +424,24 @@ class AnyKPart : public RankedIterator {
   /// GroupBest(p) (+) tails_[skip(p)]). The popped solution was valid
   /// when pushed, so this cannot fail.
   void ResolveSolution() {
-    const size_t num_nodes = tdp_->NumNodes();
-    groups_buf_[0] = tdp_->RootGroup();
+    const size_t num_nodes = tdp_.NumNodes();
+    groups_buf_[0] = tdp_.RootGroup();
     prefix_costs_[0] = CM::Identity();
     for (size_t i = 0; i < num_nodes; ++i) {
-      const auto& node = tdp_->node(i);
+      const auto& node = tdp_.node(i);
       RowId row = 0;
       TOPKJOIN_CHECK(
-          tdp_->GroupTuple(i, groups_buf_[i], indices_buf_[i], &row));
+          tdp_.GroupTuple(i, groups_buf_[i], indices_buf_[i], &row));
       choice_buf_[i] = row;
       prefix_costs_[i + 1] =
-          CM::Combine(prefix_costs_[i], tdp_->TupleCost(i, row));
+          CM::Combine(prefix_costs_[i], tdp_.TupleCost(i, row));
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
         groups_buf_[node.children[ci]] = node.child_group(row, ci);
       }
     }
     tails_[num_nodes] = CM::Identity();
     for (size_t p = num_nodes; p-- > 0;) {
-      tails_[p] = CM::Combine(tdp_->GroupBest(p, groups_buf_[p]),
+      tails_[p] = CM::Combine(tdp_.GroupBest(p, groups_buf_[p]),
                               tails_[skip_[p]]);
     }
   }
@@ -429,9 +454,9 @@ class AnyKPart : public RankedIterator {
   /// when r is out of range for the group.
   bool EvaluateDeviation(size_t j, size_t r, CostT* out) {
     RowId row = 0;
-    if (!tdp_->GroupTuple(j, groups_buf_[j], r, &row)) return false;
+    if (!tdp_.GroupTuple(j, groups_buf_[j], r, &row)) return false;
     *out = CM::Combine(
-        CM::Combine(prefix_costs_[j], tdp_->node(j).best[row]),
+        CM::Combine(prefix_costs_[j], tdp_.node(j).best[row]),
         tails_[skip_[j]]);
     return true;
   }
@@ -439,9 +464,46 @@ class AnyKPart : public RankedIterator {
   // --------------------------------------------------------- successors
 
   uint32_t MakeNode(uint32_t link, uint32_t dev_pos, uint32_t bumped) {
-    const uint32_t idx = static_cast<uint32_t>(pool_.size());
-    pool_.push_back(Node{link, dev_pos, bumped});
-    return idx;
+    if constexpr (S == PartStrategy::kTake2) {
+      if (link != kNone) ++rc_[link];  // the new node anchors its chain
+      if (node_free_head_ != kNone) {
+        const uint32_t idx = node_free_head_;
+        node_free_head_ = pool_[idx].link;
+        pool_[idx] = Node{link, dev_pos, bumped};
+        rc_[idx] = 0;
+        return idx;
+      }
+      pool_.push_back(Node{link, dev_pos, bumped});
+      rc_.push_back(0);
+      return static_cast<uint32_t>(pool_.size() - 1);
+    } else {
+      const uint32_t idx = static_cast<uint32_t>(pool_.size());
+      pool_.push_back(Node{link, dev_pos, bumped});
+      return idx;
+    }
+  }
+
+  /// Drops one reference from node `u` (kTake2), freeing it -- and
+  /// cascading up its link chain -- when it was the last. Recursion
+  /// depth is bounded by the chain length (dev_pos strictly decreases),
+  /// i.e. by the number of join-tree nodes.
+  void ReleaseRef(uint32_t u) {
+    if (u == kNone) return;
+    if (--rc_[u] == 0) FreeNode(u);
+  }
+
+  /// Frees `u` now if nothing references it (a just-instantiated node
+  /// whose deviation list came back empty).
+  void FreeIfDead(uint32_t u) {
+    if (rc_[u] != 0) return;
+    FreeNode(u);
+  }
+
+  void FreeNode(uint32_t u) {
+    const uint32_t link = pool_[u].link;
+    pool_[u].link = node_free_head_;
+    node_free_head_ = u;
+    ReleaseRef(link);
   }
 
   /// The link of a deviation of solution `idx` at position j: the
@@ -453,7 +515,7 @@ class AnyKPart : public RankedIterator {
 
   /// Lawler: push every deviation of the popped solution directly.
   void LawlerSuccessors(uint32_t idx) {
-    const size_t num_nodes = tdp_->NumNodes();
+    const size_t num_nodes = tdp_.NumNodes();
     for (size_t j = pool_[idx].dev_pos; j < num_nodes; ++j) {
       const uint32_t bumped = indices_buf_[j] + 1;
       CostT cost;
@@ -488,7 +550,7 @@ class AnyKPart : public RankedIterator {
   /// valid. Only the head enters the frontier; the rest follow one at a
   /// time through the sibling chain.
   uint32_t BuildDeviationList(uint32_t idx) {
-    const size_t num_nodes = tdp_->NumNodes();
+    const size_t num_nodes = tdp_.NumNodes();
     dev_scratch_.clear();
     for (size_t j = pool_[idx].dev_pos; j < num_nodes; ++j) {
       const uint32_t bumped = indices_buf_[j] + 1;
@@ -518,8 +580,10 @@ class AnyKPart : public RankedIterator {
     return head;
   }
 
-  Tdp<CM>* tdp_;
-  std::vector<Node> pool_;       // kTake2: popped candidates; kLawler: all
+  TdpCursor<CM> tdp_;
+  std::vector<Node> pool_;       // kTake2: live prefix anchors; kLawler: all
+  std::vector<uint32_t> rc_;     // kTake2: references per pool node
+  uint32_t node_free_head_ = kNone;  // recycled pool-node freelist
   std::vector<CostT> pool_costs_;  // kLawler only: pending costs by node
   CostT seed_cost_{};              // kTake2: the seed's cost until popped
   std::vector<DevEntry> devs_;   // pending-deviation slab (kTake2)

@@ -27,11 +27,11 @@ class LegacyAnyKPart : public RankedIterator {
  public:
   using CostT = typename CM::CostT;
 
-  explicit LegacyAnyKPart(Tdp<CM>* tdp) : tdp_(tdp) {
-    if (!tdp_->HasResults()) return;
+  explicit LegacyAnyKPart(const Tdp<CM>* tdp) : tdp_(tdp) {
+    if (!tdp_.HasResults()) return;
     // Seed: the optimal solution (index 0 everywhere).
     Candidate seed;
-    seed.indices.assign(tdp_->NumNodes(), 0);
+    seed.indices.assign(tdp_.NumNodes(), 0);
     seed.dev_pos = 0;
     TOPKJOIN_CHECK(Evaluate(&seed));
     frontier_.push(std::move(seed));
@@ -55,11 +55,11 @@ class LegacyAnyKPart : public RankedIterator {
     frontier_.pop();
     // Lawler expansion: bump every position >= the popped solution's
     // deviation position.
-    for (size_t j = top.dev_pos; j < tdp_->NumNodes(); ++j) {
+    for (size_t j = top.dev_pos; j < tdp_.NumNodes(); ++j) {
       Candidate succ;
       succ.indices.assign(top.indices.begin(),
                           top.indices.begin() + static_cast<ptrdiff_t>(j + 1));
-      succ.indices.resize(tdp_->NumNodes(), 0);
+      succ.indices.resize(tdp_.NumNodes(), 0);
       ++succ.indices[j];
       succ.dev_pos = j;
       if (Evaluate(&succ)) {
@@ -69,15 +69,16 @@ class LegacyAnyKPart : public RankedIterator {
     }
     peak_frontier_ = std::max(peak_frontier_, frontier_.size());
     std::pair<std::vector<Value>, CostT> out;
-    tdp_->AssignmentOf(top.choice, &out.first);
+    tdp_.AssignmentOf(top.choice, &out.first);
     out.second = std::move(top.cost);
     return out;
   }
 
   int64_t pq_pushes() const { return pq_pushes_; }
+  int64_t heap_extractions() const { return tdp_.heap_extractions(); }
 
   int64_t WorkUnits() const override {
-    return tdp_->heap_extractions() + pq_pushes_;
+    return tdp_.heap_extractions() + pq_pushes_;
   }
 
   /// Approximate peak frontier footprint, modeling what the process
@@ -94,10 +95,10 @@ class LegacyAnyKPart : public RankedIterator {
     while (cap < peak_frontier_) cap <<= 1;
     const size_t chunk = [](size_t payload) {
       return (payload + 16 + 15) / 16 * 16;  // header + 16B alignment
-    }(tdp_->NumNodes() * sizeof(uint32_t));
+    }(tdp_.NumNodes() * sizeof(uint32_t));
     const size_t chunk2 = [](size_t payload) {
       return (payload + 16 + 15) / 16 * 16;
-    }(tdp_->NumNodes() * sizeof(RowId));
+    }(tdp_.NumNodes() * sizeof(RowId));
     return cap * sizeof(Candidate) + peak_frontier_ * (chunk + chunk2);
   }
 
@@ -120,19 +121,19 @@ class LegacyAnyKPart : public RankedIterator {
   // -- is known by the time we reach i). Returns false when some index
   // is out of range for its group. Fills choice and exact cost.
   bool Evaluate(Candidate* cand) {
-    const size_t num_nodes = tdp_->NumNodes();
+    const size_t num_nodes = tdp_.NumNodes();
     cand->choice.resize(num_nodes);
     groups_buffer_.resize(num_nodes);
-    groups_buffer_[0] = tdp_->RootGroup();
+    groups_buffer_[0] = tdp_.RootGroup();
     CostT cost = CM::Identity();
     for (size_t i = 0; i < num_nodes; ++i) {
-      const auto& node = tdp_->node(i);
+      const auto& node = tdp_.node(i);
       RowId row = 0;
-      if (!tdp_->GroupTuple(i, groups_buffer_[i], cand->indices[i], &row)) {
+      if (!tdp_.GroupTuple(i, groups_buffer_[i], cand->indices[i], &row)) {
         return false;
       }
       cand->choice[i] = row;
-      cost = CM::Combine(cost, tdp_->TupleCost(i, row));
+      cost = CM::Combine(cost, tdp_.TupleCost(i, row));
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
         groups_buffer_[node.children[ci]] = node.child_group(row, ci);
       }
@@ -141,7 +142,7 @@ class LegacyAnyKPart : public RankedIterator {
     return true;
   }
 
-  Tdp<CM>* tdp_;
+  TdpCursor<CM> tdp_;
   std::priority_queue<Candidate, std::vector<Candidate>, CandidateOrder>
       frontier_;
   std::vector<GroupId> groups_buffer_;

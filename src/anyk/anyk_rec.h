@@ -11,12 +11,24 @@
 // recursively forcing deeper streams only as far as needed. Streams are
 // shared across the enumeration, which is what lets ANYK-REC amortize
 // work and win for large k (the "neither dominates" empirical finding).
+//
+// Solutions are arena-pooled, mirroring the ANYK-PART candidate fix: a
+// solution is one slim SolNode (tuple rank + an offset into a flat
+// child-rank arena) with its exact cost in a parallel array, and both
+// the per-stream frontiers and materialized prefixes hold 4-byte
+// solution ids. The frontier is a binary min-heap of (inlined double
+// key, id) slots -- no per-candidate heap allocation, no fat Sol
+// copies in and out of priority_queues, and exact CM::Less tiebreaks
+// when the projected keys collide.
+//
+// Enumeration reads the Tdp through a private TdpCursor, so many
+// AnyKRec instances can share one immutable (preprocessed) Tdp
+// concurrently -- see anyk/artifact.h.
 #ifndef TOPKJOIN_ANYK_ANYK_REC_H_
 #define TOPKJOIN_ANYK_ANYK_REC_H_
 
-#include <memory>
+#include <algorithm>
 #include <optional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -30,13 +42,14 @@ class AnyKRec : public RankedIterator {
  public:
   using CostT = typename CM::CostT;
 
-  /// The Tdp must outlive the iterator and is shared mutable state
-  /// (its lazy group lists advance as the enumeration proceeds).
-  explicit AnyKRec(Tdp<CM>* tdp) : tdp_(tdp) {
-    streams_.resize(tdp_->NumNodes());
-    for (size_t i = 0; i < tdp_->NumNodes(); ++i) {
-      streams_[i].resize(tdp_->node(i).groups.size());
+  /// The Tdp must outlive the iterator; it is shared immutable state
+  /// (this enumeration's lazy group-sorting lives in a private cursor).
+  explicit AnyKRec(const Tdp<CM>* tdp) : tdp_(tdp) {
+    streams_.resize(tdp_.NumNodes());
+    for (size_t i = 0; i < tdp_.NumNodes(); ++i) {
+      streams_[i].resize(tdp_.node(i).groups.size());
     }
+    choice_buf_.resize(tdp_.NumNodes());
   }
 
   std::optional<RankedResult> Next() override {
@@ -51,66 +64,123 @@ class AnyKRec : public RankedIterator {
 
   /// Next result with the exact cost type.
   std::optional<std::pair<std::vector<Value>, CostT>> NextWithCost() {
-    if (!tdp_->HasResults()) return std::nullopt;
-    const Sol* sol = GetSol(0, tdp_->RootGroup(), next_rank_);
-    if (sol == nullptr) return std::nullopt;
+    if (!tdp_.HasResults()) return std::nullopt;
+    const uint32_t sol = GetSol(0, tdp_.RootGroup(), next_rank_);
+    if (sol == kNoSol) return std::nullopt;
     ++next_rank_;
-    std::vector<RowId> choice(tdp_->NumNodes());
-    Expand(0, tdp_->RootGroup(), *sol, &choice);
+    Expand(0, tdp_.RootGroup(), sol, &choice_buf_);
     std::pair<std::vector<Value>, CostT> out;
-    tdp_->AssignmentOf(choice, &out.first);
-    out.second = sol->cost;
+    tdp_.AssignmentOf(choice_buf_, &out.first);
+    out.second = sol_costs_[sol];
     return out;
   }
 
   /// Total priority-queue pushes across all streams (RAM-model cost).
   int64_t pq_pushes() const { return pq_pushes_; }
 
+  /// Lazy group-list extractions performed by this enumeration's
+  /// private TdpCursor.
+  int64_t heap_extractions() const { return tdp_.heap_extractions(); }
+
   int64_t WorkUnits() const override {
-    return tdp_->heap_extractions() + pq_pushes_;
+    return tdp_.heap_extractions() + pq_pushes_;
+  }
+
+  /// Exact peak footprint of the candidate state (solution arena +
+  /// cost array + child-rank arena + per-stream frontiers/prefixes),
+  /// from container capacities -- they only grow.
+  size_t peak_candidate_bytes() const {
+    size_t total = sols_.capacity() * sizeof(SolNode) +
+                   sol_costs_.capacity() * sizeof(CostT) +
+                   ranks_arena_.capacity() * sizeof(uint32_t);
+    for (const auto& per_node : streams_) {
+      for (const Stream& s : per_node) {
+        total += s.materialized.capacity() * sizeof(uint32_t) +
+                 s.frontier.capacity() * sizeof(FrontierSlot);
+      }
+    }
+    return total;
   }
 
  private:
-  // One subtree solution within a stream: a tuple of the group (by rank
-  // in the group's best-sorted order) plus one rank per child stream.
-  struct Sol {
+  static constexpr uint32_t kNoSol = static_cast<uint32_t>(-1);
+
+  // One subtree solution: a tuple of the group (by rank in the group's
+  // best-sorted order) plus one rank per child stream, stored as a
+  // fixed-width slice of ranks_arena_ (width = the node's child count).
+  // The exact cost lives in the parallel sol_costs_ array.
+  struct SolNode {
     uint32_t tuple_rank = 0;
-    std::vector<uint32_t> child_ranks;
+    uint32_t ranks_begin = 0;       // slice start in ranks_arena_
     uint32_t last_incremented = 0;  // dedup rule for successor generation
-    bool is_seed = false;  // seeds trigger the next tuple_rank seed
-    CostT cost;
+    uint8_t is_seed = 0;  // seeds trigger the next tuple_rank seed
   };
 
-  struct SolOrder {
-    // std::priority_queue is a max-heap; invert to pop the cheapest.
-    bool operator()(const Sol& a, const Sol& b) const {
-      return CM::Less(b.cost, a.cost);
-    }
+  /// One frontier slot: the projected sort key inlined next to the
+  /// solution id, so heap sifts compare within the contiguous array.
+  /// CM::ToDouble is a monotone projection of CM::Less for every
+  /// shipped dioid; equal keys fall back to the exact comparison.
+  struct FrontierSlot {
+    double key = 0.0;
+    uint32_t sol = 0;
   };
 
   struct Stream {
-    std::vector<Sol> materialized;  // sorted prefix of the stream
-    std::priority_queue<Sol, std::vector<Sol>, SolOrder> frontier;
+    std::vector<uint32_t> materialized;  // sorted prefix, solution ids
+    std::vector<FrontierSlot> frontier;  // binary min-heap (std::*_heap)
     bool seeded = false;
   };
 
-  // Returns the rank-th solution of stream (node, group), materializing
-  // lazily; nullptr when the stream has fewer solutions.
-  const Sol* GetSol(size_t node_idx, GroupId g, size_t rank) {
+  bool SlotGreater(const FrontierSlot& a, const FrontierSlot& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return CM::Less(sol_costs_[b.sol], sol_costs_[a.sol]);
+  }
+
+  uint32_t NewSol(uint32_t tuple_rank, uint32_t ranks_begin,
+                  uint32_t last_incremented, bool is_seed, CostT cost) {
+    const uint32_t id = static_cast<uint32_t>(sols_.size());
+    sols_.push_back(SolNode{tuple_rank, ranks_begin, last_incremented,
+                            static_cast<uint8_t>(is_seed)});
+    sol_costs_.push_back(std::move(cost));
+    return id;
+  }
+
+  void PushFrontier(Stream* stream, uint32_t sol) {
+    const auto greater = [this](const FrontierSlot& a, const FrontierSlot& b) {
+      return SlotGreater(a, b);
+    };
+    stream->frontier.push_back(
+        FrontierSlot{CM::ToDouble(sol_costs_[sol]), sol});
+    std::push_heap(stream->frontier.begin(), stream->frontier.end(), greater);
+    ++pq_pushes_;
+  }
+
+  // Returns the id of the rank-th solution of stream (node, group),
+  // materializing lazily; kNoSol when the stream has fewer solutions.
+  // (Streams recurse strictly to children, so the `stream` reference
+  // cannot be re-entered; the streams_ containers never resize after
+  // construction.)
+  uint32_t GetSol(size_t node_idx, GroupId g, size_t rank) {
     Stream& stream = streams_[node_idx][g];
     if (!stream.seeded) {
       stream.seeded = true;
       SeedTuple(node_idx, g, 0, &stream);
     }
+    const auto greater = [this](const FrontierSlot& a, const FrontierSlot& b) {
+      return SlotGreater(a, b);
+    };
     while (stream.materialized.size() <= rank) {
-      if (stream.frontier.empty()) return nullptr;
-      Sol sol = stream.frontier.top();
-      stream.frontier.pop();
-      if (sol.is_seed) SeedTuple(node_idx, g, sol.tuple_rank + 1, &stream);
+      if (stream.frontier.empty()) return kNoSol;
+      std::pop_heap(stream.frontier.begin(), stream.frontier.end(), greater);
+      const uint32_t sol = stream.frontier.back().sol;
+      stream.frontier.pop_back();
+      if (sols_[sol].is_seed) {
+        SeedTuple(node_idx, g, sols_[sol].tuple_rank + 1, &stream);
+      }
       PushSuccessors(node_idx, g, sol, &stream);
-      stream.materialized.push_back(std::move(sol));
+      stream.materialized.push_back(sol);
     }
-    return &stream.materialized[rank];
+    return stream.materialized[rank];
   }
 
   // Seeds the stream with the all-zeros solution of the tuple at
@@ -119,74 +189,84 @@ class AnyKRec : public RankedIterator {
   void SeedTuple(size_t node_idx, GroupId g, size_t tuple_rank,
                  Stream* stream) {
     RowId row = 0;
-    if (!tdp_->GroupTuple(node_idx, g, tuple_rank, &row)) return;
-    const auto& node = tdp_->node(node_idx);
-    Sol sol;
-    sol.tuple_rank = static_cast<uint32_t>(tuple_rank);
-    sol.child_ranks.assign(node.children.size(), 0);
-    sol.last_incremented = 0;
-    sol.is_seed = true;
-    sol.cost = node.best[row];
-    stream->frontier.push(std::move(sol));
-    ++pq_pushes_;
+    if (!tdp_.GroupTuple(node_idx, g, tuple_rank, &row)) return;
+    const auto& node = tdp_.node(node_idx);
+    const uint32_t rb = static_cast<uint32_t>(ranks_arena_.size());
+    ranks_arena_.resize(ranks_arena_.size() + node.children.size(), 0);
+    const uint32_t id = NewSol(static_cast<uint32_t>(tuple_rank), rb,
+                               /*last_incremented=*/0, /*is_seed=*/true,
+                               CostT(node.best[row]));
+    PushFrontier(stream, id);
   }
 
-  // Pushes the successors of `sol`: bump child rank ci for every
-  // ci >= sol.last_incremented (each successor's deeper stream is forced
-  // recursively to fetch its cost).
-  void PushSuccessors(size_t node_idx, GroupId g, const Sol& sol,
+  // Pushes the successors of solution `sol`: bump child rank ci for
+  // every ci >= last_incremented (each successor's deeper stream is
+  // forced recursively to fetch its cost). All solution state is read
+  // through ids -- recursive GetSol calls grow the arenas, so no
+  // reference into sols_ / ranks_arena_ survives across them.
+  void PushSuccessors(size_t node_idx, GroupId g, uint32_t sol,
                       Stream* stream) {
-    const auto& node = tdp_->node(node_idx);
-    if (node.children.empty()) return;
+    const auto& node = tdp_.node(node_idx);
+    const size_t width = node.children.size();
+    if (width == 0) return;
     RowId row = 0;
-    TOPKJOIN_CHECK(tdp_->GroupTuple(node_idx, g, sol.tuple_rank, &row));
-    for (uint32_t ci = sol.last_incremented;
-         ci < static_cast<uint32_t>(node.children.size()); ++ci) {
+    TOPKJOIN_CHECK(tdp_.GroupTuple(node_idx, g, sols_[sol].tuple_rank, &row));
+    for (uint32_t ci = sols_[sol].last_incremented;
+         ci < static_cast<uint32_t>(width); ++ci) {
       const size_t child_node = node.children[ci];
       const GroupId child_group = node.child_group(row, ci);
-      const uint32_t new_rank = sol.child_ranks[ci] + 1;
-      const Sol* child_sol = GetSol(child_node, child_group, new_rank);
-      if (child_sol == nullptr) continue;  // child stream exhausted
-      Sol succ;
-      succ.tuple_rank = sol.tuple_rank;
-      succ.child_ranks = sol.child_ranks;
-      succ.child_ranks[ci] = new_rank;
-      succ.last_incremented = ci;
-      succ.is_seed = false;
-      // cost = tuple cost (+) each child's chosen-rank solution cost.
-      CostT cost = tdp_->TupleCost(node_idx, row);
-      for (size_t cj = 0; cj < node.children.size(); ++cj) {
-        const Sol* cs = GetSol(node.children[cj],
-                               node.child_group(row, cj),
-                               succ.child_ranks[cj]);
-        TOPKJOIN_CHECK(cs != nullptr);
-        cost = CM::Combine(cost, cs->cost);
+      const uint32_t new_rank =
+          ranks_arena_[sols_[sol].ranks_begin + ci] + 1;
+      if (GetSol(child_node, child_group, new_rank) == kNoSol) {
+        continue;  // child stream exhausted
       }
-      succ.cost = std::move(cost);
-      stream->frontier.push(std::move(succ));
-      ++pq_pushes_;
+      // Allocate the successor's rank slice: the parent's slice with ci
+      // bumped (copied element-wise by index; push_back may realloc).
+      const uint32_t rb = static_cast<uint32_t>(ranks_arena_.size());
+      for (size_t cj = 0; cj < width; ++cj) {
+        const uint32_t r = ranks_arena_[sols_[sol].ranks_begin + cj];
+        ranks_arena_.push_back(r);
+      }
+      ranks_arena_[rb + ci] = new_rank;
+      // cost = tuple cost (+) each child's chosen-rank solution cost.
+      CostT cost = tdp_.TupleCost(node_idx, row);
+      for (size_t cj = 0; cj < width; ++cj) {
+        const uint32_t cs = GetSol(node.children[cj],
+                                   node.child_group(row, cj),
+                                   ranks_arena_[rb + cj]);
+        TOPKJOIN_CHECK(cs != kNoSol);
+        cost = CM::Combine(cost, sol_costs_[cs]);
+      }
+      const uint32_t id = NewSol(sols_[sol].tuple_rank, rb, ci,
+                                 /*is_seed=*/false, std::move(cost));
+      PushFrontier(stream, id);
     }
   }
 
   // Expands a stream solution into concrete tuple choices for the whole
   // subtree rooted at node_idx.
-  void Expand(size_t node_idx, GroupId g, const Sol& sol,
+  void Expand(size_t node_idx, GroupId g, uint32_t sol,
               std::vector<RowId>* choice) {
     RowId row = 0;
-    TOPKJOIN_CHECK(tdp_->GroupTuple(node_idx, g, sol.tuple_rank, &row));
+    TOPKJOIN_CHECK(tdp_.GroupTuple(node_idx, g, sols_[sol].tuple_rank, &row));
     (*choice)[node_idx] = row;
-    const auto& node = tdp_->node(node_idx);
+    const auto& node = tdp_.node(node_idx);
     for (size_t ci = 0; ci < node.children.size(); ++ci) {
       const GroupId child_group = node.child_group(row, ci);
-      const Sol* child_sol =
-          GetSol(node.children[ci], child_group, sol.child_ranks[ci]);
-      TOPKJOIN_CHECK(child_sol != nullptr);
-      Expand(node.children[ci], child_group, *child_sol, choice);
+      const uint32_t child_sol =
+          GetSol(node.children[ci], child_group,
+                 ranks_arena_[sols_[sol].ranks_begin + ci]);
+      TOPKJOIN_CHECK(child_sol != kNoSol);
+      Expand(node.children[ci], child_group, child_sol, choice);
     }
   }
 
-  Tdp<CM>* tdp_;
+  TdpCursor<CM> tdp_;
   std::vector<std::vector<Stream>> streams_;  // [node][group]
+  std::vector<SolNode> sols_;       // solution arena
+  std::vector<CostT> sol_costs_;    // exact costs, parallel to sols_
+  std::vector<uint32_t> ranks_arena_;  // flat child-rank slices
+  std::vector<RowId> choice_buf_;
   size_t next_rank_ = 0;
   int64_t pq_pushes_ = 0;
 };

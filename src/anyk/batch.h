@@ -23,10 +23,10 @@ namespace topkjoin {
 template <typename CM>
 class UnrankedEnumerator {
  public:
-  explicit UnrankedEnumerator(Tdp<CM>* tdp) : tdp_(tdp) {
-    if (!tdp_->HasResults()) return;
-    choice_.resize(tdp_->NumNodes());
-    ranks_.assign(tdp_->NumNodes(), 0);
+  explicit UnrankedEnumerator(const Tdp<CM>* tdp) : tdp_(tdp) {
+    if (!tdp_.HasResults()) return;
+    choice_.resize(tdp_.NumNodes());
+    ranks_.assign(tdp_.NumNodes(), 0);
     if (Rebuild(0)) done_ = false;
   }
 
@@ -35,7 +35,7 @@ class UnrankedEnumerator {
   std::optional<std::vector<Value>> Next() {
     if (done_) return std::nullopt;
     std::vector<Value> assignment;
-    tdp_->AssignmentOf(choice_, &assignment);
+    tdp_.AssignmentOf(choice_, &assignment);
     Advance();
     return assignment;
   }
@@ -45,15 +45,15 @@ class UnrankedEnumerator {
   // from parents. Returns false only on empty groups (cannot happen
   // after full reduction).
   bool Rebuild(size_t from) {
-    for (size_t i = from; i < tdp_->NumNodes(); ++i) {
+    for (size_t i = from; i < tdp_.NumNodes(); ++i) {
       if (i == 0) {
-        groups_.assign(tdp_->NumNodes(), 0);
-        groups_[0] = tdp_->RootGroup();
+        groups_.assign(tdp_.NumNodes(), 0);
+        groups_[0] = tdp_.RootGroup();
       }
       RowId row = 0;
-      if (!tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
+      if (!tdp_.GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
       choice_[i] = row;
-      const auto& node = tdp_->node(i);
+      const auto& node = tdp_.node(i);
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
         groups_[node.children[ci]] = node.child_group(row, ci);
       }
@@ -63,18 +63,18 @@ class UnrankedEnumerator {
 
   // Odometer over per-node ranks (group sizes vary with the prefix).
   void Advance() {
-    size_t i = tdp_->NumNodes();
+    size_t i = tdp_.NumNodes();
     while (i-- > 0) {
       ++ranks_[i];
       RowId row = 0;
-      if (tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) {
+      if (tdp_.GroupTuple(i, groups_[i], ranks_[i], &row)) {
         choice_[i] = row;
-        const auto& node = tdp_->node(i);
+        const auto& node = tdp_.node(i);
         for (size_t ci = 0; ci < node.children.size(); ++ci) {
           groups_[node.children[ci]] = node.child_group(row, ci);
         }
         // Reset the suffix.
-        for (size_t j = i + 1; j < tdp_->NumNodes(); ++j) ranks_[j] = 0;
+        for (size_t j = i + 1; j < tdp_.NumNodes(); ++j) ranks_[j] = 0;
         TOPKJOIN_CHECK(RebuildSuffix(i + 1));
         return;
       }
@@ -84,11 +84,11 @@ class UnrankedEnumerator {
   }
 
   bool RebuildSuffix(size_t from) {
-    for (size_t i = from; i < tdp_->NumNodes(); ++i) {
+    for (size_t i = from; i < tdp_.NumNodes(); ++i) {
       RowId row = 0;
-      if (!tdp_->GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
+      if (!tdp_.GroupTuple(i, groups_[i], ranks_[i], &row)) return false;
       choice_[i] = row;
-      const auto& node = tdp_->node(i);
+      const auto& node = tdp_.node(i);
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
         groups_[node.children[ci]] = node.child_group(row, ci);
       }
@@ -96,7 +96,7 @@ class UnrankedEnumerator {
     return true;
   }
 
-  Tdp<CM>* tdp_;
+  TdpCursor<CM> tdp_;
   std::vector<RowId> choice_;
   std::vector<uint32_t> ranks_;
   std::vector<GroupId> groups_;
@@ -111,7 +111,7 @@ class BatchSorted : public RankedIterator {
  public:
   using CostT = typename CM::CostT;
 
-  explicit BatchSorted(Tdp<CM>* tdp) : tdp_(tdp) {
+  explicit BatchSorted(const Tdp<CM>* tdp) : tdp_(tdp) {
     CollectAll();
     std::sort(entries_.begin(), entries_.end(),
               [](const Entry& a, const Entry& b) {
@@ -122,7 +122,7 @@ class BatchSorted : public RankedIterator {
   std::optional<RankedResult> Next() override {
     if (pos_ >= entries_.size()) return std::nullopt;
     RankedResult out;
-    tdp_->AssignmentOf(entries_[pos_].choice, &out.assignment);
+    tdp_.AssignmentOf(entries_[pos_].choice, &out.assignment);
     out.cost = CM::ToDouble(entries_[pos_].cost);
     out.cost_vector = CM::Components(entries_[pos_].cost);
     ++pos_;
@@ -134,6 +134,7 @@ class BatchSorted : public RankedIterator {
   /// Uniform work-counter surface with the any-k variants (batch does
   /// all its work up front; enumeration itself pushes nothing).
   int64_t pq_pushes() const { return 0; }
+  int64_t heap_extractions() const { return tdp_.heap_extractions(); }
 
  private:
   struct Entry {
@@ -142,10 +143,10 @@ class BatchSorted : public RankedIterator {
   };
 
   void CollectAll() {
-    if (!tdp_->HasResults()) return;
-    std::vector<RowId> choice(tdp_->NumNodes());
-    std::vector<GroupId> groups(tdp_->NumNodes());
-    Recurse(0, tdp_->RootGroup(), &choice, &groups);
+    if (!tdp_.HasResults()) return;
+    std::vector<RowId> choice(tdp_.NumNodes());
+    std::vector<GroupId> groups(tdp_.NumNodes());
+    Recurse(0, tdp_.RootGroup(), &choice, &groups);
   }
 
   void Recurse(size_t i, GroupId g, std::vector<RowId>* choice,
@@ -153,28 +154,28 @@ class BatchSorted : public RankedIterator {
     (*groups)[i] = g;
     for (size_t rank = 0;; ++rank) {
       RowId row = 0;
-      if (!tdp_->GroupTuple(i, g, rank, &row)) break;
+      if (!tdp_.GroupTuple(i, g, rank, &row)) break;
       (*choice)[i] = row;
       // Descend into the next preorder node, or emit.
-      if (i + 1 == tdp_->NumNodes()) {
+      if (i + 1 == tdp_.NumNodes()) {
         Entry e;
         e.choice = *choice;
-        e.cost = tdp_->CostOf(*choice);
+        e.cost = tdp_.CostOf(*choice);
         entries_.push_back(std::move(e));
       } else {
         // Group of node i+1: its parent is some node <= i whose tuple is
         // already chosen.
-        const auto& next = tdp_->node(i + 1);
+        const auto& next = tdp_.node(i + 1);
         const auto parent = static_cast<size_t>(next.parent);
         const RowId prow = (*choice)[parent];
         const GroupId ng =
-            tdp_->node(parent).child_group(prow, next.child_slot);
+            tdp_.node(parent).child_group(prow, next.child_slot);
         Recurse(i + 1, ng, choice, groups);
       }
     }
   }
 
-  Tdp<CM>* tdp_;
+  TdpCursor<CM> tdp_;
   std::vector<Entry> entries_;
   size_t pos_ = 0;
 };

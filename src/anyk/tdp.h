@@ -18,6 +18,14 @@
 // incremental quickselect -- the distinction behind the
 // Eager/Lazy/Memoized any-k variants of [90].
 //
+// Sharing: a Tdp is IMMUTABLE once constructed. The incremental sorting
+// state of the lazy/quickselect modes (heap layouts, sorted-prefix
+// watermarks, pivot stacks) lives in a per-enumeration TdpCursor, so
+// one Tdp -- the expensive preprocessing artifact -- can back any
+// number of concurrent enumerations (see anyk/artifact.h). Rank 0 of
+// every group is precomputed (Group::min_pos), so GroupBest and optimal
+// completions never touch cursor state.
+//
 // Construction is allocation-frugal by design: group keys are interned
 // into a flat open-addressing (hash, offset) index built columnar-first,
 // rows live in one contiguous arena per node, and per-tuple child-group
@@ -46,7 +54,7 @@ using GroupId = uint32_t;
 /// How group candidate lists are sorted.
 enum class SortMode {
   kEager,        // sort every group fully during preprocessing
-  kLazy,         // heapify during preprocessing; pop incrementally on demand
+  kLazy,         // heapify on first deep access; pop incrementally on demand
   kQuickselect,  // incremental quickselect (IQS): partition on demand, so
                  // deep ranks cost amortized O(1) extra comparisons instead
                  // of a heap pop each -- the Memoized variant's substrate
@@ -136,20 +144,18 @@ class Tdp {
   using CostT = typename CM::CostT;
 
   /// A candidate group: one contiguous segment of the owning node's row
-  /// arena (group_rows[begin, begin+size)), ordered by best-completion
-  /// cost on demand. Layout depends on the sort mode:
-  ///   * eager:       fully sorted ascending; rank r at begin + r.
-  ///   * lazy:        min-heap in [begin, begin+size-done); extracted
-  ///                  elements accumulate at the tail in reverse order,
-  ///                  so rank r sits at begin + size - 1 - r.
-  ///   * quickselect: sorted prefix [begin, begin+done); the remainder
-  ///                  is partitioned per the pivot stack; rank r at
-  ///                  begin + r once done > r.
+  /// arena (group_rows[begin, begin+size)). In eager mode the segment
+  /// is fully sorted by best-completion cost at construction (rank r at
+  /// begin + r, min_pos = 0); in lazy/quickselect mode the segment
+  /// stays in build order and only the minimum's offset is precomputed
+  /// (min_pos), so rank 0 -- the only rank preprocessing and optimal
+  /// completion ever need -- is O(1) without any mutable state. Deeper
+  /// ranks are sorted incrementally in a TdpCursor's private copy of
+  /// the segment.
   struct Group {
     uint32_t begin = 0;
     uint32_t size = 0;
-    uint32_t done = 0;
-    std::vector<uint32_t> pivots;  // IQS boundary stack, offsets rel. begin
+    uint32_t min_pos = 0;  // offset (rel. begin) of the best tuple
   };
 
   struct Node {
@@ -198,6 +204,7 @@ class Tdp {
   size_t NumNodes() const { return nodes_.size(); }
   const Node& node(size_t i) const { return nodes_[i]; }
   const ConjunctiveQuery& query() const { return *query_; }
+  SortMode sort_mode() const { return sort_mode_; }
 
   /// The root's single group (all root tuples). Invalid when
   /// !HasResults().
@@ -208,22 +215,19 @@ class Tdp {
     return nodes_[node_idx].groups[g].size;
   }
 
-  /// The rank-th best tuple of the group (0-based), forcing incremental
-  /// sorting in lazy/quickselect mode. Returns false when rank >= group
-  /// size.
-  bool GroupTuple(size_t node_idx, GroupId g, size_t rank, RowId* out);
+  /// The rank-0 (cheapest) tuple of a non-empty group: O(1) in every
+  /// sort mode, no cursor state touched.
+  RowId GroupTop(size_t node_idx, GroupId g) const {
+    const Node& n = nodes_[node_idx];
+    const Group& group = n.groups[g];
+    return n.group_rows[group.begin + group.min_pos];
+  }
 
   /// Best (minimal) subtree-completion cost within a group. The group
   /// must be non-empty.
   const CostT& GroupBest(size_t node_idx, GroupId g) const {
     const Node& n = nodes_[node_idx];
-    const Group& group = n.groups[g];
-    // Lazy extractions park rank 0 at the arena tail; every other mode
-    // (and the pre-extraction lazy heap) keeps the minimum up front.
-    const RowId top = (sort_mode_ == SortMode::kLazy && group.done > 0)
-                          ? n.group_rows[group.begin + group.size - 1]
-                          : n.group_rows[group.begin];
-    return n.best[top];
+    return n.best[GroupTop(node_idx, g)];
   }
 
   /// Builds the output assignment (indexed by VarId) for one tuple
@@ -234,9 +238,10 @@ class Tdp {
 
   /// Optimal completion: starting from `node_idx` with tuples already
   /// chosen for ancestors, fills `choice` for the whole subtree with the
-  /// best tuples. `choice[node_idx]`'s group must be g.
+  /// best tuples. `choice[node_idx]`'s group must be g. Const -- rank 0
+  /// is precomputed, so no lazy sorting is forced.
   void CompleteOptimally(size_t node_idx, GroupId g,
-                         std::vector<RowId>* choice);
+                         std::vector<RowId>* choice) const;
 
   /// Total number of group lists (for instrumentation).
   size_t NumGroups() const;
@@ -260,11 +265,9 @@ class Tdp {
     return total;
   }
 
-  /// Monotone RAM-model work counter: lazy group-list extractions
-  /// (heap pops / quickselect finalizations) performed so far by
-  /// GroupTuple. Together with an algorithm's pq_pushes() this is the
-  /// per-result work the any-k delay guarantee bounds.
-  int64_t heap_extractions() const { return heap_extractions_; }
+  bool HeapLess(const Node& n, RowId a, RowId b) const {
+    return CM::Less(n.best[a], n.best[b]);
+  }
 
  private:
   void BuildTree(const Database& db, JoinStats* stats,
@@ -272,16 +275,228 @@ class Tdp {
   void BuildGroups();
   void ComputeBest();
   void OrganizeGroups(Node& n);
-  void IqsStep(Node& n, Group& group);
-
-  bool HeapLess(const Node& n, RowId a, RowId b) const {
-    return CM::Less(n.best[a], n.best[b]);
-  }
 
   const ConjunctiveQuery* query_;
   SortMode sort_mode_;
   std::vector<Node> nodes_;
   bool has_results_ = false;
+};
+
+/// Per-enumeration view of a (shared, immutable) Tdp: the incremental
+/// group-sorting state of the lazy/quickselect modes. Each algorithm
+/// instance owns one cursor; concurrent enumerations over the same Tdp
+/// never touch each other's state.
+///
+/// Rank 0 of every group is served straight from the Tdp (min_pos) --
+/// the common case for optimal completions and early enumeration ranks
+/// costs neither allocation nor extraction. The first access to a rank
+/// >= 1 of a group copies that group's row segment into a private
+/// "dyn" slab and ports the Tdp's original incremental machinery:
+///   * lazy:        min pinned at the tail (as if already extracted),
+///                  min-heap over the remainder; rank r at size-1-r.
+///   * quickselect: min swapped to the front, pivot-stack sentinel; the
+///                  remainder partitions on demand (IqsStep); rank r at
+///                  offset r once done > r.
+/// Eager mode needs no dyn state at all (arena already sorted).
+template <typename CM>
+class TdpCursor {
+ public:
+  using CostT = typename CM::CostT;
+  using Node = typename Tdp<CM>::Node;
+
+  explicit TdpCursor(const Tdp<CM>* tdp)
+      : tdp_(tdp), dyn_slot_(tdp->NumNodes()) {}
+
+  const Tdp<CM>& tdp() const { return *tdp_; }
+
+  // ---- const pass-throughs (the full read surface algorithms use).
+  bool HasResults() const { return tdp_->HasResults(); }
+  size_t NumNodes() const { return tdp_->NumNodes(); }
+  const Node& node(size_t i) const { return tdp_->node(i); }
+  GroupId RootGroup() const { return tdp_->RootGroup(); }
+  size_t GroupSize(size_t node_idx, GroupId g) const {
+    return tdp_->GroupSize(node_idx, g);
+  }
+  CostT TupleCost(size_t node_idx, RowId row) const {
+    return tdp_->TupleCost(node_idx, row);
+  }
+  const CostT& GroupBest(size_t node_idx, GroupId g) const {
+    return tdp_->GroupBest(node_idx, g);
+  }
+  void AssignmentOf(const std::vector<RowId>& choice,
+                    std::vector<Value>* assignment) const {
+    tdp_->AssignmentOf(choice, assignment);
+  }
+  CostT CostOf(const std::vector<RowId>& choice) const {
+    return tdp_->CostOf(choice);
+  }
+  void CompleteOptimally(size_t node_idx, GroupId g,
+                         std::vector<RowId>* choice) const {
+    tdp_->CompleteOptimally(node_idx, g, choice);
+  }
+
+  /// The rank-th best tuple of the group (0-based), forcing this
+  /// cursor's incremental sorting in lazy/quickselect mode. Returns
+  /// false when rank >= group size.
+  bool GroupTuple(size_t node_idx, GroupId g, size_t rank, RowId* out) {
+    const Node& n = tdp_->node(node_idx);
+    const typename Tdp<CM>::Group& group = n.groups[g];
+    if (rank >= group.size) return false;
+    if (tdp_->sort_mode() == SortMode::kEager) {
+      *out = n.group_rows[group.begin + rank];
+      return true;
+    }
+    if (rank == 0) {
+      *out = n.group_rows[group.begin + group.min_pos];
+      return true;
+    }
+    GroupDyn& dyn = DynFor(node_idx, g, n, group);
+    if (tdp_->sort_mode() == SortMode::kLazy) {
+      RowId* const begin = dyn.rows.data();
+      const auto greater = [&](RowId a, RowId b) {
+        return tdp_->HeapLess(n, b, a);
+      };
+      while (dyn.done <= rank) {
+        // pop_heap parks the minimum at the end of the heap range, so
+        // extracted elements accumulate at the slab tail in reverse
+        // rank order: rank r lives at size - 1 - r.
+        std::pop_heap(begin, begin + (group.size - dyn.done), greater);
+        dyn.done += 1;
+        ++heap_extractions_;
+      }
+      *out = dyn.rows[group.size - 1 - static_cast<uint32_t>(rank)];
+      return true;
+    }
+    while (dyn.done <= rank) IqsStep(n, dyn);
+    *out = dyn.rows[rank];
+    return true;
+  }
+
+  /// Monotone RAM-model work counter: lazy group-list extractions
+  /// (heap pops / quickselect finalizations) performed so far by this
+  /// cursor's GroupTuple. Together with an algorithm's pq_pushes() this
+  /// is the per-result work the any-k delay guarantee bounds.
+  int64_t heap_extractions() const { return heap_extractions_; }
+
+  /// Resident bytes of this cursor's private sorting state (the
+  /// per-enumeration share of candidate memory; the shared Tdp arenas
+  /// are accounted by Tdp::ApproxBytes).
+  size_t ApproxBytes() const {
+    size_t total = dyns_.capacity() * sizeof(GroupDyn);
+    for (const GroupDyn& d : dyns_) {
+      total += d.rows.capacity() * sizeof(RowId) +
+               d.pivots.capacity() * sizeof(uint32_t);
+    }
+    for (const std::vector<uint32_t>& slots : dyn_slot_) {
+      total += slots.capacity() * sizeof(uint32_t);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr uint32_t kNoDyn = static_cast<uint32_t>(-1);
+
+  /// Private sorting state of one group: a copy of its row segment plus
+  /// the original incremental-sort bookkeeping.
+  struct GroupDyn {
+    std::vector<RowId> rows;
+    uint32_t done = 0;
+    std::vector<uint32_t> pivots;  // IQS boundary stack, offsets rel. 0
+  };
+
+  GroupDyn& DynFor(size_t node_idx, GroupId g, const Node& n,
+                   const typename Tdp<CM>::Group& group) {
+    std::vector<uint32_t>& slots = dyn_slot_[node_idx];
+    if (slots.empty()) slots.assign(n.groups.size(), kNoDyn);
+    uint32_t& slot = slots[g];
+    if (slot != kNoDyn) return dyns_[slot];
+    slot = static_cast<uint32_t>(dyns_.size());
+    dyns_.emplace_back();
+    GroupDyn& dyn = dyns_.back();
+    const RowId* const src = n.group_rows.data() + group.begin;
+    dyn.rows.assign(src, src + group.size);
+    if (tdp_->sort_mode() == SortMode::kLazy) {
+      // Pin the precomputed minimum at the tail (its extracted slot)
+      // and heapify the remainder: the exact state the shared-Tdp
+      // design replaced -- one build-time heapify plus one extraction.
+      // Counting the pin keeps rank-r total extractions at r + 1, the
+      // same work the pre-split lazy mode charged.
+      std::swap(dyn.rows[group.min_pos], dyn.rows[group.size - 1]);
+      const auto greater = [&](RowId a, RowId b) {
+        return tdp_->HeapLess(n, b, a);
+      };
+      std::make_heap(dyn.rows.data(), dyn.rows.data() + (group.size - 1),
+                     greater);
+      dyn.done = 1;
+      ++heap_extractions_;
+    } else {
+      // Quickselect: minimum up front, sentinel boundary; matches the
+      // old build-time state, which charged no extraction for the min.
+      std::swap(dyn.rows[group.min_pos], dyn.rows[0]);
+      dyn.done = 1;
+      dyn.pivots.push_back(group.size);
+    }
+    return dyn;
+  }
+
+  // One incremental-quickselect step: finalizes at least one more
+  // position of the group's sorted prefix. The pivot stack holds segment
+  // boundaries (strictly non-increasing toward the top, bottom sentinel
+  // = size); everything before a boundary compares <= everything after
+  // it. A fat three-way partition finalizes whole runs of equal costs
+  // at once, so all-equal groups drain in linear total time.
+  void IqsStep(const Node& n, GroupDyn& dyn) {
+    RowId* const rows = dyn.rows.data();
+    auto& pivots = dyn.pivots;
+    while (true) {
+      uint32_t top = pivots.back();
+      if (top == dyn.done) {
+        pivots.pop_back();
+        continue;
+      }
+      if (top == dyn.done + 1) {
+        // Single-element segment: already in place.
+        dyn.done += 1;
+        ++heap_extractions_;
+        return;
+      }
+      // Median-of-three pivot over [done, top).
+      const uint32_t lo = dyn.done;
+      const uint32_t mid = lo + (top - lo) / 2;
+      RowId a = rows[lo], b = rows[mid], c = rows[top - 1];
+      RowId pivot =
+          tdp_->HeapLess(n, a, b)
+              ? (tdp_->HeapLess(n, b, c) ? b
+                                         : (tdp_->HeapLess(n, a, c) ? c : a))
+              : (tdp_->HeapLess(n, a, c) ? a
+                                         : (tdp_->HeapLess(n, b, c) ? c : b));
+      // Three-way (Dutch flag) partition: [lo, lt) < pivot, [lt, gt) ==
+      // pivot, [gt, top) > pivot.
+      uint32_t lt = lo, i = lo, gt = top;
+      while (i < gt) {
+        if (tdp_->HeapLess(n, rows[i], pivot)) {
+          std::swap(rows[lt++], rows[i++]);
+        } else if (tdp_->HeapLess(n, pivot, rows[i])) {
+          std::swap(rows[i], rows[--gt]);
+        } else {
+          ++i;
+        }
+      }
+      if (lt == dyn.done) {
+        // The pivot run starts at the prefix: the whole equal run is
+        // finalized in one step.
+        heap_extractions_ += gt - dyn.done;
+        dyn.done = gt;
+        return;
+      }
+      pivots.push_back(gt);
+      pivots.push_back(lt);
+    }
+  }
+
+  const Tdp<CM>* tdp_;
+  std::vector<std::vector<uint32_t>> dyn_slot_;  // [node][group] -> dyns_
+  std::vector<GroupDyn> dyns_;
   int64_t heap_extractions_ = 0;
 };
 
@@ -397,7 +612,8 @@ void Tdp<CM>::ComputeBest() {
   std::vector<size_t> child_key_parent_cols;  // flat: per child, width cols
   std::vector<size_t> child_key_offset;
   std::vector<Value> key_scratch;
-  // Reverse preorder: children before parents.
+  // Reverse preorder: children before parents -- a child's groups are
+  // organized (min_pos computed) before the parent reads GroupBest.
   for (size_t idx = nodes_.size(); idx-- > 0;) {
     Node& n = nodes_[idx];
     const size_t num = n.rel.NumTuples();
@@ -459,115 +675,21 @@ void Tdp<CM>::OrganizeGroups(Node& n) {
     switch (sort_mode_) {
       case SortMode::kEager:
         std::sort(begin, end, less);
-        g.done = g.size;
         break;
-      case SortMode::kLazy: {
-        // std::*_heap comparators are max-heap; invert for min-heap.
-        const auto greater = [&](RowId a, RowId b) {
-          return HeapLess(n, b, a);
-        };
-        std::make_heap(begin, end, greater);
-        break;
-      }
+      case SortMode::kLazy:
       case SortMode::kQuickselect:
+        // The arena stays pristine (shareable across cursors); only the
+        // minimum's offset is precomputed so GroupBest / rank 0 are
+        // O(1). min_element picks the FIRST minimum, making rank 0
+        // deterministic across the fast path and every cursor's dyn
+        // state.
         if (g.size > 0) {
-          // Park the minimum up front so GroupBest and rank 0 are O(1)
-          // without touching the pivot machinery; the remainder is
-          // partitioned on demand (IqsStep).
-          RowId* min_it = std::min_element(begin, end, less);
-          std::swap(*begin, *min_it);
-          g.done = 1;
-          g.pivots.push_back(g.size);
+          g.min_pos = static_cast<uint32_t>(
+              std::min_element(begin, end, less) - begin);
         }
         break;
     }
   }
-}
-
-// One incremental-quickselect step: finalizes at least one more
-// position of the group's sorted prefix. The pivot stack holds segment
-// boundaries (strictly non-increasing toward the top, bottom sentinel =
-// size); everything before a boundary compares <= everything after it.
-// A fat three-way partition finalizes whole runs of equal costs at
-// once, so all-equal groups drain in linear total time.
-template <typename CM>
-void Tdp<CM>::IqsStep(Node& n, Group& group) {
-  RowId* const rows = n.group_rows.data() + group.begin;
-  auto& pivots = group.pivots;
-  while (true) {
-    uint32_t top = pivots.back();
-    if (top == group.done) {
-      pivots.pop_back();
-      continue;
-    }
-    if (top == group.done + 1) {
-      // Single-element segment: already in place.
-      group.done += 1;
-      ++heap_extractions_;
-      return;
-    }
-    // Median-of-three pivot over [done, top).
-    const uint32_t lo = group.done;
-    const uint32_t mid = lo + (top - lo) / 2;
-    RowId a = rows[lo], b = rows[mid], c = rows[top - 1];
-    RowId pivot = HeapLess(n, a, b)
-                      ? (HeapLess(n, b, c) ? b : (HeapLess(n, a, c) ? c : a))
-                      : (HeapLess(n, a, c) ? a : (HeapLess(n, b, c) ? c : b));
-    // Three-way (Dutch flag) partition: [lo, lt) < pivot, [lt, gt) ==
-    // pivot, [gt, top) > pivot.
-    uint32_t lt = lo, i = lo, gt = top;
-    while (i < gt) {
-      if (HeapLess(n, rows[i], pivot)) {
-        std::swap(rows[lt++], rows[i++]);
-      } else if (HeapLess(n, pivot, rows[i])) {
-        std::swap(rows[i], rows[--gt]);
-      } else {
-        ++i;
-      }
-    }
-    if (lt == group.done) {
-      // The pivot run starts at the prefix: the whole equal run is
-      // finalized in one step.
-      heap_extractions_ += gt - group.done;
-      group.done = gt;
-      return;
-    }
-    pivots.push_back(gt);
-    pivots.push_back(lt);
-  }
-}
-
-template <typename CM>
-bool Tdp<CM>::GroupTuple(size_t node_idx, GroupId g, size_t rank,
-                         RowId* out) {
-  Node& n = nodes_[node_idx];
-  Group& group = n.groups[g];
-  if (rank >= group.size) return false;
-  switch (sort_mode_) {
-    case SortMode::kEager:
-      *out = n.group_rows[group.begin + rank];
-      return true;
-    case SortMode::kLazy: {
-      RowId* const begin = n.group_rows.data() + group.begin;
-      const auto greater = [&](RowId a, RowId b) { return HeapLess(n, b, a); };
-      while (group.done <= rank) {
-        // pop_heap parks the minimum at the end of the heap range, so
-        // extracted elements accumulate at the arena tail in reverse
-        // rank order: rank r lives at begin + size - 1 - r.
-        std::pop_heap(begin, begin + (group.size - group.done), greater);
-        group.done += 1;
-        ++heap_extractions_;
-      }
-      *out = n.group_rows[group.begin + group.size - 1 -
-                          static_cast<uint32_t>(rank)];
-      return true;
-    }
-    case SortMode::kQuickselect:
-      while (group.done <= rank) IqsStep(n, group);
-      *out = n.group_rows[group.begin + rank];
-      return true;
-  }
-  return false;
 }
 
 template <typename CM>
@@ -595,9 +717,8 @@ typename CM::CostT Tdp<CM>::CostOf(const std::vector<RowId>& choice) const {
 
 template <typename CM>
 void Tdp<CM>::CompleteOptimally(size_t node_idx, GroupId g,
-                                std::vector<RowId>* choice) {
-  RowId top = 0;
-  TOPKJOIN_CHECK(GroupTuple(node_idx, g, 0, &top));
+                                std::vector<RowId>* choice) const {
+  const RowId top = GroupTop(node_idx, g);
   (*choice)[node_idx] = top;
   const Node& n = nodes_[node_idx];
   for (size_t ci = 0; ci < n.children.size(); ++ci) {

@@ -55,13 +55,13 @@ class TreePipeline : public RankedIterator {
   std::optional<RankedResult> Next() override { return algo_.Next(); }
 
   int64_t WorkUnits() const override {
-    return tdp_.heap_extractions() + algo_.pq_pushes();
+    return algo_.heap_extractions() + algo_.pq_pushes();
   }
 
   PipelineCounters Counters() const override {
     PipelineCounters counters;
     counters.frontier_pushes = algo_.pq_pushes();
-    counters.heap_extractions = tdp_.heap_extractions();
+    counters.heap_extractions = algo_.heap_extractions();
     if constexpr (requires(const Algo& a) { a.peak_candidate_bytes(); }) {
       counters.candidate_pool_bytes =
           static_cast<int64_t>(algo_.peak_candidate_bytes());

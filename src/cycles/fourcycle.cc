@@ -391,32 +391,38 @@ size_t ChooseFourCycleThreshold(const Database& db,
 
 namespace {
 
-// Each case plan owns its bag database; the BagPipeline holder keeps it
-// alive alongside the per-case enumerator, and routes the bags' member
-// weights into the CM-typed T-DP.
+// Each case plan owns its bag database; the per-case artifact keeps it
+// alive alongside the shared T-DP, and routes the bags' member weights
+// into the CM-typed T-DP.
 template <typename CM>
-std::unique_ptr<RankedIterator> MakeCaseUnion(FourCyclePlans plans,
-                                              AnyKAlgorithm algorithm,
-                                              JoinStats* stats) {
-  std::vector<std::unique_ptr<RankedIterator>> inputs;
-  inputs.reserve(plans.cases.size());
+std::shared_ptr<const PreprocessingArtifact> MakeCaseUnionArtifact(
+    FourCyclePlans plans, AnyKAlgorithm algorithm, JoinStats* stats) {
+  std::vector<std::shared_ptr<const PreprocessingArtifact>> cases;
+  cases.reserve(plans.cases.size());
   for (DecomposedQuery& dq : plans.cases) {
-    inputs.push_back(
-        std::make_unique<BagPipeline<CM>>(std::move(dq), algorithm, stats));
+    cases.push_back(MakeBagArtifact<CM>(std::move(dq), algorithm, stats));
   }
-  return std::make_unique<UnionAnyK>(std::move(inputs));
+  return std::make_shared<UnionArtifact>(std::move(cases));
 }
 
 }  // namespace
 
-std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
+std::shared_ptr<const PreprocessingArtifact> MakeFourCycleArtifact(
     const Database& db, const ConjunctiveQuery& query,
     AnyKAlgorithm algorithm, JoinStats* stats, CostModelKind model,
     size_t threshold) {
   FourCyclePlans plans = BuildFourCyclePlans(db, query, stats, threshold);
   return WithCostModel(model, [&]<typename CM>() {
-    return MakeCaseUnion<CM>(std::move(plans), algorithm, stats);
+    return MakeCaseUnionArtifact<CM>(std::move(plans), algorithm, stats);
   });
+}
+
+std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
+    const Database& db, const ConjunctiveQuery& query,
+    AnyKAlgorithm algorithm, JoinStats* stats, CostModelKind model,
+    size_t threshold) {
+  return MakeFourCycleArtifact(db, query, algorithm, stats, model, threshold)
+      ->NewStream();
 }
 
 bool FourCycleBoolean(const Database& db, const ConjunctiveQuery& query,

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/anyk/anyk.h"
+#include "src/anyk/artifact.h"
 #include "src/anyk/ranked_iterator.h"
 #include "src/data/database.h"
 #include "src/join/join_stats.h"
@@ -89,6 +90,16 @@ size_t ChooseFourCycleThreshold(const Database& db,
 /// observe; within each case the full lexicographic order holds).
 /// `threshold`: as in BuildFourCyclePlans.
 std::unique_ptr<RankedIterator> MakeFourCycleAnyK(
+    const Database& db, const ConjunctiveQuery& query,
+    AnyKAlgorithm algorithm, JoinStats* stats,
+    CostModelKind model = CostModelKind::kSum, size_t threshold = 0);
+
+/// The shareable half of MakeFourCycleAnyK: one preprocessing artifact
+/// per non-empty case (bag materialization + T-DP), wrapped in a union
+/// artifact whose NewStream() merges fresh per-case streams. Cached by
+/// the serving layer so concurrent cursors share one bag-materialization
+/// pass.
+std::shared_ptr<const PreprocessingArtifact> MakeFourCycleArtifact(
     const Database& db, const ConjunctiveQuery& query,
     AnyKAlgorithm algorithm, JoinStats* stats,
     CostModelKind model = CostModelKind::kSum, size_t threshold = 0);

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "src/anyk/tree_pipeline.h"
 #include "src/cycles/fourcycle.h"
 #include "src/obs/instrumented_iterator.h"
 #include "src/obs/metrics.h"
@@ -12,19 +11,21 @@
 namespace topkjoin {
 namespace {
 
-StatusOr<std::unique_ptr<RankedIterator>> CompileInner(
+// The strategy dispatch, metrics-free: every path builds a shareable
+// artifact whose NewStream() mints per-cursor enumerations.
+StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifactInner(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
     JoinStats* stats) {
   switch (plan.strategy) {
     case PlanStrategy::kAnyKDirect:
     case PlanStrategy::kBatchSort: {
-      auto it = WithCostModel(plan.ranking.model, [&]<typename CM>() {
-        return MakeTreeIterator<CM>(db, query, plan.algorithm, stats);
+      auto artifact = WithCostModel(plan.ranking.model, [&]<typename CM>() {
+        return MakeTreeArtifact<CM>(db, query, plan.algorithm, stats);
       });
-      if (it == nullptr) return Status::Error("unknown algorithm");
-      return it;
+      if (artifact == nullptr) return Status::Error("unknown algorithm");
+      return artifact;
     }
-    // Decomposed strategies instantiate the bag pipeline per dioid, the
+    // Decomposed strategies instantiate the bag artifact per dioid, the
     // same way the acyclic path does: the bags' per-tuple member-weight
     // sequences (see query/decomposition.h) let every cost model fold
     // its exact bag-tuple costs.
@@ -36,21 +37,53 @@ StatusOr<std::unique_ptr<RankedIterator>> CompileInner(
           MaterializeGrouping(db, query, *plan.grouping, stats);
       return WithCostModel(
           plan.ranking.model,
-          [&]<typename CM>() -> std::unique_ptr<RankedIterator> {
-            return std::make_unique<BagPipeline<CM>>(std::move(dq),
-                                                     plan.algorithm, stats);
+          [&]<typename CM>() -> std::shared_ptr<const PreprocessingArtifact> {
+            return MakeBagArtifact<CM>(std::move(dq), plan.algorithm, stats);
           });
     }
     case PlanStrategy::kUnionCases:
       // The estimator-chosen heavy/light threshold rides in the plan
       // (0 = static sqrt(n) fallback, e.g. hand-built plans).
-      return MakeFourCycleAnyK(db, query, plan.algorithm, stats,
-                               plan.ranking.model, plan.fourcycle_threshold);
+      return MakeFourCycleArtifact(db, query, plan.algorithm, stats,
+                                   plan.ranking.model,
+                                   plan.fourcycle_threshold);
   }
   return Status::Error("unknown plan strategy");
 }
 
 }  // namespace
+
+StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifact(
+    const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
+    JoinStats* stats) {
+  if constexpr (!kMetricsEnabled) {
+    return BuildArtifactInner(db, query, plan, stats);
+  } else {
+    const FastClock::Ticks start = FastClock::Now();
+    auto artifact = BuildArtifactInner(db, query, plan, stats);
+    if (!artifact.ok()) return artifact;
+    MetricsRegistry::Global()
+        .GetHistogram("executor.compile_ns")
+        ->Record(FastClock::TicksToNs(FastClock::Now() - start));
+    return artifact;
+  }
+}
+
+std::unique_ptr<RankedIterator> NewEnumeration(
+    const PreprocessingArtifact& artifact, const QueryPlan& plan,
+    std::shared_ptr<QueryTrace> trace) {
+  auto inner = artifact.NewStream();
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("executor.pipelines")->Increment();
+  }
+  if (!kMetricsEnabled && trace == nullptr) return inner;
+  if (trace != nullptr) {
+    trace->strategy = std::string(PlanStrategyName(plan.strategy)) + "/" +
+                      AnyKAlgorithmName(plan.algorithm);
+  }
+  return std::make_unique<InstrumentedIterator>(std::move(inner),
+                                                std::move(trace));
+}
 
 StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
@@ -59,12 +92,15 @@ StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
   // metrics-off build with no trace requested compiles and enumerates
   // exactly the pre-observability pipeline.
   if (!kMetricsEnabled && trace == nullptr) {
-    return CompileInner(db, query, plan, stats);
+    auto artifact = BuildArtifactInner(db, query, plan, stats);
+    if (!artifact.ok()) return artifact.status();
+    return std::move(artifact).value()->NewStream();
   }
 
   const FastClock::Ticks start = FastClock::Now();
-  auto inner = CompileInner(db, query, plan, stats);
-  if (!inner.ok()) return inner.status();
+  auto artifact = BuildArtifactInner(db, query, plan, stats);
+  if (!artifact.ok()) return artifact.status();
+  auto inner = std::move(artifact).value()->NewStream();
   const uint64_t compile_ns = FastClock::TicksToNs(FastClock::Now() - start);
   if constexpr (kMetricsEnabled) {
     auto& registry = MetricsRegistry::Global();
@@ -72,14 +108,14 @@ StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
     registry.GetCounter("executor.pipelines")->Increment();
   }
   if (trace != nullptr) {
-    // Covers preprocessing too: CompileInner pays the full reducer /
-    // bag materialization / T-DP build before returning.
+    // Covers preprocessing too: BuildArtifactInner pays the full
+    // reducer / bag materialization / T-DP build before returning.
     trace->AddPhase("compile+preprocess", compile_ns);
     trace->strategy = std::string(PlanStrategyName(plan.strategy)) + "/" +
                       AnyKAlgorithmName(plan.algorithm);
   }
   return StatusOr<std::unique_ptr<RankedIterator>>(
-      std::make_unique<InstrumentedIterator>(std::move(inner).value(),
+      std::make_unique<InstrumentedIterator>(std::move(inner),
                                              std::move(trace)));
 }
 

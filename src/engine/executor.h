@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "src/anyk/artifact.h"
 #include "src/anyk/ranked_iterator.h"
 #include "src/data/database.h"
 #include "src/engine/planner.h"
@@ -25,18 +26,34 @@
 
 namespace topkjoin {
 
-/// Compiles `plan` (produced by PlanQuery for this db/query pair) into a
-/// ranked stream. Preprocessing cost (full reducer, bag materialization)
-/// is paid here and recorded in `stats` when provided; the returned
-/// iterator is pure enumeration. The pipeline owns a copy of `query`
-/// (and any materialized bag databases), so it does not retain `db`,
-/// `query`, or `stats` -- cursors may outlive all three.
-///
-/// When metrics are compiled in (kMetricsEnabled) or `trace` is given,
-/// the pipeline is wrapped in an InstrumentedIterator that records the
-/// per-Next delay histogram / frontier counters and feeds the trace's
-/// TTL milestones; the wrapper also takes shared ownership of `trace`,
-/// so it stays readable after the stream is destroyed.
+/// Compiles the expensive, shareable half of `plan`: the full reducer /
+/// bag materialization / T-DP build, as an immutable refcounted
+/// PreprocessingArtifact. The artifact owns a copy of `query` (and any
+/// materialized bag databases), so it does not retain `db`, `query`, or
+/// `stats` -- it may outlive all three, and many concurrent
+/// enumerations may share it (see anyk/artifact.h). Build time is
+/// recorded in the executor.compile_ns histogram.
+StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifact(
+    const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
+    JoinStats* stats = nullptr);
+
+/// Mints one enumeration stream over a (possibly cached) artifact: the
+/// cheap per-cursor half. Increments executor.pipelines and, when
+/// metrics are compiled in (kMetricsEnabled) or `trace` is given, wraps
+/// the stream in an InstrumentedIterator that records the per-Next
+/// delay histogram / frontier counters and feeds the trace's TTL
+/// milestones; the wrapper also takes shared ownership of `trace`, so
+/// it stays readable after the stream is destroyed. Does NOT add a
+/// trace phase -- the caller times its own artifact-lookup-or-build +
+/// stream step as "compile+preprocess".
+std::unique_ptr<RankedIterator> NewEnumeration(
+    const PreprocessingArtifact& artifact, const QueryPlan& plan,
+    std::shared_ptr<QueryTrace> trace = nullptr);
+
+/// One-shot convenience: BuildArtifact + NewEnumeration, with the
+/// combined time recorded as the trace's "compile+preprocess" phase.
+/// Single-use paths (bare Engine::Execute, tests) compile through here;
+/// the serving layer splits the two halves around its artifact cache.
 StatusOr<std::unique_ptr<RankedIterator>> CompilePlan(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
     JoinStats* stats = nullptr, std::shared_ptr<QueryTrace> trace = nullptr);

@@ -40,6 +40,8 @@ std::string QueryTrace::ToJson() const {
   AppendEscaped(out, strategy);
   out += ",\"plan_cache_hit\":";
   out += plan_cache_hit ? "true" : "false";
+  out += ",\"artifact_cache_hit\":";
+  out += artifact_cache_hit ? "true" : "false";
   out += ",\"phases\":{";
   bool first = true;
   for (const auto& phase : phases) {
@@ -74,6 +76,7 @@ std::string QueryTrace::DebugString() const {
   char buf[128];
   out += "QueryTrace{strategy=" + strategy;
   out += plan_cache_hit ? ", plan_cache_hit" : "";
+  out += artifact_cache_hit ? ", artifact_cache_hit" : "";
   out += "}\n";
   for (const auto& phase : phases) {
     std::snprintf(buf, sizeof(buf), "  phase %-20s %10.1f us\n",

@@ -43,6 +43,9 @@ struct QueryTrace {
   std::vector<Phase> phases;
   /// Whether the plan came from the serving plan cache.
   bool plan_cache_hit = false;
+  /// Whether the compiled preprocessing artifact came from the serving
+  /// artifact cache (warm OpenCursor: zero T-DP/bag work).
+  bool artifact_cache_hit = false;
   /// Human-readable strategy/algorithm from the chosen QueryPlan.
   std::string strategy;
 

@@ -1,0 +1,74 @@
+#include "src/serving/artifact_cache.h"
+
+#include <utility>
+
+#include "src/anyk/artifact.h"
+
+namespace topkjoin {
+
+std::shared_ptr<const PreprocessingArtifact> ArtifactCache::Lookup(
+    const PlanCache::Fingerprint& key, uint64_t db_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->db_version != db_version) {
+    // The database changed since this artifact was built: its
+    // materialized bags / T-DP structure reflect the old contents.
+    // Dropping our reference here cannot destroy an artifact that
+    // in-flight streams still share.
+    EraseLocked(it->second);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return it->second->artifact;
+}
+
+void ArtifactCache::Insert(
+    const PlanCache::Fingerprint& key, uint64_t db_version,
+    std::shared_ptr<const PreprocessingArtifact> artifact) {
+  if (capacity_ == 0 || artifact == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->db_version = db_version;
+    it->second->artifact = std::move(artifact);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, db_version, std::move(artifact)});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+size_t ArtifactCache::InvalidateDatabase(const Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const auto next = std::next(it);
+    if (it->key.db == db) {
+      EraseLocked(it);
+      ++stats_.invalidations;
+      ++dropped;
+    }
+    it = next;
+  }
+  return dropped;
+}
+
+PlanCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace topkjoin

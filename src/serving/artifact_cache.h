@@ -1,0 +1,96 @@
+// Cross-request cache of compiled PreprocessingArtifacts: the second
+// half of what makes a warm OpenCursor O(1).
+//
+// The plan cache (plan_cache.h) memoizes the *decision* -- which
+// strategy/algorithm/grouping to run. This cache memoizes the *work*:
+// the full reducer, bag materialization, and T-DP build that
+// BuildArtifact performs. Both are keyed by the same fingerprint
+// (db identity, query shape, ranking, options) plus the database
+// version, so any Database::Add or mutable_relation access invalidates
+// stale artifacts exactly like stale plans.
+//
+// Values are shared_ptr<const PreprocessingArtifact>: an artifact is
+// immutable after construction, so a lookup hands out shared ownership
+// and every in-flight cursor keeps its artifact alive even after the
+// cache evicts or invalidates the entry. Eviction only drops the
+// cache's own reference.
+#ifndef TOPKJOIN_SERVING_ARTIFACT_CACHE_H_
+#define TOPKJOIN_SERVING_ARTIFACT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/serving/plan_cache.h"
+
+namespace topkjoin {
+
+class PreprocessingArtifact;
+
+/// Thread-safe LRU cache of shared preprocessing artifacts, keyed by
+/// the plan-cache fingerprint. Same locking/eviction discipline as
+/// PlanCache; stats reuse PlanCacheStats.
+class ArtifactCache {
+ public:
+  /// `capacity` = max entries before LRU eviction; 0 disables caching
+  /// (Lookup always misses, Insert is a no-op).
+  explicit ArtifactCache(size_t capacity) : capacity_(capacity) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Returns the cached artifact for `key` built against `db_version`,
+  /// or nullptr on a miss. An entry cached against an older version is
+  /// dropped (counted as an invalidation) and reported as a miss.
+  std::shared_ptr<const PreprocessingArtifact> Lookup(
+      const PlanCache::Fingerprint& key, uint64_t db_version);
+
+  /// Caches `artifact` for `key` at `db_version`, replacing any older
+  /// entry and evicting the least-recently-used entry beyond capacity.
+  void Insert(const PlanCache::Fingerprint& key, uint64_t db_version,
+              std::shared_ptr<const PreprocessingArtifact> artifact);
+
+  /// Drops every artifact cached against `db` (by identity), regardless
+  /// of version. Call before destroying a Database so a future
+  /// allocation reusing its address cannot collide. Returns the number
+  /// of entries dropped. In-flight streams keep their artifacts alive
+  /// through their own shared_ptr references.
+  size_t InvalidateDatabase(const Database* db);
+
+  PlanCacheStats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    PlanCache::Fingerprint key;
+    uint64_t db_version = 0;
+    std::shared_ptr<const PreprocessingArtifact> artifact;
+  };
+  using LruList = std::list<Entry>;
+
+  struct FingerprintHash {
+    size_t operator()(const PlanCache::Fingerprint& fp) const {
+      return static_cast<size_t>(fp.hash);
+    }
+  };
+
+  void EraseLocked(LruList::iterator it) {
+    index_.erase(it->key);
+    lru_.erase(it);
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PlanCache::Fingerprint, LruList::iterator,
+                     FingerprintHash>
+      index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_SERVING_ARTIFACT_CACHE_H_

@@ -16,10 +16,11 @@
 //
 // Thread-safety: every public method may be called from any thread at
 // any time. Plan + compile (OpenCursor) runs without holding any cursor
-// lock -- PlanQuery/CompilePlan are stateless and the plan cache has
-// its own short-held mutex -- and enumeration holds only the one stripe
-// mutex. The caller must not mutate a Database while cursors over it are
-// open (same contract as Engine).
+// lock -- PlanQuery/BuildArtifact are stateless and the plan/artifact
+// caches have their own short-held mutexes -- and enumeration holds
+// only the cursor's own mutex (the stripe lock covers just the
+// lookup). The caller must not mutate a Database while cursors over it
+// are open (same contract as Engine).
 #ifndef TOPKJOIN_SERVING_SERVING_ENGINE_H_
 #define TOPKJOIN_SERVING_SERVING_ENGINE_H_
 
@@ -36,6 +37,7 @@
 #include "src/engine/engine.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/serving/artifact_cache.h"
 #include "src/serving/plan_cache.h"
 #include "src/serving/session.h"
 #include "src/serving/sharded_cursor_table.h"
@@ -57,6 +59,12 @@ struct ServingOptions {
   /// queries skip PlanQuery -- relation sampling, the AGM LP, and the
   /// grouping search -- on repeat OpenCursor. 0 disables caching.
   size_t plan_cache_capacity = 256;
+  /// Entries of the cross-request preprocessing-artifact cache
+  /// (artifact_cache.h); hot queries skip the full reducer, bag
+  /// materialization, and T-DP build, so a warm OpenCursor only mints a
+  /// per-cursor enumeration state -- O(1) in the data. 0 disables
+  /// caching (every OpenCursor rebuilds).
+  size_t artifact_cache_capacity = 64;
 };
 
 /// The outcome of one Fetch slice. `results` is in rank order and
@@ -104,12 +112,15 @@ class ServingEngine {
   /// stripe. As with Engine::OpenCursor, opts.k becomes the per-cursor
   /// result budget when none is given.
   ///
-  /// Repeat requests hit the cross-request plan cache: a cached plan
-  /// keyed by (db identity + version, query fingerprint, ranking, opts)
-  /// skips PlanQuery entirely and goes straight to pipeline
-  /// compilation. Any Database::Add or mutable_relation access bumps
-  /// the version and invalidates every plan cached against the old
-  /// contents.
+  /// Repeat requests hit two cross-request caches keyed by (db identity
+  /// + version, query fingerprint, ranking, opts): the plan cache skips
+  /// PlanQuery, and the artifact cache skips compilation entirely --
+  /// the full reducer, bag materialization, and T-DP build are shared
+  /// as an immutable PreprocessingArtifact, so a warm OpenCursor only
+  /// mints a per-cursor enumeration state. Any Database::Add or
+  /// mutable_relation access bumps the version and invalidates every
+  /// plan and artifact cached against the old contents; in-flight
+  /// cursors keep their artifact alive through shared ownership.
   StatusOr<CursorId> OpenCursor(SessionId session, const Database& db,
                                 const ConjunctiveQuery& query,
                                 const RankingSpec& ranking = {},
@@ -127,7 +138,7 @@ class ServingEngine {
   size_t EvictIdleCursors(std::chrono::steady_clock::duration max_idle);
 
   /// Synchronous slice: reserves session budget, pulls up to
-  /// `max_results` under the cursor's stripe lock, settles the unused
+  /// `max_results` under the cursor's own mutex, settles the unused
   /// reservation. Thread-safe; slices of one cursor never overlap.
   StatusOr<FetchOutcome> Fetch(CursorId id, size_t max_results);
 
@@ -165,24 +176,35 @@ class ServingEngine {
 
   /// Copies the QueryTrace of a cursor opened with
   /// ExecutionOptions::collect_trace (error otherwise). Taken under the
-  /// cursor's stripe lock, so it is a consistent mid-enumeration view;
+  /// cursor's own mutex, so it is a consistent mid-enumeration view;
   /// totals are refreshed on milestones/flushes and finalized when the
   /// cursor closes.
   StatusOr<QueryTrace> GetQueryTrace(CursorId id);
 
   /// Plan-cache monitoring: hits/misses/invalidations/evictions.
   PlanCacheStats GetPlanCacheStats() const { return plan_cache_.stats(); }
+  /// Artifact-cache monitoring (same stats shape as the plan cache).
+  PlanCacheStats GetArtifactCacheStats() const {
+    return artifact_cache_.stats();
+  }
   /// How many times OpenCursor actually ran PlanQuery (i.e., missed the
   /// plan cache). hits + NumPlansComputed() == successful plan lookups.
   uint64_t NumPlansComputed() const {
     return plans_computed_.load(std::memory_order_relaxed);
   }
+  /// How many times OpenCursor actually ran preprocessing (i.e., missed
+  /// the artifact cache). N warm opens of the same query leave this at
+  /// 1. Works in metrics-off builds.
+  uint64_t NumArtifactsBuilt() const {
+    return artifacts_built_.load(std::memory_order_relaxed);
+  }
 
-  /// Drops every cached plan and the sampled statistics for `db`. Data
-  /// *changes* already invalidate through the version key; call this
-  /// before destroying a Database this engine has served, so a future
-  /// allocation reusing its address can never collide with leftover
-  /// entries.
+  /// Drops every cached plan, cached preprocessing artifact, and the
+  /// sampled statistics for `db`. Data *changes* already invalidate
+  /// through the version key; call this before destroying a Database
+  /// this engine has served, so a future allocation reusing its address
+  /// can never collide with leftover entries. Cursors already open keep
+  /// their artifact alive through their own shared references.
   void InvalidateCachedPlans(const Database& db);
 
   /// Test hook: drives the idle-eviction clock deterministically (see
@@ -208,7 +230,9 @@ class ServingEngine {
 
   ShardedCursorTable cursors_;
   PlanCache plan_cache_;
+  ArtifactCache artifact_cache_;
   std::atomic<uint64_t> plans_computed_{0};
+  std::atomic<uint64_t> artifacts_built_{0};
 
   /// Sampled statistics per (db, version), built once and shared across
   /// plan-cache misses (PlanQuery's own contract: "pass a prebuilt

@@ -26,36 +26,48 @@ void ShardedCursorTable::SetTimeSourceForTesting(TimeSource source) {
 
 CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
                                     std::shared_ptr<Session> session) {
+  TOPKJOIN_CHECK(cursor != nullptr);
   TOPKJOIN_CHECK(session != nullptr);
   const CursorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Stripe& stripe = stripe_for(id);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.table.InsertWithId(id, std::move(cursor));
-  stripe.owner.emplace(
-      id, Entry{std::move(session),
+  stripe.entries.emplace(
+      id, Entry{std::shared_ptr<Cursor>(std::move(cursor)),
+                std::make_shared<std::mutex>(), std::move(session),
                 time_source_.load(std::memory_order_relaxed)()});
   return id;
 }
 
 bool ShardedCursorTable::WithCursor(
     CursorId id, const std::function<void(Cursor&, Session&)>& fn) {
-  Stripe& stripe = stripe_for(id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  Cursor* cursor = stripe.table.Find(id);
-  if (cursor == nullptr) return false;
-  Entry& entry = stripe.owner.at(id);
-  entry.last_used = time_source_.load(std::memory_order_relaxed)();
-  fn(*cursor, *entry.session);
+  std::shared_ptr<Cursor> cursor;
+  std::shared_ptr<std::mutex> mu;
+  std::shared_ptr<Session> session;
+  {
+    Stripe& stripe = stripe_for(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.entries.find(id);
+    if (it == stripe.entries.end()) return false;
+    it->second.last_used = time_source_.load(std::memory_order_relaxed)();
+    cursor = it->second.cursor;
+    mu = it->second.mu;
+    session = it->second.session;
+  }
+  // The slice runs outside the stripe lock: stripe siblings fetch in
+  // parallel, and table sweeps never wait for a long slice. The copied
+  // shared_ptrs keep the cursor alive across a concurrent unlink.
+  std::lock_guard<std::mutex> cursor_lock(*mu);
+  fn(*cursor, *session);
   return true;
 }
 
 std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
   Stripe& stripe = stripe_for(id);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  if (!stripe.table.Erase(id)) return nullptr;
-  const auto it = stripe.owner.find(id);
+  const auto it = stripe.entries.find(id);
+  if (it == stripe.entries.end()) return nullptr;
   std::shared_ptr<Session> session = std::move(it->second.session);
-  stripe.owner.erase(it);
+  stripe.entries.erase(it);
   return session;
 }
 
@@ -63,10 +75,9 @@ size_t ShardedCursorTable::EraseOwnedBy(const Session* session) {
   size_t erased = 0;
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    for (auto it = stripe.owner.begin(); it != stripe.owner.end();) {
+    for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
       if (it->second.session.get() == session) {
-        stripe.table.Erase(it->first);
-        it = stripe.owner.erase(it);
+        it = stripe.entries.erase(it);
         ++erased;
       } else {
         ++it;
@@ -80,16 +91,16 @@ std::vector<std::shared_ptr<Session>> ShardedCursorTable::EvictIdle(
     std::chrono::steady_clock::duration max_idle) {
   // One cutoff for the whole sweep; stripes are swept under their own
   // locks, so a concurrent WithCursor that lands after the cutoff
-  // refreshes last_used and survives.
+  // refreshes last_used and survives. A cursor unlinked mid-slice keeps
+  // running on the slice's shared reference.
   const auto cutoff = time_source_.load(std::memory_order_relaxed)() - max_idle;
   std::vector<std::shared_ptr<Session>> evicted;
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    for (auto it = stripe.owner.begin(); it != stripe.owner.end();) {
+    for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
       if (it->second.last_used < cutoff) {
-        stripe.table.Erase(it->first);
         evicted.push_back(std::move(it->second.session));
-        it = stripe.owner.erase(it);
+        it = stripe.entries.erase(it);
       } else {
         ++it;
       }
@@ -102,8 +113,7 @@ std::vector<CursorId> ShardedCursorTable::Ids() const {
   std::vector<CursorId> ids;
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    const std::vector<CursorId> stripe_ids = stripe.table.Ids();
-    ids.insert(ids.end(), stripe_ids.begin(), stripe_ids.end());
+    for (const auto& [id, entry] : stripe.entries) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
   return ids;
@@ -113,7 +123,7 @@ size_t ShardedCursorTable::NumCursors() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    total += stripe.table.NumCursors();
+    total += stripe.entries.size();
   }
   return total;
 }

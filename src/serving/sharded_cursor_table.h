@@ -3,12 +3,13 @@
 //
 // Cursors are spread over a fixed number of lock stripes keyed by
 // CursorId (ids are allocated round-robin from one atomic counter, so
-// the stripes stay balanced). Every operation on a cursor -- including
-// the whole Fetch slice run through WithCursor -- happens under its
-// stripe's mutex, which delivers exactly the per-cursor serialization
-// cursor.h demands while letting cursors on different stripes proceed in
-// parallel. Each stripe embeds a plain CursorTable, so the
-// single-threaded and concurrent paths share one storage implementation.
+// the stripes stay balanced). The stripe mutex covers only table
+// bookkeeping -- lookup, insert, erase, the idle sweep; the work done
+// on a cursor (the whole Fetch slice run through WithCursor) is
+// serialized by a per-cursor mutex instead. Two cursors that hash to
+// the same stripe therefore fetch fully in parallel: a long slice
+// (e.g. Fetch(id, SIZE_MAX) draining a huge stream) never
+// head-of-line-blocks its stripe siblings or a whole-table sweep.
 #ifndef TOPKJOIN_SERVING_SHARDED_CURSOR_TABLE_H_
 #define TOPKJOIN_SERVING_SHARDED_CURSOR_TABLE_H_
 
@@ -27,14 +28,16 @@ namespace topkjoin {
 
 /// Thread-safe cursor storage. Every cursor is owned by (charged to) a
 /// Session; the session pointer rides along in the stripe so a Fetch
-/// needs only one lock acquisition.
+/// needs only one stripe-lock acquisition for the lookup.
 ///
-/// Trade-off: holding the stripe mutex for a whole WithCursor body means
-/// a long slice (e.g. Fetch(id, SIZE_MAX) draining a huge stream)
-/// head-of-line-blocks the other cursors hashed to that stripe and any
-/// whole-table sweep. Serving schedulers should prefer bounded slices
-/// (as DrainAll does); promoting entries to per-cursor mutexes so the
-/// stripe lock covers only the lookup is a noted ROADMAP follow-up.
+/// Lifetime: entries hold the cursor, its mutex, and its session as
+/// shared_ptrs. WithCursor copies those references under the stripe
+/// lock, releases it, then runs `fn` under the per-cursor mutex -- so
+/// Erase/EraseOwnedBy/EvictIdle can remove the entry concurrently
+/// without blocking on an in-flight slice; the cursor is destroyed when
+/// the slice's reference (the last one) drops. A caller whose cursor is
+/// erased mid-slice finishes the slice normally; the next lookup of
+/// that id reports "closed".
 class ShardedCursorTable {
  public:
   explicit ShardedCursorTable(size_t num_stripes);
@@ -43,24 +46,30 @@ class ShardedCursorTable {
   CursorId Insert(std::unique_ptr<Cursor> cursor,
                   std::shared_ptr<Session> session);
 
-  /// Runs `fn(cursor, session)` under the cursor's stripe lock; returns
-  /// false when the id is closed/unknown. `fn` must not call back into
-  /// the table (the stripe mutex is not recursive).
+  /// Runs `fn(cursor, session)` under the cursor's own mutex (the
+  /// stripe lock is held only for the lookup); returns false when the
+  /// id is closed/unknown. `fn` may call back into the table for
+  /// *other* cursors, but not for `id` itself (the cursor mutex is not
+  /// recursive).
   bool WithCursor(CursorId id,
                   const std::function<void(Cursor&, Session&)>& fn);
 
-  /// Destroys the cursor; returns its session so the caller can update
-  /// bookkeeping, or nullptr when the id is closed/unknown.
+  /// Unlinks the cursor (destroyed when the last in-flight reference
+  /// drops); returns its session so the caller can update bookkeeping,
+  /// or nullptr when the id is closed/unknown. Does not wait for an
+  /// in-flight WithCursor on the same id.
   std::shared_ptr<Session> Erase(CursorId id);
 
-  /// Destroys every cursor owned by `session`; returns how many.
+  /// Unlinks every cursor owned by `session`; returns how many.
   size_t EraseOwnedBy(const Session* session);
 
-  /// Destroys every cursor not touched (Insert or WithCursor) within
+  /// Unlinks every cursor not touched (Insert or WithCursor) within
   /// the last `max_idle`: the leak backstop for clients that never
   /// CloseSession/CloseCursor (ROADMAP "cursor eviction by idle time").
   /// Returns the evicted cursors' owning sessions so the caller can
   /// settle per-session bookkeeping (one entry per evicted cursor).
+  /// Never blocks on in-flight slices; a cursor mid-Fetch completes its
+  /// slice on the caller's still-shared reference.
   std::vector<std::shared_ptr<Session>> EvictIdle(
       std::chrono::steady_clock::duration max_idle);
 
@@ -77,18 +86,20 @@ class ShardedCursorTable {
   void SetTimeSourceForTesting(TimeSource source);
 
  private:
-  /// Per-cursor bookkeeping riding alongside the stripe's CursorTable:
-  /// the owning session and the last time the cursor was inserted or
+  /// One live cursor: the cursor itself, the mutex serializing its
+  /// slices, the owning session, and the last time it was inserted or
   /// handed to a WithCursor body (the idle clock EvictIdle sweeps by).
+  /// All shared_ptrs so an unlink never races an in-flight slice.
   struct Entry {
+    std::shared_ptr<Cursor> cursor;
+    std::shared_ptr<std::mutex> mu;
     std::shared_ptr<Session> session;
     std::chrono::steady_clock::time_point last_used;
   };
 
   struct Stripe {
     mutable std::mutex mu;
-    CursorTable table;
-    std::map<CursorId, Entry> owner;
+    std::map<CursorId, Entry> entries;
   };
 
   Stripe& stripe_for(CursorId id) { return stripes_[id % stripes_.size()]; }

@@ -229,9 +229,7 @@ TEST(Take2Test, AtMostTwoPushesPerResultAndNeverMoreThanLegacy) {
 
 // Peak candidate memory in the top-k regime (k << output -- the regime
 // ranked enumeration exists for): the pooled nodes are a fraction of
-// the legacy fat candidates. (On a FULL drain the comparison can flip:
-// the pool retains every candidate ever pushed as prefix anchors, while
-// legacy frees popped candidates -- both are Theta(pushes) worst case.)
+// the legacy fat candidates.
 TEST(Take2Test, TopKPeakCandidateMemoryBeatsLegacy) {
   // The bench_e13 path workload shape at a k large enough that the
   // asymptotic footprints dominate fixed overheads (radix buckets,
@@ -250,6 +248,44 @@ TEST(Take2Test, TopKPeakCandidateMemoryBeatsLegacy) {
     ASSERT_TRUE(legacy.Next().has_value());
   }
   EXPECT_LT(take2.peak_candidate_bytes(), legacy.peak_candidate_bytes());
+}
+
+// The full-drain regression the refcounted node recycling fixes: the
+// pool used to retain every node ever pushed as a prefix anchor, so a
+// full drain grew the pool to Theta(total pushes) even though most
+// chains were dead (their deviation lists exhausted, no frontier entry
+// pointing at any suffix). With per-node refcounts the dead chains are
+// freed back to an intrusive freelist and recycled, so the pool's
+// total slot count stays a small fraction of the result count -- and
+// the peak footprint no longer flips above legacy's on a full drain.
+TEST(Take2Test, FullDrainRecyclesDeadCandidateChains) {
+  TestInstance t = MakePathInstance(4, 40, 3, 2);
+
+  Tdp<SumCost> tdp_take2(t.db, t.query, SortMode::kLazy, nullptr);
+  AnyKPart<SumCost, PartStrategy::kTake2> take2(&tdp_take2);
+  size_t results = 0;
+  while (take2.Next().has_value()) ++results;
+  ASSERT_GT(results, 1000u);  // a real drain, not a toy
+
+  Tdp<SumCost> tdp_legacy(t.db, t.query, SortMode::kLazy, nullptr);
+  LegacyAnyKPart<SumCost> legacy(&tdp_legacy);
+  size_t legacy_results = 0;
+  while (legacy.Next().has_value()) ++legacy_results;
+  ASSERT_EQ(results, legacy_results);
+
+  // Without recycling the pool holds one node per push -- about one per
+  // result on this drain; with it, live slots track the frontier + live
+  // prefix chains only (empirically under 10% of the result count; the
+  // /2 bound leaves headroom for workload shifts).
+  EXPECT_LT(take2.pool_nodes(), results / 2)
+      << "pool grew with the drain: dead chains are not being recycled";
+  // And the WHOLE peak footprint (pool + costs + refcounts + deviation
+  // slab + frontier) now stays below what the unrecycled design paid
+  // for its node slab alone: 24 bytes per push (12-byte Node + 8-byte
+  // cost + 4-byte refcount, one slot per push, never freed).
+  EXPECT_LT(take2.peak_candidate_bytes(),
+            static_cast<size_t>(take2.pq_pushes()) * 24)
+      << "full-drain footprint regressed to unrecycled-pool scale";
 }
 
 // FP-regression pin for the monotone radix frontier: with tuple

@@ -153,11 +153,12 @@ TEST(TdpTest, GroupTupleRanksAreMonotoneLazyAndEager) {
   for (SortMode mode :
        {SortMode::kEager, SortMode::kLazy, SortMode::kQuickselect}) {
     Tdp<SumCost> tdp(t.db, t.query, mode, nullptr);
+    TdpCursor<SumCost> cur(&tdp);
     for (size_t n = 0; n < tdp.NumNodes(); ++n) {
       for (GroupId g = 0; g < tdp.node(n).groups.size(); ++g) {
         double prev = -1e300;
         RowId row = 0;
-        for (size_t rank = 0; tdp.GroupTuple(n, g, rank, &row); ++rank) {
+        for (size_t rank = 0; cur.GroupTuple(n, g, rank, &row); ++rank) {
           const double b = tdp.node(n).best[row];
           EXPECT_GE(b, prev - 1e-12);
           prev = b;

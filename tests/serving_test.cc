@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <thread>
@@ -1273,6 +1274,271 @@ TEST(ServingObservabilityTest, BudgetDebtGaugeSettlesOnClose) {
     ASSERT_TRUE(serving.CloseSession(session).ok());
   }
   EXPECT_EQ(debt->value(), baseline);
+}
+
+// ------------------------------------------- shared artifact cache pins
+
+// The tentpole acceptance pin: a warm OpenCursor performs ZERO
+// preprocessing -- counter-verified. N opens of the same query build
+// the T-DP/bag artifact exactly once; every cursor still enumerates an
+// independent, exact stream from rank 0.
+TEST(ServingEngineTest, WarmOpenCursorSharesOnePreprocessingArtifact) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  const auto want = OracleSortedCosts(t);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  constexpr size_t kOpens = 8;
+  std::vector<CursorId> ids;
+  for (size_t i = 0; i < kOpens; ++i) {
+    auto id = serving.OpenCursor(session, t.db, t.query);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);  // one build, N cursors
+  EXPECT_EQ(serving.GetArtifactCacheStats().misses, 1u);
+  EXPECT_EQ(serving.GetArtifactCacheStats().hits, kOpens - 1);
+
+  // Every cursor drains the identical exact stream independently --
+  // interleaved pulls, so per-cursor state provably does not leak
+  // between streams sharing one artifact.
+  std::vector<std::vector<double>> got(kOpens);
+  for (size_t rank = 0; rank < want.size(); ++rank) {
+    for (size_t i = 0; i < kOpens; ++i) {
+      auto out = serving.Fetch(ids[i], 1);
+      ASSERT_TRUE(out.ok());
+      ASSERT_EQ(out.value().results.size(), 1u);
+      got[i].push_back(out.value().results[0].cost);
+    }
+  }
+  for (size_t i = 0; i < kOpens; ++i) {
+    ExpectSameCosts(got[i], want, "shared-artifact stream");
+  }
+}
+
+// The warm-open trace says the artifact came from the cache, and both
+// paths still report exactly one compile+preprocess phase.
+TEST(ServingEngineTest, TraceReportsArtifactCacheHit) {
+  Instance t = MakePathInstance(2, 25, 4, 5);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+  ExecutionOptions opts;
+  opts.collect_trace = true;
+
+  auto cold = serving.OpenCursor(session, t.db, t.query, {}, opts);
+  ASSERT_TRUE(cold.ok());
+  auto cold_trace = serving.GetQueryTrace(cold.value());
+  ASSERT_TRUE(cold_trace.ok());
+  EXPECT_FALSE(cold_trace.value().artifact_cache_hit);
+
+  auto warm = serving.OpenCursor(session, t.db, t.query, {}, opts);
+  ASSERT_TRUE(warm.ok());
+  auto warm_trace = serving.GetQueryTrace(warm.value());
+  ASSERT_TRUE(warm_trace.ok());
+  EXPECT_TRUE(warm_trace.value().artifact_cache_hit);
+  EXPECT_TRUE(warm_trace.value().plan_cache_hit);
+  size_t compile_phases = 0;
+  for (const auto& phase : warm_trace.value().phases) {
+    if (phase.name == "compile+preprocess") ++compile_phases;
+  }
+  EXPECT_EQ(compile_phases, 1u);
+}
+
+// A data change invalidates the cached artifact through the version
+// key: the next open rebuilds against the new contents and serves the
+// post-mutation oracle exactly.
+TEST(ServingEngineTest, ArtifactCacheInvalidatesOnDataChange) {
+  Instance t = MakePathInstance(2, 25, 4, 9);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  auto first = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(serving.Fetch(first.value(), SIZE_MAX).ok());
+  ASSERT_TRUE(serving.CloseCursor(first.value()).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);
+
+  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({0, 0}, 0.5);
+  const auto want = OracleSortedCosts(t);  // fresh oracle, post-mutation
+
+  auto second = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);  // rebuilt
+  EXPECT_EQ(serving.GetArtifactCacheStats().invalidations, 1u);
+  auto outcome = serving.Fetch(second.value(), SIZE_MAX);
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> got;
+  for (const RankedResult& r : outcome.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, want, "post-invalidation artifact stream");
+
+  // Warm again at the new version; the explicit teardown drop clears
+  // the artifact entries too.
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);
+  serving.InvalidateCachedPlans(t.db);
+  EXPECT_EQ(serving.GetArtifactCacheStats().entries, 0u);
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 3u);
+}
+
+// An in-flight cursor survives the version bump that invalidates its
+// artifact from the cache: shared ownership keeps the immutable
+// artifact alive until the last stream over it closes, while new opens
+// rebuild against the new data.
+TEST(ServingEngineTest, InFlightCursorSurvivesArtifactInvalidation) {
+  Instance t = MakePathInstance(2, 25, 4, 11);
+  const auto want_old = OracleSortedCosts(t);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  auto old_cursor = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(old_cursor.ok());
+  auto head = serving.Fetch(old_cursor.value(), 3);
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ(head.value().results.size(), 3u);
+
+  // Append to a relation the query reads. The artifact copied
+  // everything it needs at build time (reduced relations, bags), so
+  // the old cursor's stream stays exact over the OLD contents even
+  // though the cache entry is now stale.
+  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({9, 9}, 0.25);
+  auto fresh = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);  // rebuilt for new version
+
+  auto rest = serving.Fetch(old_cursor.value(), SIZE_MAX);
+  ASSERT_TRUE(rest.ok());
+  std::vector<double> got;
+  for (const RankedResult& r : head.value().results) got.push_back(r.cost);
+  for (const RankedResult& r : rest.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, want_old, "pre-mutation stream across invalidation");
+}
+
+TEST(ServingEngineTest, ArtifactCacheCapacityZeroDisablesSharing) {
+  Instance t = MakePathInstance(2, 20, 4, 3);
+  ServingOptions options;
+  options.artifact_cache_capacity = 0;
+  ServingEngine serving(options);
+  const SessionId session = serving.OpenSession();
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);
+  EXPECT_EQ(serving.GetArtifactCacheStats().hits, 0u);
+}
+
+// --------------------------------------- per-cursor locking (races)
+
+// Two cursors hashed to the SAME stripe fetch concurrently: the stripe
+// lock covers only the lookup, so a slice blocked mid-body must not
+// head-of-line-block its stripe sibling -- under the old
+// stripe-scoped locking this test deadlocks. Also pins that unlinking
+// a cursor mid-slice is safe: the slice finishes on its own shared
+// reference.
+TEST(ShardedCursorTableTest, SameStripeCursorsFetchConcurrently) {
+  Instance t = MakePathInstance(2, 20, 4, 1);
+  Engine engine;
+  ShardedCursorTable table(/*num_stripes=*/1);  // everyone collides
+  auto session = std::make_shared<Session>(SessionBudget{});
+
+  std::vector<CursorId> ids;
+  for (int i = 0; i < 2; ++i) {
+    auto result = engine.Execute(t.db, t.query);
+    ASSERT_TRUE(result.ok());
+    ids.push_back(table.Insert(
+        std::make_unique<Cursor>(std::move(result.value().stream),
+                                 CursorOptions{}),
+        session));
+  }
+
+  std::promise<void> entered_a;
+  std::promise<void> release_a;
+  std::shared_future<void> release_a_future = release_a.get_future().share();
+  std::thread blocked([&] {
+    const bool found = table.WithCursor(ids[0], [&](Cursor& c, Session&) {
+      entered_a.set_value();
+      release_a_future.wait();  // hold the cursor mutex, not the stripe's
+      EXPECT_TRUE(c.Next().has_value());
+    });
+    EXPECT_TRUE(found);
+  });
+  entered_a.get_future().wait();
+
+  // While A's slice is parked, its stripe sibling completes a slice...
+  bool pulled_b = false;
+  EXPECT_TRUE(table.WithCursor(ids[1], [&](Cursor& c, Session&) {
+    pulled_b = c.Next().has_value();
+  }));
+  EXPECT_TRUE(pulled_b);
+  // ...whole-table sweeps proceed...
+  EXPECT_EQ(table.NumCursors(), 2u);
+  EXPECT_EQ(table.Ids().size(), 2u);
+  // ...and A can even be unlinked mid-slice without blocking.
+  EXPECT_EQ(table.Erase(ids[0]).get(), session.get());
+  EXPECT_EQ(table.NumCursors(), 1u);
+
+  release_a.set_value();
+  blocked.join();  // A's body completed against its shared reference
+  EXPECT_FALSE(table.WithCursor(ids[0], [](Cursor&, Session&) {}));
+  EXPECT_EQ(table.EraseOwnedBy(session.get()), 1u);
+}
+
+// Idle eviction racing in-flight Fetch slices on cursors that share
+// one artifact (the TSAN acceptance run): every Fetch either serves
+// exactly its next ranked slice or reports the cursor closed -- never
+// a torn read -- and GetQueryTrace on a just-evicted cursor returns a
+// clean error.
+TEST(ServingStressTest, EvictionRacesInFlightFetchOnSharedArtifact) {
+  Instance t = MakePathInstance(3, 30, 4, 5);
+  ServingEngine serving;
+  serving.SetIdleClockForTesting(&FakeNow);
+  FakeClockSeconds() = 1000;
+  const SessionId session = serving.OpenSession();
+  ExecutionOptions opts;
+  opts.collect_trace = true;
+
+  constexpr size_t kCursors = 6;
+  std::vector<CursorId> ids;
+  for (size_t i = 0; i < kCursors; ++i) {
+    auto id = serving.OpenCursor(session, t.db, t.query, {}, opts);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);  // all share one artifact
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fetchers;
+  for (size_t i = 0; i < kCursors; ++i) {
+    fetchers.emplace_back([&serving, &stop, id = ids[i]] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto out = serving.Fetch(id, 2);
+        if (!out.ok()) return;  // evicted: a clean "no cursor" error
+        if (out.value().cursor_state != CursorState::kActive) return;
+      }
+    });
+  }
+  // Sweep with an aggressive cutoff while slices are in flight; jump
+  // the fake clock so each sweep sees some cursors as stale. Slices
+  // racing the sweep refresh last_used and survive to the next round.
+  for (int round = 0; round < 50; ++round) {
+    FakeClockSeconds() += 10;
+    serving.EvictIdleCursors(std::chrono::seconds(5));
+    std::this_thread::yield();
+  }
+  FakeClockSeconds() += 100;
+  serving.EvictIdleCursors(std::chrono::seconds(5));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& f : fetchers) f.join();
+
+  // Everything evicted by the final sweep: the trace of an evicted
+  // cursor is gone with it -- a clean error, not a crash or a stale
+  // read.
+  EXPECT_EQ(serving.NumOpenCursors(), 0u);
+  for (const CursorId id : ids) {
+    const auto trace = serving.GetQueryTrace(id);
+    EXPECT_FALSE(trace.ok());
+    EXPECT_FALSE(serving.Fetch(id, 1).ok());
+  }
+  ASSERT_TRUE(serving.CloseSession(session).ok());
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regression guard over BENCH_e15.json (bench_e15_artifact_cache).
+
+Gates the artifact-cache claim: a warm OpenCursor must skip
+preprocessing entirely.
+
+  * cold/warm latency ratio >= 5x on the preprocessing-heavy path-4
+    workload (in practice it is orders of magnitude; 5x keeps the gate
+    robust on noisy CI runners).
+  * fan-out build pin: N simultaneously open cursors over one query
+    must have triggered exactly ONE preprocessing build.
+  * the fanned-out cursors must all have produced results and agreed
+    on the rank-0 cost (independent per-cursor enumeration state over
+    one shared artifact).
+
+Usage: check_bench_e15.py path/to/BENCH_e15.json
+"""
+import json
+import sys
+
+MIN_COLD_WARM_RATIO = 5.0
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_e15 regression: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_e15.py BENCH_e15.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    ratio = data.get("cold_warm_ratio")
+    if ratio is None:
+        fail("cold_warm_ratio missing from JSON")
+    if ratio < MIN_COLD_WARM_RATIO:
+        fail(
+            f"cold/warm OpenCursor ratio {ratio:.1f}x < "
+            f"{MIN_COLD_WARM_RATIO}x (cold={data.get('cold_open_ns')}ns "
+            f"warm={data.get('warm_open_ns')}ns): warm opens are paying "
+            f"for preprocessing again"
+        )
+
+    builds = data.get("fanout_artifact_builds")
+    cursors = data.get("fanout_cursors", 0)
+    if builds is None:
+        fail("fanout_artifact_builds missing from JSON")
+    if builds != 1:
+        fail(
+            f"{cursors} fanned-out cursors triggered {builds} preprocessing "
+            f"build(s) (want exactly 1 shared artifact)"
+        )
+
+    results = data.get("fanout_results", 0)
+    if results <= 0:
+        fail("fanned-out cursors produced no results")
+    if data.get("fanout_consistent") is not True:
+        fail("fanned-out cursors disagreed on the rank-0 cost")
+
+    print(
+        f"BENCH_e15 guard: cold/warm {ratio:.1f}x >= {MIN_COLD_WARM_RATIO}x, "
+        f"{cursors} cursors shared 1 build ({results} results), "
+        f"all checks passed"
+    )
+
+
+if __name__ == "__main__":
+    main()
