@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,26 @@ class PreprocessingArtifact
 
   /// Approximate resident bytes of the shared preprocessing state.
   virtual size_t ApproxBytes() const = 0;
+
+  /// Live updates: a NEW artifact equal to this one caught up to
+  /// `view` (a later snapshot of the same database) by consuming the
+  /// append records in `deltas`, sharing/patching state instead of
+  /// rebuilding. Returns nullptr when this artifact kind cannot patch
+  /// (batch output, union cases, bag decompositions) or the delta is
+  /// not a pure refold -- the caller then rebuilds from scratch. This
+  /// artifact itself is never mutated; streams already minted keep
+  /// enumerating the pre-delta snapshot.
+  virtual std::shared_ptr<const PreprocessingArtifact> TryPatch(
+      const Database& view, std::span<const AppendDelta> deltas) const {
+    (void)view;
+    (void)deltas;
+    return nullptr;
+  }
+
+  /// Refold counters of the patch that produced this artifact; nullptr
+  /// when it was built from scratch. Pins "refolded << total" in tests
+  /// and bench_e16 with metrics compiled out.
+  virtual const TdpPatchStats* patch_stats() const { return nullptr; }
 
   /// Human-readable tag (the algorithm name) for traces and debugging.
   const std::string& label() const { return label_; }
@@ -126,12 +147,48 @@ class TreeArtifact final : public PreprocessingArtifact {
     Finish(algorithm);
   }
 
+  /// Patch constructor (see TryPatch): a copy of `base` whose T-DP is
+  /// delta-refolded over `view`. Sets *ok=false -- leaving the object
+  /// unusable, caller must discard it -- when the refold is refused.
+  TreeArtifact(const TreeArtifact& base, const Database& view,
+               std::span<const AppendDelta> deltas, bool* ok)
+      : query_(base.query_), build_start_(FastClock::Now()) {
+    label_ = base.label_;
+    auto patched =
+        Tdp<CM>::Patched(base.tdp_, query_, view, deltas, &patch_stats_);
+    *ok = patched.has_value();
+    if (!*ok) return;
+    tdp_ = std::move(*patched);
+    patched_ = true;
+    if constexpr (kMetricsEnabled) {
+      auto& registry = MetricsRegistry::Global();
+      registry.GetHistogram("tdp.patch_ns")
+          ->RecordTicksAsNs(FastClock::Now() - build_start_);
+      registry.GetCounter("tdp.patches")->Increment();
+    }
+  }
+
   std::unique_ptr<RankedIterator> NewStream() const override {
     return std::make_unique<TreeEnumeration<CM, Algo>>(shared_from_this(),
                                                        &tdp_);
   }
 
   size_t ApproxBytes() const override { return tdp_.ApproxBytes(); }
+
+  std::shared_ptr<const PreprocessingArtifact> TryPatch(
+      const Database& view,
+      std::span<const AppendDelta> deltas) const override {
+    // Bag artifacts own a decomposition whose bag database the delta
+    // log does not describe; rebuild those.
+    if (dq_.has_value()) return nullptr;
+    bool ok = false;
+    auto patched = std::make_shared<TreeArtifact>(*this, view, deltas, &ok);
+    return ok ? patched : nullptr;
+  }
+
+  const TdpPatchStats* patch_stats() const override {
+    return patched_ ? &patch_stats_ : nullptr;
+  }
 
  private:
   void Finish(AnyKAlgorithm algorithm) {
@@ -150,11 +207,15 @@ class TreeArtifact final : public PreprocessingArtifact {
   }
 
   // Declaration order matters: dq_ (when present) backs query_, which
-  // backs tdp_; build_start_ before tdp_ times its construction.
+  // backs tdp_; build_start_ before tdp_ times its construction. The
+  // patch constructor relies on query_ being initialized before tdp_ is
+  // assigned (the patched Tdp points at this artifact's query copy).
   std::optional<DecomposedQuery> dq_;
   ConjunctiveQuery query_;
   FastClock::Ticks build_start_;
   Tdp<CM> tdp_;
+  TdpPatchStats patch_stats_;
+  bool patched_ = false;
 };
 
 /// Replays a batch artifact's pre-sorted results. WorkUnits stays 0:

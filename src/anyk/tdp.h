@@ -35,10 +35,14 @@
 #define TOPKJOIN_ANYK_TDP_H_
 
 #include <algorithm>
+#include <optional>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/data/database.h"
+#include "src/data/delta.h"
 #include "src/join/join_stats.h"
 #include "src/join/semijoin.h"
 #include "src/query/cq.h"
@@ -50,6 +54,15 @@ namespace topkjoin {
 
 /// Group index within a node.
 using GroupId = uint32_t;
+
+/// What a delta-scoped refold (Tdp::Patched) actually did -- the
+/// counters behind the "refolded groups << total groups" pin for live
+/// updates (available with metrics compiled out).
+struct TdpPatchStats {
+  size_t groups_total = 0;     // group lists across all nodes
+  size_t groups_refolded = 0;  // groups re-sorted / re-minimized
+  size_t rows_appended = 0;    // tuples appended across node relations
+};
 
 /// How group candidate lists are sorted.
 enum class SortMode {
@@ -175,7 +188,13 @@ class Tdp {
     std::vector<GroupId> child_groups;
     std::vector<Group> groups;
     std::vector<RowId> group_rows;    // row arena; grouped contiguously
-    GroupKeyIndex key_index;          // join-key -> group id
+    // Join-key -> group id. Behind a shared_ptr so copying a Tdp --
+    // the start of every delta-scoped refold (Patched) -- shares the
+    // slot table instead of duplicating it: the index is frozen once
+    // BuildGroups returns (appends only Find, never Intern), and it is
+    // the largest per-node structure after the row arenas.
+    std::shared_ptr<GroupKeyIndex> key_index =
+        std::make_shared<GroupKeyIndex>();
 
     GroupId child_group(RowId row, size_t ci) const {
       return child_groups[size_t{row} * children.size() + ci];
@@ -190,6 +209,41 @@ class Tdp {
   Tdp(const Database& db, const ConjunctiveQuery& query, SortMode sort_mode,
       JoinStats* stats,
       const std::vector<WeightMatrix>* atom_weights = nullptr);
+
+  /// An empty shell (no nodes, no query) so a patched Tdp can be
+  /// move-assigned into place; every query method is invalid until then.
+  Tdp() = default;
+
+  /// Delta-scoped refold: a copy of `base` caught up to `view` (the
+  /// snapshot whose relations are `base`'s plus the appended rows the
+  /// `deltas` describe) WITHOUT rebuilding -- appended tuples are
+  /// grouped and costed against the existing structure, best costs
+  /// propagate bottom-up along dirty child groups only, and only the
+  /// groups actually touched are re-sorted (eager) or re-minimized
+  /// (lazy/quickselect). `query` must be the copy the patched Tdp will
+  /// live next to (the new artifact's).
+  ///
+  /// Returns nullopt -- caller rebuilds from scratch -- when the delta
+  /// is not a pure refold:
+  ///   * `base` has bag tuple costs (WeightMatrix provenance is not
+  ///     maintained through the log) or no results (an empty root has
+  ///     no interned key to extend);
+  ///   * some appended tuple's parent-side join key or child-slot join
+  ///     key has no existing group. Inventing a group is not sound:
+  ///     a fresh full reduction could pair such a tuple with other
+  ///     appended tuples (or revive neither), so equivalence with a
+  ///     rebuild would be lost. Refusing keeps the accepted case
+  ///     exactly equal to a fresh rebuild (up to eager-sort tie order).
+  ///
+  /// On success the patch is semantically identical to rebuilding over
+  /// `view`: accepted tuples join fully within the existing key space
+  /// in every direction, so the full reducer would keep each of them
+  /// and could not revive any previously-dangling base tuple.
+  static std::optional<Tdp> Patched(const Tdp& base,
+                                    const ConjunctiveQuery& query,
+                                    const Database& view,
+                                    std::span<const AppendDelta> deltas,
+                                    TdpPatchStats* stats);
 
   /// False when the (reduced) query has no results at all.
   bool HasResults() const { return has_results_; }
@@ -260,7 +314,7 @@ class Tdp {
       total += node.child_groups.capacity() * sizeof(GroupId);
       total += node.group_rows.capacity() * sizeof(RowId);
       total += node.groups.capacity() * sizeof(Group);
-      total += node.key_index.ApproxBytes();
+      total += node.key_index->ApproxBytes();
     }
     return total;
   }
@@ -276,8 +330,12 @@ class Tdp {
   void ComputeBest();
   void OrganizeGroups(Node& n);
 
-  const ConjunctiveQuery* query_;
-  SortMode sort_mode_;
+  static bool CostsEqual(const CostT& a, const CostT& b) {
+    return !CM::Less(a, b) && !CM::Less(b, a);
+  }
+
+  const ConjunctiveQuery* query_ = nullptr;
+  SortMode sort_mode_ = SortMode::kEager;
   std::vector<Node> nodes_;
   bool has_results_ = false;
 };
@@ -578,11 +636,11 @@ void Tdp<CM>::BuildGroups() {
       }
     }
 
-    n.key_index.Reset(num, width);
+    n.key_index->Reset(num, width);
     group_of_row.resize(num);
     for (RowId r = 0; r < num; ++r) {
       for (size_t c = 0; c < width; ++c) key_buf[c] = n.rel.At(r, n.key_cols[c]);
-      const GroupId g = n.key_index.Intern(hashes[r], key_buf);
+      const GroupId g = n.key_index->Intern(hashes[r], key_buf);
       if (g == n.groups.size()) n.groups.emplace_back();
       n.groups[g].size += 1;
       group_of_row[r] = g;
@@ -654,7 +712,7 @@ void Tdp<CM>::ComputeBest() {
           key_buf[k] = n.rel.At(r, child_key_parent_cols[begin + k]);
           hash = HashMix(hash, static_cast<uint64_t>(key_buf[k]));
         }
-        const GroupId g = c.key_index.Find(hash, key_buf);
+        const GroupId g = c.key_index->Find(hash, key_buf);
         // Full reduction guarantees a matching child group.
         TOPKJOIN_CHECK(g != GroupKeyIndex::kNoGroup);
         n.child_groups[size_t{r} * num_children + ci] = g;
@@ -731,6 +789,235 @@ size_t Tdp<CM>::NumGroups() const {
   size_t total = 0;
   for (const Node& n : nodes_) total += n.groups.size();
   return total;
+}
+
+template <typename CM>
+std::optional<Tdp<CM>> Tdp<CM>::Patched(const Tdp& base,
+                                        const ConjunctiveQuery& query,
+                                        const Database& view,
+                                        std::span<const AppendDelta> deltas,
+                                        TdpPatchStats* stats) {
+  if (!base.has_results_) return std::nullopt;
+  for (const Node& n : base.nodes_) {
+    if (!n.tuple_costs.empty()) return std::nullopt;
+  }
+
+  // First appended row per touched relation. Append ranges of
+  // consecutive commits are contiguous, so the full appended range in
+  // `view` is [start, NumTuples).
+  std::unordered_map<RelationId, RowId> start;
+  for (const AppendDelta& d : deltas) {
+    auto [it, inserted] = start.try_emplace(d.relation, d.first_row);
+    if (!inserted) it->second = std::min(it->second, d.first_row);
+  }
+
+  Tdp out(base);  // chunk-sharing relation copies; arenas copied
+  out.query_ = &query;
+
+  TdpPatchStats local;
+  // Per node: groups whose GroupBest changed (read by the parent).
+  std::vector<std::vector<char>> changed(out.nodes_.size());
+
+  // Scratch reused across nodes.
+  std::vector<size_t> child_key_parent_cols;
+  std::vector<size_t> child_key_offset;
+  std::vector<Value> key_scratch;
+  std::vector<GroupId> row_child_groups;
+  std::vector<GroupId> group_of_row;
+  std::vector<char> touched;
+  std::vector<CostT> old_best;
+  std::vector<std::pair<GroupId, RowId>> appended;  // (group, node row)
+
+  // Reverse preorder, exactly like ComputeBest: children are fully
+  // patched (appends folded in, groups refolded) before their parent
+  // reads GroupBest.
+  for (size_t idx = out.nodes_.size(); idx-- > 0;) {
+    Node& n = out.nodes_[idx];
+    const size_t num_children = n.children.size();
+    const size_t base_rows = n.best.size();
+    const size_t num_groups = n.groups.size();
+    local.groups_total += num_groups;
+
+    // Pre-patch group bests (every group is non-empty: the instance is
+    // fully reduced and has results).
+    old_best.resize(num_groups);
+    for (GroupId g = 0; g < num_groups; ++g) {
+      old_best[g] = out.GroupBest(idx, g);
+    }
+    touched.assign(num_groups, 0);
+
+    // Hoist the child-key column mapping exactly as ComputeBest does.
+    child_key_parent_cols.clear();
+    child_key_offset.assign(num_children + 1, 0);
+    const auto& my_vars = query.atom(n.atom).vars;
+    for (size_t ci = 0; ci < num_children; ++ci) {
+      const Node& c = out.nodes_[n.children[ci]];
+      const auto& child_vars = query.atom(c.atom).vars;
+      for (const size_t kc : c.key_cols) {
+        const VarId v = child_vars[kc];
+        size_t col = 0;
+        while (col < my_vars.size() && my_vars[col] != v) ++col;
+        TOPKJOIN_CHECK(col < my_vars.size());
+        child_key_parent_cols.push_back(col);
+      }
+      child_key_offset[ci + 1] = child_key_parent_cols.size();
+    }
+    const size_t parent_width = n.key_cols.size();
+    key_scratch.resize(std::max(
+        {parent_width, child_key_parent_cols.size(), size_t{1}}));
+    Value* const key_buf = key_scratch.data();
+
+    // 1) Propagate child GroupBest improvements into existing rows.
+    // Appends only improve (or keep) a group's best, so best[] values
+    // move monotonically; rows whose child groups are all clean keep
+    // their exact cost and are skipped.
+    bool any_child_changed = false;
+    for (size_t ci = 0; ci < num_children && !any_child_changed; ++ci) {
+      const std::vector<char>& flags = changed[n.children[ci]];
+      any_child_changed =
+          std::find(flags.begin(), flags.end(), char{1}) != flags.end();
+    }
+    if (any_child_changed) {
+      group_of_row.resize(base_rows);
+      for (GroupId g = 0; g < num_groups; ++g) {
+        const Group& grp = n.groups[g];
+        for (uint32_t p = 0; p < grp.size; ++p) {
+          group_of_row[n.group_rows[grp.begin + p]] = g;
+        }
+      }
+      for (RowId r = 0; r < base_rows; ++r) {
+        bool dirty = false;
+        for (size_t ci = 0; ci < num_children; ++ci) {
+          if (changed[n.children[ci]][n.child_group(r, ci)]) {
+            dirty = true;
+            break;
+          }
+        }
+        if (!dirty) continue;
+        CostT cost = out.TupleCost(idx, r);
+        for (size_t ci = 0; ci < num_children; ++ci) {
+          cost = CM::Combine(
+              cost, out.GroupBest(n.children[ci], n.child_group(r, ci)));
+        }
+        if (!CostsEqual(cost, n.best[r])) {
+          n.best[r] = std::move(cost);
+          touched[group_of_row[r]] = 1;
+        }
+      }
+    }
+
+    // 2) Fold in this node's appended tuples. Accepted tuples join
+    // existing groups in every direction; any miss refuses the patch.
+    appended.clear();
+    const auto sit = start.find(query.atom(n.atom).relation);
+    if (sit != start.end()) {
+      const Relation& live = view.relation(query.atom(n.atom).relation);
+      const size_t live_rows = live.NumTuples();
+      // One exact reallocation each instead of doubling growth: the
+      // copied arenas arrive with capacity == size.
+      const size_t expect = live_rows - sit->second;
+      n.best.reserve(base_rows + expect);
+      n.child_groups.reserve(n.child_groups.size() + expect * num_children);
+      for (size_t br = sit->second; br < live_rows; ++br) {
+        const auto tuple = live.Tuple(static_cast<RowId>(br));
+        const Weight w = live.TupleWeight(static_cast<RowId>(br));
+        uint64_t hash = 0x51ab42ae5c1970ffULL;
+        for (size_t c = 0; c < parent_width; ++c) {
+          key_buf[c] = tuple[n.key_cols[c]];
+          hash = HashMix(hash, static_cast<uint64_t>(key_buf[c]));
+        }
+        const GroupId g = n.key_index->Find(hash, key_buf);
+        if (g == GroupKeyIndex::kNoGroup) return std::nullopt;
+        CostT cost = CM::FromWeight(w);
+        row_child_groups.clear();
+        for (size_t ci = 0; ci < num_children; ++ci) {
+          const size_t begin = child_key_offset[ci];
+          const size_t width = child_key_offset[ci + 1] - begin;
+          uint64_t chash = 0x51ab42ae5c1970ffULL;
+          for (size_t k = 0; k < width; ++k) {
+            key_buf[k] = tuple[child_key_parent_cols[begin + k]];
+            chash = HashMix(chash, static_cast<uint64_t>(key_buf[k]));
+          }
+          const Node& c = out.nodes_[n.children[ci]];
+          const GroupId cg = c.key_index->Find(chash, key_buf);
+          if (cg == GroupKeyIndex::kNoGroup) return std::nullopt;
+          row_child_groups.push_back(cg);
+          cost = CM::Combine(cost, out.GroupBest(n.children[ci], cg));
+        }
+        const RowId nr = static_cast<RowId>(n.rel.NumTuples());
+        n.rel.AddTuple(tuple, w);
+        n.best.push_back(std::move(cost));
+        n.child_groups.insert(n.child_groups.end(), row_child_groups.begin(),
+                              row_child_groups.end());
+        appended.push_back({g, nr});
+        touched[g] = 1;
+      }
+      local.rows_appended += appended.size();
+    }
+
+    // 3) Rebuild the row arena with appended rows at the tail of their
+    // group segments (group-id order and ascending RowId within a group
+    // preserved -- the exact layout a fresh BuildGroups produces).
+    if (!appended.empty()) {
+      std::vector<uint32_t> extra(num_groups, 0);
+      for (const auto& [g, row] : appended) extra[g] += 1;
+      std::vector<RowId> new_rows(n.group_rows.size() + appended.size());
+      std::vector<uint32_t> new_begin(num_groups);
+      uint32_t offset = 0;
+      for (GroupId g = 0; g < num_groups; ++g) {
+        new_begin[g] = offset;
+        offset += n.groups[g].size + extra[g];
+      }
+      std::vector<uint32_t> fill(num_groups);
+      for (GroupId g = 0; g < num_groups; ++g) {
+        const Group& grp = n.groups[g];
+        std::copy(n.group_rows.begin() + grp.begin,
+                  n.group_rows.begin() + grp.begin + grp.size,
+                  new_rows.begin() + new_begin[g]);
+        fill[g] = grp.size;
+      }
+      for (const auto& [g, row] : appended) {
+        new_rows[new_begin[g] + fill[g]++] = row;
+      }
+      for (GroupId g = 0; g < num_groups; ++g) {
+        n.groups[g].begin = new_begin[g];
+        n.groups[g].size += extra[g];
+      }
+      n.group_rows = std::move(new_rows);
+    }
+
+    // 4) Refold touched groups only; flag GroupBest changes upward.
+    // Untouched groups keep valid min_pos/sort order: their segment
+    // prefix and best values are bit-identical to before.
+    changed[idx].assign(num_groups, 0);
+    for (GroupId g = 0; g < num_groups; ++g) {
+      if (!touched[g]) continue;
+      Group& grp = n.groups[g];
+      RowId* const seg_begin = n.group_rows.data() + grp.begin;
+      RowId* const seg_end = seg_begin + grp.size;
+      const auto less = [&](RowId a, RowId b) {
+        return out.HeapLess(n, a, b);
+      };
+      switch (out.sort_mode_) {
+        case SortMode::kEager:
+          std::sort(seg_begin, seg_end, less);
+          grp.min_pos = 0;
+          break;
+        case SortMode::kLazy:
+        case SortMode::kQuickselect:
+          grp.min_pos = static_cast<uint32_t>(
+              std::min_element(seg_begin, seg_end, less) - seg_begin);
+          break;
+      }
+      local.groups_refolded += 1;
+      if (!CostsEqual(out.GroupBest(idx, g), old_best[g])) {
+        changed[idx][g] = 1;
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
 }
 
 }  // namespace topkjoin

@@ -1,29 +1,100 @@
-// A catalog of named relations. Atoms of a conjunctive query reference
-// relations by index into a Database, which supports self-joins naturally
-// (two atoms may reference the same relation, as in the paper's
-// graph-pattern queries expressed as self-joins of the edge set).
+// A catalog of named relations with snapshot-consistent live updates.
+//
+// Atoms of a conjunctive query reference relations by index into a
+// Database, which supports self-joins naturally (two atoms may reference
+// the same relation, as in the paper's graph-pattern queries expressed
+// as self-joins of the edge set).
+//
+// ## Snapshots and the commit-then-publish protocol
+//
+// Serving threads never read live relations directly: they pin a
+// DatabaseSnapshot (shared_ptr, obtained from Snapshot()) whose view is
+// a chunk-sharing frozen copy of every relation, stamped with the epoch
+// it was built at. Because Relation storage is copy-on-write chunks
+// (data/relation.h), a snapshot is O(#relations + #chunks) to build and
+// bit-stable forever after, no matter what the writer does next.
+//
+// Writers mutate under the internal mutex and *publish* in two steps:
+// first the mutation fully completes and a fresh snapshot of the result
+// is installed, only then does version() advance (release store). A
+// concurrent reader therefore either sees the old version (and the old,
+// still-valid snapshot) or the new version (whose snapshot is already
+// installed) -- the "bump-before-mutate" torn-cache window is closed by
+// construction.
+//
+// ## Delta log
+//
+// ApplyDelta appends tuples and records, per committed version, which
+// rows of which relations were appended (AppendDelta). DeltasSince lets
+// incremental maintainers (reservoir samples, T-DP artifact patches)
+// catch a stale derived structure up without a rebuild. Structural
+// mutations (Add, or anything through mutable_relation, which may sort
+// or filter) are barriers: they clear the log, so DeltasSince reports
+// the gap as uncoverable and callers fall back to rebuilding.
 #ifndef TOPKJOIN_DATA_DATABASE_H_
 #define TOPKJOIN_DATA_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/data/delta.h"
 #include "src/data/relation.h"
+#include "src/util/status.h"
 
 namespace topkjoin {
 
-/// Index of a relation within a Database.
-using RelationId = size_t;
+class Database;
+class DatabaseSnapshot;
+
+/// RAII handle for in-place mutation of one relation. Holds the
+/// database mutex for its whole lifetime (concurrent Snapshot() calls
+/// block until commit) and publishes the new version + snapshot on
+/// destruction -- after the caller's writes, never before.
+class [[nodiscard]] MutableRelationRef {
+ public:
+  MutableRelationRef(const MutableRelationRef&) = delete;
+  MutableRelationRef& operator=(const MutableRelationRef&) = delete;
+  MutableRelationRef(MutableRelationRef&&) = delete;
+  MutableRelationRef& operator=(MutableRelationRef&&) = delete;
+  ~MutableRelationRef();
+
+  Relation* operator->() { return relation_; }
+  Relation& operator*() { return *relation_; }
+
+ private:
+  friend class Database;
+  MutableRelationRef(Database* db, Relation* relation);
+
+  Database* db_;
+  Relation* relation_;
+};
 
 /// Owns a set of relations. Relations are stable under addition (stored
 /// via unique_ptr), so raw pointers handed out remain valid.
+///
+/// Thread model: any number of concurrent readers (Snapshot, version,
+/// relation, DeltasSince) interleave safely with writers (ApplyDelta,
+/// Add, mutable_relation). Writers serialize on the internal mutex.
+/// Reading live relations via relation() while a writer is active is
+/// the caller's race to manage -- concurrency-safe readers go through
+/// Snapshot().
 class Database {
  public:
   Database() = default;
 
-  /// Moves a relation into the catalog; returns its id.
+  // std::atomic/std::mutex members suppress the implicit moves; tests
+  // move instances by value during single-threaded setup, so restore
+  // them explicitly. Moving concurrently with any other access is UB.
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
+  /// Moves a relation into the catalog; returns its id. Acts as a
+  /// delta-log barrier (derived caches must rebuild, not patch).
   RelationId Add(Relation relation);
 
   size_t NumRelations() const { return relations_.size(); }
@@ -32,23 +103,42 @@ class Database {
     TOPKJOIN_DCHECK(id < relations_.size());
     return *relations_[id];
   }
-  Relation& mutable_relation(RelationId id) {
-    TOPKJOIN_DCHECK(id < relations_.size());
-    // Conservative: handing out a mutable reference counts as a data
-    // change (the caller may append/filter/sort through it).
-    ++version_;
-    return *relations_[id];
-  }
 
-  /// Monotonically increasing data version: bumped by Add and by every
-  /// mutable_relation access. Cross-request caches (the serving layer's
-  /// plan cache) key on (database identity, version) and treat any bump
-  /// as invalidation of everything derived from the old contents.
-  /// Seeded from a process-wide epoch counter, so a new Database that
-  /// happens to be allocated at a freed one's address cannot replay the
-  /// old object's versions (see ServingEngine::InvalidateCachedPlans
-  /// for the belt-and-suspenders explicit drop).
-  uint64_t version() const { return version_; }
+  /// In-place mutable access. The returned guard holds the database
+  /// mutex until it is destroyed, then commits: snapshot first, version
+  /// bump second. Acts as a delta-log barrier (the guard may have
+  /// sorted/filtered, which invalidates row ids).
+  MutableRelationRef mutable_relation(RelationId id);
+
+  /// Atomically appends `delta` across its relations, logs the appended
+  /// row ranges, and publishes a new snapshot epoch. Errors (bad
+  /// relation id, values/weights arity mismatch) leave the database
+  /// untouched.
+  Status ApplyDelta(const Delta& delta);
+
+  /// The currently published snapshot: a frozen, chunk-sharing view of
+  /// every relation plus the epoch it represents. Cheap when nothing
+  /// changed (returns the cached shared_ptr). Never returns null.
+  std::shared_ptr<const DatabaseSnapshot> Snapshot() const;
+
+  /// Fills `out` with the append records needed to catch a reader up
+  /// from `from_version` to the current version, in commit order.
+  /// Returns false when the gap is not coverable (barrier in between,
+  /// log trimmed, or `from_version` is from another database) -- the
+  /// caller must rebuild. `out` empty with true means already current.
+  bool DeltasSince(uint64_t from_version, std::vector<AppendDelta>* out) const;
+
+  /// Monotonically increasing data version: advanced by Add, ApplyDelta
+  /// and every mutable_relation commit -- always *after* the mutation
+  /// and its snapshot are in place (commit-then-publish). Cross-request
+  /// caches key on (database identity, version). Seeded from a
+  /// process-wide epoch counter, so a new Database that happens to be
+  /// allocated at a freed one's address cannot replay the old object's
+  /// versions (see ServingEngine::InvalidateCachedPlans for the
+  /// belt-and-suspenders explicit drop).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Looks up a relation by name; returns nullptr when absent.
   const Relation* Find(const std::string& name) const;
@@ -57,10 +147,57 @@ class Database {
   size_t MaxRelationSize() const;
 
  private:
+  friend class MutableRelationRef;
+
   static uint64_t NextEpochSeed();
 
+  /// Oldest log entries are dropped (whole versions at a time) beyond
+  /// this many records; readers further behind rebuild instead.
+  static constexpr size_t kMaxLogEntries = 1024;
+
+  /// Builds a frozen chunk-sharing copy stamped with `epoch`.
+  std::shared_ptr<const DatabaseSnapshot> BuildSnapshotLocked(
+      uint64_t epoch) const;
+
+  /// Installs the snapshot for `new_version`, then advances version_.
+  void PublishLocked(uint64_t new_version);
+
+  /// Clears the log: mutations between log_floor_ and the current
+  /// version can no longer be described as pure appends.
+  void BarrierLocked(uint64_t new_version);
+
+  void TrimLogLocked();
+
   std::vector<std::unique_ptr<Relation>> relations_;
-  uint64_t version_ = NextEpochSeed();
+  std::atomic<uint64_t> version_{NextEpochSeed()};
+
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const DatabaseSnapshot> published_;  // under mu_
+  std::deque<AppendDelta> log_;                                // under mu_
+  // DeltasSince(from) is answerable iff from >= log_floor_.
+  uint64_t log_floor_ = version_.load(std::memory_order_relaxed);
+};
+
+/// An immutable view of a Database at one epoch. The view is itself a
+/// Database (chunk-sharing frozen copies of every relation, version()
+/// == epoch()), so every `const Database&` consumer -- planner,
+/// executor, estimator, T-DP build -- works on a snapshot unchanged.
+/// Held by shared_ptr; cursors, cached artifacts and estimator entries
+/// pin the snapshot they were built from.
+class DatabaseSnapshot {
+ public:
+  DatabaseSnapshot(const DatabaseSnapshot&) = delete;
+  DatabaseSnapshot& operator=(const DatabaseSnapshot&) = delete;
+
+  const Database& view() const { return view_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class Database;
+  DatabaseSnapshot() = default;
+
+  Database view_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace topkjoin

@@ -1,0 +1,70 @@
+// Delta descriptions for live updates.
+//
+// A Delta is the writer-side description of one atomic batch of tuple
+// appends across relations; Database::ApplyDelta applies it under the
+// commit-then-publish protocol (data/database.h). An AppendDelta is the
+// log-side record of what one committed version appended to one
+// relation -- enough for incremental maintainers (reservoir samples,
+// T-DP artifact patching) to locate exactly the appended rows in a
+// later snapshot: rows [first_row, first_row + num_rows) of `relation`.
+#ifndef TOPKJOIN_DATA_DELTA_H_
+#define TOPKJOIN_DATA_DELTA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "src/data/relation.h"
+#include "src/util/common.h"
+
+namespace topkjoin {
+
+/// Index of a relation within a Database (mirrors database.h; kept here
+/// too so delta.h does not need the full Database definition).
+using RelationId = size_t;
+
+/// Tuples to append to one relation: row-major values plus one weight
+/// per row (`values.size() == weights.size() * arity`).
+struct RelationDelta {
+  RelationId relation = 0;
+  std::vector<Value> values;
+  std::vector<Weight> weights;
+
+  size_t NumRows() const { return weights.size(); }
+
+  void AddTuple(std::initializer_list<Value> tuple, Weight weight) {
+    values.insert(values.end(), tuple.begin(), tuple.end());
+    weights.push_back(weight);
+  }
+};
+
+/// One atomic update: appends to any number of relations, committed and
+/// published as a single new snapshot epoch.
+struct Delta {
+  std::vector<RelationDelta> relations;
+
+  RelationDelta& ForRelation(RelationId id) {
+    for (RelationDelta& rd : relations) {
+      if (rd.relation == id) return rd;
+    }
+    RelationDelta fresh;
+    fresh.relation = id;
+    relations.push_back(std::move(fresh));
+    return relations.back();
+  }
+};
+
+/// Log record: version `to_version` appended rows
+/// [first_row, first_row + num_rows) to `relation`. A reader at version
+/// v_old catches up to v_new by consuming, in order, every record with
+/// to_version in (v_old, v_new] (see Database::DeltasSince).
+struct AppendDelta {
+  uint64_t to_version = 0;
+  RelationId relation = 0;
+  RowId first_row = 0;
+  uint32_t num_rows = 0;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_DATA_DELTA_H_

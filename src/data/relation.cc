@@ -18,14 +18,49 @@ Relation Relation::WithArity(std::string name, size_t arity) {
   return Relation(std::move(name), std::move(attrs));
 }
 
+Relation::Chunk* Relation::WritableTail() {
+  if (chunks_.empty() || chunks_.back()->rows() == kChunkRows) {
+    chunks_.push_back(std::make_shared<Chunk>());
+    return chunks_.back().get();
+  }
+  std::shared_ptr<Chunk>& tail = chunks_.back();
+  if (tail.use_count() > 1) {
+    // The tail is visible through another Relation (a snapshot copy):
+    // clone it so the append stays private to this relation.
+    tail = std::make_shared<Chunk>(*tail);
+  }
+  return tail.get();
+}
+
 void Relation::AddTuple(std::span<const Value> values, Weight weight) {
   TOPKJOIN_CHECK(values.size() == arity_);
-  data_.insert(data_.end(), values.begin(), values.end());
-  weights_.push_back(weight);
+  Chunk* tail = WritableTail();
+  tail->data.insert(tail->data.end(), values.begin(), values.end());
+  tail->weights.push_back(weight);
+  ++num_tuples_;
 }
 
 void Relation::AddTuple(std::initializer_list<Value> values, Weight weight) {
   AddTuple(std::span<const Value>(values.begin(), values.size()), weight);
+}
+
+void Relation::RebuildFromRows(std::span<const RowId> order) {
+  std::vector<std::shared_ptr<Chunk>> fresh;
+  fresh.reserve(order.size() / kChunkRows + 1);
+  Chunk* tail = nullptr;
+  for (const RowId r : order) {
+    if (tail == nullptr || tail->rows() == kChunkRows) {
+      fresh.push_back(std::make_shared<Chunk>());
+      tail = fresh.back().get();
+      tail->data.reserve(std::min(order.size(), kChunkRows) * arity_);
+      tail->weights.reserve(std::min(order.size(), kChunkRows));
+    }
+    const auto t = Tuple(r);
+    tail->data.insert(tail->data.end(), t.begin(), t.end());
+    tail->weights.push_back(TupleWeight(r));
+  }
+  chunks_ = std::move(fresh);
+  num_tuples_ = order.size();
 }
 
 void Relation::SortByColumns(std::span<const size_t> columns) {
@@ -39,17 +74,7 @@ void Relation::SortByColumns(std::span<const size_t> columns) {
     }
     return false;
   });
-  std::vector<Value> new_data;
-  new_data.reserve(data_.size());
-  std::vector<Weight> new_weights;
-  new_weights.reserve(n);
-  for (RowId r : order) {
-    const auto t = Tuple(r);
-    new_data.insert(new_data.end(), t.begin(), t.end());
-    new_weights.push_back(weights_[r]);
-  }
-  data_ = std::move(new_data);
-  weights_ = std::move(new_weights);
+  RebuildFromRows(order);
 }
 
 void Relation::DeduplicateKeepLightest() {
@@ -62,10 +87,10 @@ void Relation::DeduplicateKeepLightest() {
     for (size_t c = 0; c < arity_; ++c) {
       if (ta[c] != tb[c]) return ta[c] < tb[c];
     }
-    return weights_[a] < weights_[b];
+    return TupleWeight(a) < TupleWeight(b);
   });
-  std::vector<Value> new_data;
-  std::vector<Weight> new_weights;
+  std::vector<RowId> kept;
+  kept.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const RowId r = order[i];
     if (i > 0) {
@@ -74,26 +99,37 @@ void Relation::DeduplicateKeepLightest() {
         continue;  // duplicate; the first (lightest) copy was kept
       }
     }
-    const auto t = Tuple(r);
-    new_data.insert(new_data.end(), t.begin(), t.end());
-    new_weights.push_back(weights_[r]);
+    kept.push_back(r);
   }
-  data_ = std::move(new_data);
-  weights_ = std::move(new_weights);
+  RebuildFromRows(kept);
 }
 
 void Relation::Filter(const std::vector<bool>& keep) {
   TOPKJOIN_CHECK(keep.size() == NumTuples());
-  std::vector<Value> new_data;
-  std::vector<Weight> new_weights;
+  std::vector<RowId> kept;
+  kept.reserve(keep.size());
   for (RowId r = 0; r < NumTuples(); ++r) {
-    if (!keep[r]) continue;
-    const auto t = Tuple(r);
-    new_data.insert(new_data.end(), t.begin(), t.end());
-    new_weights.push_back(weights_[r]);
+    if (keep[r]) kept.push_back(r);
   }
-  data_ = std::move(new_data);
-  weights_ = std::move(new_weights);
+  RebuildFromRows(kept);
+}
+
+size_t Relation::PayloadBytes() const {
+  size_t total = 0;
+  for (const auto& chunk : chunks_) {
+    total += chunk->data.capacity() * sizeof(Value) +
+             chunk->weights.capacity() * sizeof(Weight);
+  }
+  return total;
+}
+
+bool Relation::SharesStorageWith(const Relation& other) const {
+  for (const auto& mine : chunks_) {
+    for (const auto& theirs : other.chunks_) {
+      if (mine == theirs) return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace topkjoin

@@ -1,14 +1,25 @@
-// Columnar in-memory relations with per-tuple weights.
+// Columnar in-memory relations with per-tuple weights, stored as a
+// sequence of immutable, reference-counted chunks.
 //
-// A Relation stores tuples of fixed arity over int64 domains row-major in
-// one flat buffer, plus one Weight per tuple. Weights drive the ranking
-// functions of Part 3 of the paper (e.g., edge weights for the top-k
-// lightest 4-cycles query of the introduction).
+// A Relation stores tuples of fixed arity over int64 domains row-major
+// within fixed-capacity chunks, plus one Weight per tuple. Weights
+// drive the ranking functions of Part 3 of the paper (e.g., edge
+// weights for the top-k lightest 4-cycles query of the introduction).
+//
+// Chunked storage is what makes database snapshots cheap and safe
+// (data/database.h): copying a Relation shares its chunks (a vector of
+// shared_ptrs), so a snapshot clone is O(#chunks), and every mutation
+// is copy-on-write -- AddTuple clones the tail chunk iff another
+// Relation still shares it, and the bulk rewrites (Sort / Deduplicate /
+// Filter) always build fresh chunks. A reader holding a snapshot copy
+// therefore observes bit-stable contents no matter what the writer
+// appends or rewrites afterwards.
 #ifndef TOPKJOIN_DATA_RELATION_H_
 #define TOPKJOIN_DATA_RELATION_H_
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,10 +32,16 @@ namespace topkjoin {
 using RowId = uint32_t;
 
 /// An in-memory relation. Tuples are appended; the relation may then be
-/// sorted or indexed (see HashIndex, SortedTrie). Copying is allowed but
-/// the join operators pass relations by pointer/reference.
+/// sorted or indexed (see HashIndex, SortedTrie). Copying is cheap
+/// (chunks are shared); the join operators pass relations by
+/// pointer/reference.
 class Relation {
  public:
+  /// Rows per chunk (power of two: row -> chunk is a shift/mask).
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkRows = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkRows - 1;
+
   /// Creates an empty relation with the given name and attribute names
   /// (whose count determines the arity).
   Relation(std::string name, std::vector<std::string> attribute_names);
@@ -38,27 +55,33 @@ class Relation {
     return attribute_names_;
   }
 
-  size_t NumTuples() const { return weights_.size(); }
-  bool Empty() const { return weights_.empty(); }
+  size_t NumTuples() const { return num_tuples_; }
+  bool Empty() const { return num_tuples_ == 0; }
 
   /// Appends a tuple. `values` must have exactly `arity()` entries.
+  /// Copy-on-write: a tail chunk still shared with another Relation is
+  /// cloned first, so copies taken earlier never observe the append.
   void AddTuple(std::span<const Value> values, Weight weight = 0.0);
   void AddTuple(std::initializer_list<Value> values, Weight weight = 0.0);
 
-  /// Read access to tuple `row` as a span of `arity()` values.
+  /// Read access to tuple `row` as a span of `arity()` values. The span
+  /// is contiguous (rows never straddle a chunk boundary).
   std::span<const Value> Tuple(RowId row) const {
     TOPKJOIN_DCHECK(row < NumTuples());
-    return {data_.data() + static_cast<size_t>(row) * arity_, arity_};
+    const Chunk& chunk = *chunks_[row >> kChunkShift];
+    return {chunk.data.data() + (row & kChunkMask) * arity_, arity_};
   }
 
   Value At(RowId row, size_t col) const {
     TOPKJOIN_DCHECK(col < arity_);
-    return data_[static_cast<size_t>(row) * arity_ + col];
+    TOPKJOIN_DCHECK(row < NumTuples());
+    const Chunk& chunk = *chunks_[row >> kChunkShift];
+    return chunk.data[(row & kChunkMask) * arity_ + col];
   }
 
   Weight TupleWeight(RowId row) const {
     TOPKJOIN_DCHECK(row < NumTuples());
-    return weights_[row];
+    return chunks_[row >> kChunkShift]->weights[row & kChunkMask];
   }
 
   /// Sorts tuples lexicographically by the given column order (ties keep
@@ -74,16 +97,35 @@ class Relation {
   void Filter(const std::vector<bool>& keep);
 
   /// Total bytes of tuple payload (for memory accounting in benches).
-  size_t PayloadBytes() const {
-    return data_.size() * sizeof(Value) + weights_.size() * sizeof(Weight);
-  }
+  size_t PayloadBytes() const;
+
+  /// True when this relation shares at least one chunk with `other`
+  /// (test/diagnostic hook for the copy-on-write machinery).
+  bool SharesStorageWith(const Relation& other) const;
 
  private:
+  /// One fixed-capacity storage segment: row-major values plus weights
+  /// for up to kChunkRows tuples. Immutable once shared -- mutators
+  /// clone a shared chunk before touching it (copy-on-write).
+  struct Chunk {
+    std::vector<Value> data;      // rows * arity, row-major
+    std::vector<Weight> weights;  // one per row
+    size_t rows() const { return weights.size(); }
+  };
+
+  /// The tail chunk, ready for an in-place append: cloned when shared,
+  /// fresh when absent or full.
+  Chunk* WritableTail();
+
+  /// Replaces the chunk sequence with fresh, densely packed chunks
+  /// holding the given rows (by current RowId) in order.
+  void RebuildFromRows(std::span<const RowId> order);
+
   std::string name_;
   size_t arity_;
   std::vector<std::string> attribute_names_;
-  std::vector<Value> data_;     // row-major, NumTuples() * arity_
-  std::vector<Weight> weights_; // one per tuple
+  std::vector<std::shared_ptr<Chunk>> chunks_;
+  size_t num_tuples_ = 0;
 };
 
 }  // namespace topkjoin

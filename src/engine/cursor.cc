@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+// Completes DatabaseSnapshot so the shared_ptr pin in ~Cursor can
+// delete through it.
+#include "src/data/database.h"
 #include "src/obs/metrics.h"
 #include "src/util/common.h"
 

@@ -39,6 +39,8 @@
 
 namespace topkjoin {
 
+class DatabaseSnapshot;
+
 /// Lifetime limits for one cursor. nullopt = unlimited.
 struct CursorOptions {
   std::optional<size_t> result_budget;
@@ -119,10 +121,22 @@ class Cursor {
   }
   const std::shared_ptr<QueryTrace>& trace() const { return trace_; }
 
+  /// Pins the database snapshot the cursor's pipeline was compiled
+  /// over for the cursor's whole lifetime: enumeration in flight stays
+  /// defined -- and bit-stable -- however the live database mutates
+  /// underneath it (see data/database.h).
+  void set_snapshot(std::shared_ptr<const DatabaseSnapshot> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+  const std::shared_ptr<const DatabaseSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
  private:
   std::unique_ptr<RankedIterator> pipeline_;
   CursorOptions options_;
   std::shared_ptr<QueryTrace> trace_;
+  std::shared_ptr<const DatabaseSnapshot> snapshot_;
   std::atomic<CursorState> state_{CursorState::kActive};
   std::atomic<size_t> results_emitted_{0};
   std::atomic<size_t> work_used_{0};

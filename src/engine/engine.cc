@@ -18,14 +18,21 @@ StatusOr<ExecutionResult> Engine::Execute(const Database& db,
                                           const ConjunctiveQuery& query,
                                           const RankingSpec& ranking,
                                           const ExecutionOptions& opts) {
+  // Pin one snapshot for the whole execution: the plan, the compiled
+  // pipeline, and the returned stream all see the same frozen view, so
+  // mutating `db` while the stream drains is well-defined (the stream
+  // keeps enumerating pre-mutation data; see data/database.h).
+  std::shared_ptr<const DatabaseSnapshot> snapshot = db.Snapshot();
+  const Database& view = snapshot->view();
   std::shared_ptr<QueryTrace> trace;
   FastClock::Ticks plan_start = 0;
   if (opts.collect_trace) {
     trace = std::make_shared<QueryTrace>();
+    trace->snapshot_epoch = snapshot->epoch();
     plan_start = FastClock::Now();
   }
-  auto plan =
-      PlanQuery(db, query, ranking, opts, estimators_.For(db).get());
+  auto plan = PlanQuery(view, query, ranking, opts,
+                        estimators_.For(db, snapshot).get());
   if (!plan.ok()) return plan.status();
   if (trace != nullptr) {
     trace->AddPhase("plan", FastClock::TicksToNs(FastClock::Now() -
@@ -35,10 +42,11 @@ StatusOr<ExecutionResult> Engine::Execute(const Database& db,
   ExecutionResult result;
   result.plan = std::move(plan).value();
   auto stream =
-      CompilePlan(db, query, result.plan, &result.preprocessing, trace);
+      CompilePlan(view, query, result.plan, &result.preprocessing, trace);
   if (!stream.ok()) return stream.status();
   result.stream = std::move(stream).value();
   result.trace = std::move(trace);
+  result.snapshot = std::move(snapshot);
   return result;
 }
 
@@ -46,7 +54,9 @@ StatusOr<QueryPlan> Engine::Explain(const Database& db,
                                     const ConjunctiveQuery& query,
                                     const RankingSpec& ranking,
                                     const ExecutionOptions& opts) const {
-  return PlanQuery(db, query, ranking, opts, estimators_.For(db).get());
+  const std::shared_ptr<const DatabaseSnapshot> snapshot = db.Snapshot();
+  return PlanQuery(snapshot->view(), query, ranking, opts,
+                   estimators_.For(db, snapshot).get());
 }
 
 StatusOr<CursorId> Engine::OpenCursor(const Database& db,
@@ -56,9 +66,11 @@ StatusOr<CursorId> Engine::OpenCursor(const Database& db,
                                       CursorOptions cursor_options) {
   auto result = Execute(db, query, ranking, opts);
   if (!result.ok()) return result.status();
-  return cursors_.Insert(std::make_unique<Cursor>(
+  auto cursor = std::make_unique<Cursor>(
       std::move(result.value().stream),
-      ResolveCursorOptions(cursor_options, opts)));
+      ResolveCursorOptions(cursor_options, opts));
+  cursor->set_snapshot(std::move(result.value().snapshot));
+  return cursors_.Insert(std::move(cursor));
 }
 
 Cursor* Engine::cursor(CursorId id) { return cursors_.Find(id); }

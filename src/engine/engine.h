@@ -43,6 +43,12 @@ struct ExecutionResult {
   /// destroyed -- read it between pulls or after dropping the stream,
   /// not from another thread mid-pull.
   std::shared_ptr<QueryTrace> trace;
+  /// The frozen database view the whole execution was pinned to. The
+  /// stream enumerates exactly this snapshot's contents, so mutating
+  /// the live database mid-drain is well-defined: the stream is
+  /// bit-stable against its snapshot, and the next Execute sees the
+  /// new epoch.
+  std::shared_ptr<const DatabaseSnapshot> snapshot;
 };
 
 /// The defaulting rule shared by Engine::OpenCursor and
@@ -52,10 +58,11 @@ CursorOptions ResolveCursorOptions(CursorOptions options,
                                    const ExecutionOptions& opts);
 
 /// The engine. Execute/Explain share only an internally-synchronized
-/// per-(db, version) estimator cache and are safe to call from many
-/// threads at once (over a database that is not being mutated);
-/// OpenCursor/CloseCursor/StepAll maintain a CursorTable and are NOT
-/// thread-safe -- use serving/ServingEngine for concurrent serving.
+/// per-(db, epoch) estimator cache and are safe to call from many
+/// threads at once -- each call pins its own database snapshot, so
+/// concurrent Database::ApplyDelta is fine; OpenCursor/CloseCursor/
+/// StepAll maintain a CursorTable and are NOT thread-safe -- use
+/// serving/ServingEngine for concurrent serving.
 class Engine {
  public:
   Engine() = default;

@@ -42,6 +42,8 @@ std::string QueryTrace::ToJson() const {
   out += plan_cache_hit ? "true" : "false";
   out += ",\"artifact_cache_hit\":";
   out += artifact_cache_hit ? "true" : "false";
+  out += ",\"snapshot_epoch\":";
+  AppendUint(out, snapshot_epoch);
   out += ",\"phases\":{";
   bool first = true;
   for (const auto& phase : phases) {

@@ -46,6 +46,11 @@ struct QueryTrace {
   /// Whether the compiled preprocessing artifact came from the serving
   /// artifact cache (warm OpenCursor: zero T-DP/bag work).
   bool artifact_cache_hit = false;
+  /// Epoch of the database snapshot this query was pinned to (0 when
+  /// the execution path does not pin one). Two traces with the same
+  /// epoch saw bit-identical data, however the live database mutated
+  /// in between.
+  uint64_t snapshot_epoch = 0;
   /// Human-readable strategy/algorithm from the chosen QueryPlan.
   std::string strategy;
 

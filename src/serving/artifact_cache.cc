@@ -29,6 +29,36 @@ std::shared_ptr<const PreprocessingArtifact> ArtifactCache::Lookup(
   return it->second->artifact;
 }
 
+ArtifactCache::LookupResult ArtifactCache::LookupForPatch(
+    const PlanCache::Fingerprint& key, uint64_t db_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LookupResult out;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return out;
+  }
+  out.artifact = it->second->artifact;
+  out.built_version = it->second->db_version;
+  if (it->second->db_version != db_version) {
+    // Same accounting as Lookup -- the entry is gone either way -- but
+    // the artifact survives in `out` as patch input.
+    EraseLocked(it->second);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return out;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  out.fresh = true;
+  return out;
+}
+
+void ArtifactCache::CountPatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.patches;
+}
+
 void ArtifactCache::Insert(
     const PlanCache::Fingerprint& key, uint64_t db_version,
     std::shared_ptr<const PreprocessingArtifact> artifact) {

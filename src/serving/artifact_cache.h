@@ -47,6 +47,31 @@ class ArtifactCache {
   std::shared_ptr<const PreprocessingArtifact> Lookup(
       const PlanCache::Fingerprint& key, uint64_t db_version);
 
+  /// A Lookup outcome that keeps the stale artifact around so the
+  /// caller can try to patch it instead of rebuilding from scratch.
+  struct LookupResult {
+    /// On a fresh hit: the cached artifact. On a stale hit: the evicted
+    /// artifact (still valid for the version it was built at -- it is
+    /// immutable and pins its own data). On a plain miss: nullptr.
+    std::shared_ptr<const PreprocessingArtifact> artifact;
+    /// The database version `artifact` was built against (0 on miss).
+    uint64_t built_version = 0;
+    /// True iff `artifact` is current for the requested version.
+    bool fresh = false;
+  };
+
+  /// Lookup with the same bookkeeping (a stale entry is still erased
+  /// and counted as invalidation + miss), but the stale artifact and
+  /// its build version are handed back so the caller can attempt an
+  /// incremental patch (PreprocessingArtifact::TryPatch) and Insert the
+  /// result -- the patch-or-evict upgrade over nuke-on-bump.
+  LookupResult LookupForPatch(const PlanCache::Fingerprint& key,
+                              uint64_t db_version);
+
+  /// Records one successful artifact patch in stats().patches (the
+  /// patch itself happens outside the cache: TryPatch + Insert).
+  void CountPatch();
+
   /// Caches `artifact` for `key` at `db_version`, replacing any older
   /// entry and evicting the least-recently-used entry beyond capacity.
   void Insert(const PlanCache::Fingerprint& key, uint64_t db_version,

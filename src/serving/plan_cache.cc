@@ -1,7 +1,10 @@
 #include "src/serving/plan_cache.h"
 
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "src/data/delta.h"
 #include "src/util/hash.h"
 
 namespace topkjoin {
@@ -12,6 +15,31 @@ namespace {
 // word preceding each value keeps "absent" distinct from any real value.
 constexpr uint64_t kAbsent = 0;
 constexpr uint64_t kPresent = 1;
+
+// A stale plan is still trustworthy while every relation the delta gap
+// touched grew by at most this fraction: cardinality estimates (and the
+// grouping/strategy choices derived from them) degrade continuously
+// with growth, not at a cliff.
+constexpr double kMaxPatchGrowth = 0.10;
+
+// Whether the append-only gap described by `deltas` is small enough to
+// keep a plan made before it. `db` supplies the *current* relation
+// sizes (post-append), so growth is appended / (current - appended).
+bool AppendsWithinPlanTolerance(const Database& db,
+                                const std::vector<AppendDelta>& deltas) {
+  std::unordered_map<RelationId, uint64_t> appended;
+  for (const AppendDelta& d : deltas) appended[d.relation] += d.num_rows;
+  for (const auto& [relation, rows] : appended) {
+    const uint64_t now = db.relation(relation).NumTuples();
+    if (now < rows) return false;  // shrunk?! treat as not coverable
+    const uint64_t before = now - rows;
+    if (static_cast<double>(rows) >
+        kMaxPatchGrowth * static_cast<double>(before)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -49,7 +77,8 @@ PlanCache::Fingerprint PlanCache::Make(const Database& db,
 }
 
 std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
-                                           uint64_t db_version) {
+                                           uint64_t db_version,
+                                           const Database* live_db) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -59,6 +88,18 @@ std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
   if (it->second->db_version != db_version) {
     // The database changed since this plan was made; the cardinality
     // estimates (and even the chosen grouping) may no longer hold.
+    // Unless, that is, the gap is a small pure-append delta: then they
+    // hold to within kMaxPatchGrowth and the plan is salvaged in place.
+    std::vector<AppendDelta> deltas;
+    if (live_db != nullptr && live_db->DeltasSince(it->second->db_version,
+                                                   &deltas) &&
+        AppendsWithinPlanTolerance(*live_db, deltas)) {
+      it->second->db_version = db_version;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.patches;
+      ++stats_.hits;
+      return it->second->plan;
+    }
     EraseLocked(it->second);
     ++stats_.invalidations;
     ++stats_.misses;

@@ -35,6 +35,11 @@ struct PlanCacheStats {
   uint64_t invalidations = 0;
   /// LRU capacity evictions.
   uint64_t evictions = 0;
+  /// Stale entries salvaged in place instead of dropped: the version
+  /// gap was pure appends (covered by the delta log) small enough that
+  /// the cached value still holds, so the entry was retagged to the new
+  /// version (plans) or patched incrementally (artifacts).
+  uint64_t patches = 0;
   size_t entries = 0;
 };
 
@@ -66,8 +71,17 @@ class PlanCache {
 
   /// Returns the cached plan when present and planned at `db_version`;
   /// a version mismatch drops the stale entry and misses.
-  std::optional<QueryPlan> Lookup(const Fingerprint& key,
-                                  uint64_t db_version);
+  ///
+  /// When `live_db` is given, a version mismatch first tries to salvage
+  /// the entry: if the gap from the cached version is pure appends
+  /// (covered by the delta log) and every touched relation grew by at
+  /// most ~10%, the plan's cardinality estimates -- and hence its
+  /// strategy/grouping choice -- still hold, so the entry is retagged
+  /// to `db_version` and returned as a hit (counted under
+  /// stats().patches). Barriers, trimmed logs, or larger growth evict
+  /// as before.
+  std::optional<QueryPlan> Lookup(const Fingerprint& key, uint64_t db_version,
+                                  const Database* live_db = nullptr);
 
   /// Caches `plan` for the key at `db_version`, evicting the least
   /// recently used entry beyond capacity. Re-inserting an existing key

@@ -4,7 +4,9 @@
 #include <condition_variable>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "src/data/delta.h"
 #include "src/engine/executor.h"
 #include "src/util/common.h"
 
@@ -109,16 +111,29 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
   std::shared_ptr<QueryTrace> trace;
   if (opts.collect_trace) trace = std::make_shared<QueryTrace>();
 
+  // Pin ONE snapshot for the whole open: planning, compilation, and the
+  // cursor's entire enumeration run against this frozen view, and every
+  // cache below is keyed on its epoch. A concurrent ApplyDelta (or
+  // barrier mutation) publishes a new epoch for *future* opens without
+  // perturbing this one -- the undefined cursor-over-mutation window is
+  // gone by construction.
+  std::shared_ptr<const DatabaseSnapshot> snapshot = db.Snapshot();
+  const uint64_t epoch = snapshot->epoch();
+  const Database& view = snapshot->view();
+  if (trace != nullptr) trace->snapshot_epoch = epoch;
+
   // Plan + compile without holding any cursor lock: both are stateless,
   // and preprocessing (full reducer, bag materialization) can be the
   // expensive part of a request. Hot queries skip planning entirely --
   // the cached QueryPlan already fixes strategy, algorithm, and bag
   // grouping -- and then skip preprocessing too: the artifact cache
   // shares the compiled T-DP/bag artifact across cursors, so a warm
-  // OpenCursor only mints a per-cursor enumeration state.
+  // OpenCursor only mints a per-cursor enumeration state. Passing the
+  // live db to Lookup lets a stale plan survive a small pure-append
+  // delta (retagged in place) instead of being replanned.
   const PlanCache::Fingerprint key =
       PlanCache::Make(db, query, ranking, opts);
-  std::optional<QueryPlan> plan = plan_cache_.Lookup(key, db.version());
+  std::optional<QueryPlan> plan = plan_cache_.Lookup(key, epoch, &db);
   if (!plan.has_value()) {
     if constexpr (kMetricsEnabled) {
       MetricsRegistry::Global()
@@ -127,12 +142,12 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
     }
     const FastClock::Ticks plan_start = FastClock::Now();
     const std::shared_ptr<const CardinalityEstimator> estimator =
-        estimator_cache_.For(db);
-    auto planned = PlanQuery(db, query, ranking, opts, estimator.get());
+        estimator_cache_.For(db, snapshot);
+    auto planned = PlanQuery(view, query, ranking, opts, estimator.get());
     if (!planned.ok()) return planned.status();
     plans_computed_.fetch_add(1, std::memory_order_relaxed);
     plan = std::move(planned).value();
-    plan_cache_.Insert(key, db.version(), *plan);
+    plan_cache_.Insert(key, epoch, *plan);
     if (trace != nullptr) {
       trace->AddPhase("plan",
                       FastClock::TicksToNs(FastClock::Now() - plan_start));
@@ -146,19 +161,41 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
     if (trace != nullptr) trace->plan_cache_hit = true;
   }
   const FastClock::Ticks compile_start = FastClock::Now();
+  const ArtifactCache::LookupResult cached =
+      artifact_cache_.LookupForPatch(key, epoch);
   std::shared_ptr<const PreprocessingArtifact> artifact =
-      artifact_cache_.Lookup(key, db.version());
+      cached.fresh ? cached.artifact : nullptr;
   if (artifact == nullptr) {
     if constexpr (kMetricsEnabled) {
       MetricsRegistry::Global()
           .GetCounter("serving.artifact_cache_misses")
           ->Increment();
     }
-    auto built = BuildArtifact(db, query, *plan, nullptr);
-    if (!built.ok()) return built.status();
-    artifacts_built_.fetch_add(1, std::memory_order_relaxed);
-    artifact = std::move(built).value();
-    artifact_cache_.Insert(key, db.version(), artifact);
+    // Patch-or-evict: when the stale artifact's gap is pure appends
+    // (delta log covers it) whose keys fit the existing group
+    // structure, upgrade it in place -- only the delta-touched T-DP
+    // groups are refolded -- instead of rebuilding from scratch.
+    if (cached.artifact != nullptr) {
+      std::vector<AppendDelta> deltas;
+      if (db.DeltasSince(cached.built_version, &deltas)) {
+        artifact = cached.artifact->TryPatch(view, deltas);
+      }
+    }
+    if (artifact != nullptr) {
+      artifacts_patched_.fetch_add(1, std::memory_order_relaxed);
+      artifact_cache_.CountPatch();
+      if constexpr (kMetricsEnabled) {
+        MetricsRegistry::Global()
+            .GetCounter("serving.artifact_patches")
+            ->Increment();
+      }
+    } else {
+      auto built = BuildArtifact(view, query, *plan, nullptr);
+      if (!built.ok()) return built.status();
+      artifacts_built_.fetch_add(1, std::memory_order_relaxed);
+      artifact = std::move(built).value();
+    }
+    artifact_cache_.Insert(key, epoch, artifact);
   } else {
     if constexpr (kMetricsEnabled) {
       MetricsRegistry::Global()
@@ -184,6 +221,7 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
   auto cursor = std::make_unique<Cursor>(
       std::move(stream), ResolveCursorOptions(cursor_options, opts));
   cursor->set_trace(std::move(trace));
+  cursor->set_snapshot(std::move(snapshot));
   return cursors_.Insert(std::move(cursor), std::move(session));
 }
 
@@ -454,10 +492,14 @@ MetricsSnapshot ServingEngine::GetMetricsSnapshot() const {
       static_cast<int64_t>(cache.invalidations);
   snap.counters["serving.plan_cache.evictions"] =
       static_cast<int64_t>(cache.evictions);
+  snap.counters["serving.plan_cache.patches"] =
+      static_cast<int64_t>(cache.patches);
   snap.gauges["serving.plan_cache.entries"] =
       static_cast<int64_t>(cache.entries);
   snap.counters["serving.artifacts_built"] =
       static_cast<int64_t>(artifacts_built_.load(std::memory_order_relaxed));
+  snap.counters["serving.artifacts_patched"] = static_cast<int64_t>(
+      artifacts_patched_.load(std::memory_order_relaxed));
   const PlanCacheStats artifacts = artifact_cache_.stats();
   snap.counters["serving.artifact_cache.hits"] =
       static_cast<int64_t>(artifacts.hits);
@@ -467,6 +509,8 @@ MetricsSnapshot ServingEngine::GetMetricsSnapshot() const {
       static_cast<int64_t>(artifacts.invalidations);
   snap.counters["serving.artifact_cache.evictions"] =
       static_cast<int64_t>(artifacts.evictions);
+  snap.counters["serving.artifact_cache.patches"] =
+      static_cast<int64_t>(artifacts.patches);
   snap.gauges["serving.artifact_cache.entries"] =
       static_cast<int64_t>(artifacts.entries);
   return snap;

@@ -19,8 +19,11 @@
 // lock -- PlanQuery/BuildArtifact are stateless and the plan/artifact
 // caches have their own short-held mutexes -- and enumeration holds
 // only the cursor's own mutex (the stripe lock covers just the
-// lookup). The caller must not mutate a Database while cursors over it
-// are open (same contract as Engine).
+// lookup). Live updates are fully supported: OpenCursor pins one
+// DatabaseSnapshot and plans/compiles/enumerates against that frozen
+// view, so Database::ApplyDelta (and barrier mutations) may run
+// concurrently with open cursors -- each cursor drains the snapshot it
+// was opened against, bit-stable, while new cursors see the new epoch.
 #ifndef TOPKJOIN_SERVING_SERVING_ENGINE_H_
 #define TOPKJOIN_SERVING_SERVING_ENGINE_H_
 
@@ -117,10 +120,17 @@ class ServingEngine {
   /// PlanQuery, and the artifact cache skips compilation entirely --
   /// the full reducer, bag materialization, and T-DP build are shared
   /// as an immutable PreprocessingArtifact, so a warm OpenCursor only
-  /// mints a per-cursor enumeration state. Any Database::Add or
-  /// mutable_relation access bumps the version and invalidates every
-  /// plan and artifact cached against the old contents; in-flight
-  /// cursors keep their artifact alive through shared ownership.
+  /// mints a per-cursor enumeration state. The cursor pins the database
+  /// snapshot it was compiled over, so concurrent mutation never
+  /// affects an open cursor's stream.
+  ///
+  /// On mutation, caches patch-or-evict rather than nuke-on-bump: a
+  /// pure-append delta (Database::ApplyDelta) small enough keeps the
+  /// cached plan (retagged in place), and a stale T-DP artifact is
+  /// incrementally patched (TryPatch: only delta-touched groups are
+  /// refolded) when the appended keys stay within the existing group
+  /// structure. Barrier mutations (Add / mutable_relation) still
+  /// invalidate everything cached against the old contents.
   StatusOr<CursorId> OpenCursor(SessionId session, const Database& db,
                                 const ConjunctiveQuery& query,
                                 const RankingSpec& ranking = {},
@@ -198,6 +208,12 @@ class ServingEngine {
   uint64_t NumArtifactsBuilt() const {
     return artifacts_built_.load(std::memory_order_relaxed);
   }
+  /// How many times a stale cached artifact was upgraded in place by an
+  /// incremental patch (delta-scoped refold) instead of a full rebuild.
+  /// Also exported as the serving.artifact_patches counter.
+  uint64_t NumArtifactsPatched() const {
+    return artifacts_patched_.load(std::memory_order_relaxed);
+  }
 
   /// Drops every cached plan, cached preprocessing artifact, and the
   /// sampled statistics for `db`. Data *changes* already invalidate
@@ -233,6 +249,7 @@ class ServingEngine {
   ArtifactCache artifact_cache_;
   std::atomic<uint64_t> plans_computed_{0};
   std::atomic<uint64_t> artifacts_built_{0};
+  std::atomic<uint64_t> artifacts_patched_{0};
 
   /// Sampled statistics per (db, version), built once and shared across
   /// plan-cache misses (PlanQuery's own contract: "pass a prebuilt

@@ -45,6 +45,22 @@ CardinalityEstimator::CardinalityEstimator(const Database& db,
   }
 }
 
+void CardinalityEstimator::RetargetAndExtend(const Database& db) {
+  TOPKJOIN_CHECK(db.NumRelations() == samples_.size());
+  ScopedTimer timer(kMetricsEnabled ? MetricsRegistry::Global().GetHistogram(
+                                          "stats.estimator_patch_ns")
+                                    : nullptr);
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global()
+        .GetCounter("stats.estimator_patches")
+        ->Increment();
+  }
+  db_ = &db;
+  for (RelationId id = 0; id < samples_.size(); ++id) {
+    samples_[id].ExtendTo(db.relation(id));
+  }
+}
+
 double CardinalityEstimator::IndependenceEstimate(
     const ConjunctiveQuery& query, const std::vector<size_t>& atoms) const {
   double estimate = 1.0;

@@ -76,6 +76,14 @@ class CardinalityEstimator {
   explicit CardinalityEstimator(const Database& db,
                                 EstimatorOptions options = {});
 
+  /// Incremental maintenance for live updates: retargets this estimator
+  /// at `db`, which must hold the same relation catalog with rows only
+  /// *appended* since this estimator sampled it (Database::DeltasSince
+  /// coverage is the caller's check -- see stats/estimator_cache.cc).
+  /// Every reservoir sample continues over its relation's appended
+  /// suffix, so the cost is O(appended rows), not O(total tuples).
+  void RetargetAndExtend(const Database& db);
+
   const Database& db() const { return *db_; }
   const EstimatorOptions& options() const { return options_; }
   const RelationSample& sample(RelationId id) const { return samples_[id]; }

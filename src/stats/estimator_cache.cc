@@ -1,39 +1,94 @@
 #include "src/stats/estimator_cache.h"
 
+#include <utility>
+#include <vector>
+
 #include "src/obs/metrics.h"
 
 namespace topkjoin {
 
+namespace {
+
+void CountMetric(const char* name) {
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter(name)->Increment();
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CardinalityEstimator> EstimatorCache::Alias(
+    std::shared_ptr<const DatabaseSnapshot> snap,
+    std::shared_ptr<const CardinalityEstimator> est) {
+  auto pinned = std::make_shared<Pinned>();
+  pinned->snap = std::move(snap);
+  pinned->est = std::move(est);
+  return std::shared_ptr<const CardinalityEstimator>(pinned,
+                                                     pinned->est.get());
+}
+
 std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
     const Database& db) {
+  return For(db, db.Snapshot());
+}
+
+std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
+    const Database& db, std::shared_ptr<const DatabaseSnapshot> snap) {
+  const uint64_t epoch = snap->epoch();
   std::lock_guard<std::mutex> lock(mu_);
-  if (db_ == &db && version_ == db.version()) {
-    if constexpr (kMetricsEnabled) {
-      MetricsRegistry::Global()
-          .GetCounter("stats.estimator_cache_hits")
-          ->Increment();
+  auto it = entries_.begin();
+  for (; it != entries_.end(); ++it) {
+    if (it->db == &db) break;
+  }
+  if (it != entries_.end() && it->epoch == epoch) {
+    CountMetric("stats.estimator_cache_hits");
+    entries_.splice(entries_.begin(), entries_, it);
+    return it->est;
+  }
+  if (it != entries_.end()) {
+    // Stale entry for this database. If the gap is pure appends, patch
+    // the estimator (extend its reservoirs over the appended rows)
+    // instead of resampling every relation from scratch.
+    std::vector<AppendDelta> deltas;
+    if (db.DeltasSince(it->epoch, &deltas)) {
+      auto patched = std::make_shared<CardinalityEstimator>(*it->est);
+      patched->RetargetAndExtend(snap->view());
+      it->epoch = epoch;
+      it->est = Alias(std::move(snap), std::move(patched));
+      ++patches_;
+      entries_.splice(entries_.begin(), entries_, it);
+      return it->est;
     }
-    return estimator_;
+    // Barrier in between (or log trimmed): full rebuild below.
+    entries_.erase(it);
   }
-  if constexpr (kMetricsEnabled) {
-    MetricsRegistry::Global()
-        .GetCounter("stats.estimator_cache_misses")
-        ->Increment();
+  CountMetric("stats.estimator_cache_misses");
+  auto built = std::make_shared<const CardinalityEstimator>(snap->view());
+  ++builds_;
+  Entry entry;
+  entry.db = &db;
+  entry.epoch = epoch;
+  entry.est = Alias(std::move(snap), std::move(built));
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > std::max<size_t>(1, capacity_)) {
+    entries_.pop_back();
   }
-  auto built = std::make_shared<const CardinalityEstimator>(db);
-  db_ = &db;
-  version_ = db.version();
-  estimator_ = built;
-  return built;
+  return entries_.front().est;
 }
 
 void EstimatorCache::Invalidate(const Database* db) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (db_ == db) {
-    db_ = nullptr;
-    version_ = 0;
-    estimator_.reset();
-  }
+  entries_.remove_if([db](const Entry& e) { return e.db == db; });
+}
+
+size_t EstimatorCache::NumBuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+size_t EstimatorCache::NumPatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return patches_;
 }
 
 }  // namespace topkjoin

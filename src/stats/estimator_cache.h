@@ -1,16 +1,25 @@
-// Single-entry cache of a CardinalityEstimator keyed on (database
-// identity, version).
+// Small keyed LRU cache of CardinalityEstimators, one entry per
+// database, keyed on (database identity, snapshot epoch).
 //
 // Building an estimator samples every relation (O(total tuples)), so
 // bare Engine::Execute/Explain calls that rebuilt one per query paid
 // the sampling cost over and over -- and double-counted it in the
-// planner metrics. Both Engine and ServingEngine now share this cache:
-// one estimator per database version, rebuilt only when the data
-// actually changes. Single-entry is deliberate -- a process serves one
-// (or very few) databases, and Database::version() epochs guarantee a
-// (pointer, version) pair can never be replayed by an unrelated
-// database reusing the address, so a stale entry is unreachable rather
-// than wrong.
+// planner metrics. Both Engine and ServingEngine share this cache. It
+// used to be a single entry, which meant two databases served
+// alternately thrashed a full estimator rebuild on every request; now
+// each database gets its own slot under a small LRU capacity,
+// consistent with the plan/artifact cache identity rules (raw Database
+// pointer + epoch-seeded version, so a freed database's slot can never
+// be replayed by an unrelated object reusing the address).
+//
+// Live updates: every cached estimator is built over -- and pins -- a
+// DatabaseSnapshot, so it stays valid however the live database
+// mutates. When a lookup finds a stale entry whose gap is covered by
+// the delta log (pure appends), the estimator is *patched*: copied and
+// its reservoir samples extended over the appended rows
+// (CardinalityEstimator::RetargetAndExtend, O(appended)), instead of
+// resampling everything. Barriers (Add / mutable_relation) fall back
+// to a full rebuild.
 //
 // Thread-safety: all methods are safe to call concurrently. Building
 // happens under the lock, so concurrent first-misses of the same
@@ -20,6 +29,7 @@
 #define TOPKJOIN_STATS_ESTIMATOR_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 
@@ -30,22 +40,53 @@ namespace topkjoin {
 
 class EstimatorCache {
  public:
-  /// The estimator for `db` at its current version; builds (and
-  /// caches) one when the cached entry is missing or stale. The
-  /// returned shared_ptr stays valid after the cache moves on, but the
-  /// estimator borrows `db` -- do not use it past the database's
-  /// lifetime or next mutation.
+  explicit EstimatorCache(size_t capacity = 4) : capacity_(capacity) {}
+
+  /// The estimator for `db` at its current snapshot; builds (or
+  /// patches) one when the cached entry is missing or stale. The
+  /// returned shared_ptr keeps the snapshot it was built over alive,
+  /// so it stays valid after the cache moves on AND after the live
+  /// database mutates.
   std::shared_ptr<const CardinalityEstimator> For(const Database& db);
+
+  /// Same, for a caller that already pinned a snapshot of `db` (the
+  /// serving layer pins exactly one snapshot per OpenCursor and keys
+  /// every cache on its epoch).
+  std::shared_ptr<const CardinalityEstimator> For(
+      const Database& db, std::shared_ptr<const DatabaseSnapshot> snap);
 
   /// Drops the entry if it belongs to `db` (e.g. before freeing the
   /// database).
   void Invalidate(const Database* db);
 
+  /// Lifetime counters (also exported as stats.estimator_cache_* /
+  /// stats.estimator_patches metrics; these stay available with
+  /// metrics compiled out).
+  size_t NumBuilds() const;
+  size_t NumPatches() const;
+
  private:
-  std::mutex mu_;
-  const Database* db_ = nullptr;
-  uint64_t version_ = 0;
-  std::shared_ptr<const CardinalityEstimator> estimator_;
+  /// Keeps the snapshot alive for as long as anyone holds the
+  /// estimator (entries return aliased shared_ptrs into this).
+  struct Pinned {
+    std::shared_ptr<const DatabaseSnapshot> snap;
+    std::shared_ptr<const CardinalityEstimator> est;
+  };
+  struct Entry {
+    const Database* db = nullptr;
+    uint64_t epoch = 0;
+    std::shared_ptr<const CardinalityEstimator> est;  // aliased into Pinned
+  };
+
+  static std::shared_ptr<const CardinalityEstimator> Alias(
+      std::shared_ptr<const DatabaseSnapshot> snap,
+      std::shared_ptr<const CardinalityEstimator> est);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> entries_;  // most recently used first
+  size_t builds_ = 0;
+  size_t patches_ = 0;
 };
 
 }  // namespace topkjoin

@@ -6,21 +6,31 @@ namespace topkjoin {
 
 RelationSample::RelationSample(const Relation& relation, size_t max_rows,
                                uint64_t seed)
-    : relation_(&relation) {
+    : relation_(&relation),
+      max_rows_(std::max<size_t>(1, max_rows)),
+      rng_(seed) {
+  rows_.reserve(std::min(relation.NumTuples(), max_rows_));
+  ExtendTo(relation);
+}
+
+void RelationSample::ExtendTo(const Relation& relation) {
+  relation_ = &relation;
   const size_t n = relation.NumTuples();
-  const size_t k = std::min(n, std::max<size_t>(1, max_rows));
-  rows_.reserve(k);
-  Rng rng(seed);
+  TOPKJOIN_CHECK(n >= seen_);
   // Classic reservoir: row i replaces a random slot with probability
   // k/(i+1), so every row ends up sampled with probability k/n.
-  for (size_t i = 0; i < n; ++i) {
-    if (rows_.size() < k) {
+  // Replacing a uniformly random slot evicts a uniformly random current
+  // member whatever order the slots are in, so continuing after the
+  // sort below stays a correct reservoir.
+  for (size_t i = seen_; i < n; ++i) {
+    if (rows_.size() < max_rows_) {
       rows_.push_back(static_cast<RowId>(i));
     } else {
-      const uint64_t j = rng.NextBounded(i + 1);
-      if (j < k) rows_[j] = static_cast<RowId>(i);
+      const uint64_t j = rng_.NextBounded(i + 1);
+      if (j < max_rows_) rows_[j] = static_cast<RowId>(i);
     }
   }
+  seen_ = n;
   std::sort(rows_.begin(), rows_.end());
   scale_ = rows_.empty()
                ? 1.0

@@ -46,15 +46,30 @@ struct JoinKeySketch {
 /// A uniform (without-replacement) sample of one relation, with the
 /// derived per-column statistics. Borrows the relation: the sample must
 /// not outlive it or survive its mutation (same contract as every join
-/// operator in this library).
+/// operator in this library) -- snapshot-pinned relations
+/// (data/database.h) satisfy that by construction.
 class RelationSample {
  public:
   /// Draws a reservoir sample of up to `max_rows` rows. Deterministic
   /// for a fixed (relation contents, seed) pair.
   RelationSample(const Relation& relation, size_t max_rows, uint64_t seed);
 
+  /// Incremental maintenance for live updates: retargets the sample at
+  /// `relation`, which must hold the same tuples with rows only
+  /// *appended* since the last draw (delta-log coverage is the
+  /// caller's check), and continues the reservoir over the appended
+  /// suffix -- O(appended rows), not O(n). The result is a valid
+  /// uniform reservoir; it matches a fresh draw bit-for-bit while the
+  /// relation fits entirely in the reservoir, and is an equally
+  /// distributed but different draw beyond that (the inter-batch sort
+  /// permutes slots).
+  void ExtendTo(const Relation& relation);
+
   const Relation& relation() const { return *relation_; }
   size_t num_rows() const { return relation_->NumTuples(); }
+  /// Rows consumed by the reservoir so far (== num_rows() after any
+  /// ctor/ExtendTo call; test hook).
+  size_t num_seen() const { return seen_; }
   const std::vector<RowId>& sampled_rows() const { return rows_; }
 
   /// Rows-per-sampled-row scale factor (1.0 when fully sampled).
@@ -72,6 +87,9 @@ class RelationSample {
 
  private:
   const Relation* relation_;
+  size_t max_rows_;          // reservoir capacity k
+  Rng rng_;                  // stored so ExtendTo continues the stream
+  size_t seen_ = 0;          // rows consumed by the reservoir
   std::vector<RowId> rows_;  // sampled row ids, ascending
   double scale_ = 1.0;
 };

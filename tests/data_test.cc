@@ -1,12 +1,15 @@
 // Tests for data/: relations, database, hash index, sorted tries, and
 // the synthetic generators.
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/data/database.h"
+#include "src/data/delta.h"
 #include "src/data/generators.h"
 #include "src/data/hash_index.h"
 #include "src/data/relation.h"
@@ -84,6 +87,170 @@ TEST(RelationTest, EmptyRelation) {
   const std::vector<size_t> cols = {0, 1, 2};
   r.SortByColumns(cols);
   EXPECT_TRUE(r.Empty());
+}
+
+TEST(RelationTest, CrossChunkRoundTrip) {
+  // Enough rows to span several storage chunks, exercising the
+  // shift/mask addressing on both sides of every chunk boundary.
+  const size_t n = 3 * Relation::kChunkRows + 7;
+  Relation r = Relation::WithArity("R", 2);
+  for (size_t i = 0; i < n; ++i) {
+    r.AddTuple({static_cast<Value>(i), static_cast<Value>(i * 2)},
+               static_cast<Weight>(i) * 0.5);
+  }
+  ASSERT_EQ(r.NumTuples(), n);
+  for (const size_t i :
+       {size_t{0}, Relation::kChunkRows - 1, Relation::kChunkRows,
+        2 * Relation::kChunkRows - 1, 2 * Relation::kChunkRows, n - 1}) {
+    EXPECT_EQ(r.At(i, 0), static_cast<Value>(i));
+    EXPECT_EQ(r.Tuple(i)[1], static_cast<Value>(i * 2));
+    EXPECT_DOUBLE_EQ(r.TupleWeight(i), static_cast<Weight>(i) * 0.5);
+  }
+  // Bulk rewrites (sort) rebuild dense chunks and keep weights aligned.
+  const std::vector<size_t> cols = {1};
+  r.SortByColumns(cols);
+  ASSERT_EQ(r.NumTuples(), n);
+  for (size_t i = 1; i < n; ++i) EXPECT_LE(r.At(i - 1, 1), r.At(i, 1));
+  EXPECT_DOUBLE_EQ(r.TupleWeight(0), 0.0);
+}
+
+TEST(RelationTest, CopySharesStorageUntilWrite) {
+  Relation a = SmallEdgeRelation();
+  Relation b = a;  // chunk-sharing copy, no data duplication
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  // Writing through one side clones only the touched tail chunk; the
+  // other side is bit-stable.
+  b.AddTuple({9, 9}, 9.0);
+  EXPECT_FALSE(b.SharesStorageWith(a));
+  EXPECT_EQ(a.NumTuples(), 4u);
+  EXPECT_EQ(b.NumTuples(), 5u);
+  EXPECT_EQ(a.At(3, 0), 3);
+  EXPECT_EQ(b.At(4, 0), 9);
+}
+
+TEST(DatabaseTest, SnapshotPinsViewAcrossApplyDelta) {
+  Database db;
+  const RelationId e = db.Add(SmallEdgeRelation());
+  const auto before = db.Snapshot();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->epoch(), db.version());
+
+  Delta delta;
+  delta.ForRelation(e).AddTuple({7, 8}, 0.1);
+  delta.ForRelation(e).AddTuple({8, 9}, 0.2);
+  ASSERT_TRUE(db.ApplyDelta(delta).ok());
+
+  // The pinned snapshot still sees exactly the pre-delta contents.
+  EXPECT_EQ(before->view().relation(e).NumTuples(), 4u);
+  EXPECT_EQ(before->view().relation(e).At(3, 0), 3);
+  // A fresh snapshot sees the appended rows under a newer epoch.
+  const auto after = db.Snapshot();
+  EXPECT_GT(after->epoch(), before->epoch());
+  EXPECT_EQ(after->view().relation(e).NumTuples(), 6u);
+  EXPECT_EQ(after->view().relation(e).At(4, 0), 7);
+  EXPECT_EQ(after->view().relation(e).At(5, 1), 9);
+}
+
+TEST(DatabaseTest, DeltasSinceCoversAppendsUntilBarrier) {
+  Database db;
+  const RelationId e = db.Add(SmallEdgeRelation());
+  const uint64_t v0 = db.version();
+
+  std::vector<AppendDelta> deltas;
+  ASSERT_TRUE(db.DeltasSince(v0, &deltas));  // already current
+  EXPECT_TRUE(deltas.empty());
+
+  Delta d1;
+  d1.ForRelation(e).AddTuple({5, 6}, 0.5);
+  ASSERT_TRUE(db.ApplyDelta(d1).ok());
+  Delta d2;
+  d2.ForRelation(e).AddTuple({6, 7}, 0.6);
+  ASSERT_TRUE(db.ApplyDelta(d2).ok());
+
+  ASSERT_TRUE(db.DeltasSince(v0, &deltas));
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].relation, e);
+  EXPECT_EQ(deltas[0].first_row, 4u);
+  EXPECT_EQ(deltas[0].num_rows, 1u);
+  EXPECT_EQ(deltas[1].first_row, 5u);
+  EXPECT_LT(deltas[0].to_version, deltas[1].to_version);
+
+  // A structural mutation is a barrier: the gap from v0 is no longer
+  // describable as pure appends.
+  const std::vector<size_t> cols = {0, 1};
+  db.mutable_relation(e)->SortByColumns(cols);
+  EXPECT_FALSE(db.DeltasSince(v0, &deltas));
+  // ... but a reader current as of the barrier is fine.
+  ASSERT_TRUE(db.DeltasSince(db.version(), &deltas));
+  EXPECT_TRUE(deltas.empty());
+  // An unknown/foreign version is uncoverable, not a crash.
+  EXPECT_FALSE(db.DeltasSince(db.version() + 12345, &deltas));
+}
+
+TEST(DatabaseTest, ApplyDeltaErrorsLeaveDatabaseUntouched) {
+  Database db;
+  const RelationId e = db.Add(SmallEdgeRelation());
+  const uint64_t v0 = db.version();
+
+  Delta bad_id;
+  bad_id.ForRelation(e + 7).AddTuple({1, 2}, 0.0);
+  EXPECT_FALSE(db.ApplyDelta(bad_id).ok());
+
+  Delta bad_arity;
+  RelationDelta& rd = bad_arity.ForRelation(e);
+  rd.values = {1, 2, 3};  // not a multiple of arity 2
+  rd.weights = {0.5};
+  EXPECT_FALSE(db.ApplyDelta(bad_arity).ok());
+
+  EXPECT_EQ(db.version(), v0);
+  EXPECT_EQ(db.relation(e).NumTuples(), 4u);
+}
+
+// Satellite pin for the bump-before-mutate bug: the version must not
+// advance -- and no snapshot may be taken -- between a guard's writes
+// and its commit. A concurrent Snapshot() call blocks on the guard and
+// then MUST observe the fully-committed state (new version, new rows),
+// never a torn (old version, new rows) or (new version, old rows) view.
+TEST(DatabaseTest, GuardPublishesVersionOnlyAfterWritesCommit) {
+  Database db;
+  const RelationId e = db.Add(SmallEdgeRelation());
+  const uint64_t v0 = db.version();
+
+  std::shared_ptr<const DatabaseSnapshot> concurrent;
+  std::thread reader;
+  {
+    MutableRelationRef guard = db.mutable_relation(e);
+    guard->AddTuple({4, 5}, 0.5);
+    // Mid-mutation, the published version is still the old one.
+    EXPECT_EQ(db.version(), v0);
+    // A snapshot request racing the mutation blocks until commit.
+    reader = std::thread([&] { concurrent = db.Snapshot(); });
+    guard->AddTuple({5, 6}, 0.5);
+  }  // guard commits: snapshot installed first, version bumped second
+  reader.join();
+  EXPECT_GT(db.version(), v0);
+  ASSERT_NE(concurrent, nullptr);
+  EXPECT_EQ(concurrent->epoch(), db.version());
+  EXPECT_EQ(concurrent->view().relation(e).NumTuples(), 6u);
+}
+
+TEST(DatabaseTest, DeltaLogTrimsOldestVersionsFirst) {
+  Database db;
+  const RelationId e = db.Add(Relation::WithArity("R", 1));
+  const uint64_t v0 = db.version();
+  uint64_t mid = v0;
+  // Push well past the log bound; remember a version near the tail.
+  for (int i = 0; i < 1500; ++i) {
+    if (i == 1400) mid = db.version();
+    Delta d;
+    d.ForRelation(e).AddTuple({i}, 0.0);
+    ASSERT_TRUE(db.ApplyDelta(d).ok());
+  }
+  std::vector<AppendDelta> deltas;
+  EXPECT_FALSE(db.DeltasSince(v0, &deltas));  // trimmed away
+  ASSERT_TRUE(db.DeltasSince(mid, &deltas));  // still covered
+  EXPECT_EQ(deltas.size(), 100u);
+  EXPECT_EQ(db.relation(e).NumTuples(), 1500u);
 }
 
 TEST(DatabaseTest, AddAndFind) {

@@ -159,7 +159,7 @@ TEST(IntegrationTest, AgmBoundHoldsForTriangleAndFourCycle) {
     Rng rng(seed);
     Database db;
     const RelationId e = db.Add(UniformBinaryRelation("E", 50, 6, rng));
-    db.mutable_relation(e).DeduplicateKeepLightest();
+    db.mutable_relation(e)->DeduplicateKeepLightest();
     for (const ConjunctiveQuery& q :
          {TrianglePatternQuery(e), FourCycleQuery(e)}) {
       const auto bound = AgmBound(q, db);

@@ -189,7 +189,7 @@ TEST(AgmTest, BoundUpperBoundsActualOutputOnRandomInstances) {
     q.AddAtom(t, {2, 0});
     // Deduplicate to match AGM's set semantics.
     for (RelationId id : {r, s, t}) {
-      db.mutable_relation(id).DeduplicateKeepLightest();
+      db.mutable_relation(id)->DeduplicateKeepLightest();
     }
     const Relation out = NestedLoopJoin(db, q);
     const auto bound = AgmBound(q, db);

@@ -12,11 +12,13 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/data/delta.h"
 #include "src/engine/engine.h"
 #include "src/obs/instrumented_iterator.h"
 #include "src/obs/metrics.h"
@@ -943,7 +945,7 @@ TEST(ServingEngineTest, PlanCacheInvalidatesOnDataChange) {
   // Mutate the data (all cursors closed: the mutation contract). The
   // version bump must force a re-plan -- the old cardinalities, and
   // even the old grouping, no longer describe the data.
-  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({0, 0}, 0.5);
+  t.db.mutable_relation(t.query.atom(0).relation)->AddTuple({0, 0}, 0.5);
   const auto want = OracleSortedCosts(t);  // fresh oracle, post-mutation
 
   auto second = serving.OpenCursor(session, t.db, t.query);
@@ -1358,7 +1360,7 @@ TEST(ServingEngineTest, ArtifactCacheInvalidatesOnDataChange) {
   ASSERT_TRUE(serving.CloseCursor(first.value()).ok());
   EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);
 
-  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({0, 0}, 0.5);
+  t.db.mutable_relation(t.query.atom(0).relation)->AddTuple({0, 0}, 0.5);
   const auto want = OracleSortedCosts(t);  // fresh oracle, post-mutation
 
   auto second = serving.OpenCursor(session, t.db, t.query);
@@ -1401,7 +1403,7 @@ TEST(ServingEngineTest, InFlightCursorSurvivesArtifactInvalidation) {
   // everything it needs at build time (reduced relations, bags), so
   // the old cursor's stream stays exact over the OLD contents even
   // though the cache entry is now stale.
-  t.db.mutable_relation(t.query.atom(0).relation).AddTuple({9, 9}, 0.25);
+  t.db.mutable_relation(t.query.atom(0).relation)->AddTuple({9, 9}, 0.25);
   auto fresh = serving.OpenCursor(session, t.db, t.query);
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);  // rebuilt for new version
@@ -1539,6 +1541,199 @@ TEST(ServingStressTest, EvictionRacesInFlightFetchOnSharedArtifact) {
     EXPECT_FALSE(serving.Fetch(id, 1).ok());
   }
   ASSERT_TRUE(serving.CloseSession(session).ok());
+}
+
+// ---------------------------------------------------------- live updates
+
+// One committed append per atom, duplicating a fully joining assignment
+// so every appended tuple's join keys already exist in warm artifacts
+// and the patch path (rather than a rebuild) applies.
+Delta JoiningDelta(const Instance& t, double weight) {
+  const Relation out = NestedLoopJoin(t.db, t.query);
+  EXPECT_GT(out.NumTuples(), 0u);
+  const std::span<const Value> a = out.Tuple(0);
+  Delta delta;
+  for (size_t i = 0; i < t.query.NumAtoms(); ++i) {
+    const auto& atom = t.query.atom(i);
+    RelationDelta& rd = delta.ForRelation(atom.relation);
+    for (VarId v : atom.vars) {
+      rd.values.push_back(a[static_cast<size_t>(v)]);
+    }
+    rd.weights.push_back(weight);
+  }
+  return delta;
+}
+
+// The patch-or-evict acceptance pin: after ApplyDelta, a warm open
+// salvages BOTH cached layers -- the plan is retagged in place (within
+// the append-growth tolerance) and the artifact is delta-refolded --
+// so nothing is rebuilt, yet the stream serves the post-delta oracle.
+TEST(ServingEngineTest, ApplyDeltaPatchesWarmArtifactInsteadOfRebuilding) {
+  Instance t = MakePathInstance(3, 40, 4, 7);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+
+  auto cold = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(serving.Fetch(cold.value(), SIZE_MAX).ok());
+  ASSERT_TRUE(serving.CloseCursor(cold.value()).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);
+
+  ASSERT_TRUE(t.db.ApplyDelta(JoiningDelta(t, 0.375)).ok());
+  const auto want = OracleSortedCosts(t);  // post-delta ground truth
+
+  auto warm = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);  // patched, not rebuilt
+  EXPECT_EQ(serving.NumArtifactsPatched(), 1u);
+  EXPECT_EQ(serving.NumPlansComputed(), 1u);  // plan retagged in place
+  EXPECT_EQ(serving.GetPlanCacheStats().patches, 1u);
+  EXPECT_EQ(serving.GetArtifactCacheStats().patches, 1u);
+  auto outcome = serving.Fetch(warm.value(), SIZE_MAX);
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> got;
+  for (const RankedResult& r : outcome.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, want, "patched-artifact stream");
+
+  // The patched entry is current at the new epoch: the next open is a
+  // plain hit, no further patch or build.
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);
+  EXPECT_EQ(serving.NumArtifactsPatched(), 1u);
+}
+
+// When the delta's join keys were never interned (the structural refold
+// refuses), the serving layer falls back to a rebuild -- correctness is
+// never sacrificed for patch speed.
+TEST(ServingEngineTest, UnpatchableDeltaFallsBackToArtifactRebuild) {
+  Instance t = MakePathInstance(3, 40, 4, 9);
+  ServingEngine serving;
+  const SessionId session = serving.OpenSession();
+  ASSERT_TRUE(serving.OpenCursor(session, t.db, t.query).ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 1u);
+
+  Delta delta;  // a dangling tuple with keys outside the domain
+  delta.ForRelation(t.query.atom(1).relation).AddTuple({901, 902}, 1.0);
+  ASSERT_TRUE(t.db.ApplyDelta(delta).ok());
+  const auto want = OracleSortedCosts(t);
+
+  auto fresh = serving.OpenCursor(session, t.db, t.query);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(serving.NumArtifactsBuilt(), 2u);  // refused patch -> rebuild
+  EXPECT_EQ(serving.NumArtifactsPatched(), 0u);
+  auto outcome = serving.Fetch(fresh.value(), SIZE_MAX);
+  ASSERT_TRUE(outcome.ok());
+  std::vector<double> got;
+  for (const RankedResult& r : outcome.value().results) got.push_back(r.cost);
+  ExpectSameCosts(got, want, "post-rebuild stream");
+}
+
+// The headline concurrency contract, exercised under TSAN in CI:
+// writers commit deltas while readers open, drain, and close cursors.
+// Every stream is a complete, rank-ordered enumeration of some
+// published epoch, and a cursor opened BEFORE the storm -- drained
+// slice by slice WHILE 20 deltas commit -- stays bit-stable against
+// its pinned snapshot.
+TEST(ServingStressTest, MutateWhileFetchStormKeepsPinnedCursorsExact) {
+  constexpr size_t kReaderThreads = 6;
+  constexpr size_t kMutatorThreads = 2;
+  constexpr size_t kOpensPerReader = 8;
+  constexpr size_t kDeltasPerMutator = 10;
+
+  Instance t = MakePathInstance(3, 50, 6, 41);
+  const auto want_pre = OracleSortedCosts(t);
+  const size_t baseline = want_pre.size();
+  // One joining assignment, captured up front; every mutator appends
+  // duplicates of it so warm artifacts keep patching all storm long.
+  const Relation join_out = NestedLoopJoin(t.db, t.query);
+  ASSERT_GT(join_out.NumTuples(), 0u);
+  const std::vector<Value> assignment(join_out.Tuple(0).begin(),
+                                      join_out.Tuple(0).end());
+
+  ServingOptions options;
+  options.num_workers = 4;
+  ServingEngine serving(options);
+
+  const SessionId pinned_session = serving.OpenSession();
+  auto pinned = serving.OpenCursor(pinned_session, t.db, t.query);
+  ASSERT_TRUE(pinned.ok());
+
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t m = 0; m < kMutatorThreads; ++m) {
+    threads.emplace_back([&, m] {
+      for (size_t i = 0; i < kDeltasPerMutator; ++i) {
+        Delta delta;
+        for (size_t at = 0; at < t.query.NumAtoms(); ++at) {
+          const auto& atom = t.query.atom(at);
+          RelationDelta& rd = delta.ForRelation(atom.relation);
+          for (VarId v : atom.vars) {
+            rd.values.push_back(assignment[static_cast<size_t>(v)]);
+          }
+          rd.weights.push_back(
+              0.01 * static_cast<double>(m * kDeltasPerMutator + i + 1));
+        }
+        if (!t.db.ApplyDelta(delta).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (size_t r = 0; r < kReaderThreads; ++r) {
+    threads.emplace_back([&, r] {
+      const SessionId session = serving.OpenSession();
+      for (size_t c = 0; c < kOpensPerReader; ++c) {
+        auto id = serving.OpenCursor(session, t.db, t.query);
+        if (!id.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto outcome = serving.Fetch(id.value(), SIZE_MAX);
+        if (!outcome.ok()) {
+          failures.fetch_add(1);
+        } else {
+          // A complete enumeration of SOME epoch: never smaller than
+          // the pre-storm output (appends only), never out of order.
+          const auto& results = outcome.value().results;
+          if (results.size() < baseline) failures.fetch_add(1);
+          for (size_t i = 1; i < results.size(); ++i) {
+            if (results[i].cost + 1e-12 < results[i - 1].cost) {
+              failures.fetch_add(1);
+              break;
+            }
+          }
+        }
+        if (!serving.CloseCursor(id.value()).ok()) failures.fetch_add(1);
+      }
+      if (!serving.CloseSession(session).ok()) failures.fetch_add(1);
+    });
+  }
+
+  // Drain the pinned cursor in small slices WHILE the storm runs: the
+  // snapshot it holds keeps every chunk it enumerates alive and
+  // untouched, so the stream must be exactly the pre-storm oracle.
+  std::vector<double> got;
+  while (true) {
+    auto slice = serving.Fetch(pinned.value(), 16);
+    ASSERT_TRUE(slice.ok());
+    for (const RankedResult& r : slice.value().results) got.push_back(r.cost);
+    if (slice.value().cursor_state != CursorState::kActive) break;
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  ExpectSameCosts(got, want_pre, "pinned pre-storm stream");
+
+  // A fresh open observes every committed delta.
+  const auto want_post = OracleSortedCosts(t);
+  auto fresh = serving.OpenCursor(pinned_session, t.db, t.query);
+  ASSERT_TRUE(fresh.ok());
+  auto post_outcome = serving.Fetch(fresh.value(), SIZE_MAX);
+  ASSERT_TRUE(post_outcome.ok());
+  std::vector<double> post;
+  for (const RankedResult& r : post_outcome.value().results) {
+    post.push_back(r.cost);
+  }
+  ExpectSameCosts(post, want_post, "post-storm stream");
+  ASSERT_TRUE(serving.CloseSession(pinned_session).ok());
 }
 
 }  // namespace

@@ -12,12 +12,14 @@
 
 #include <gtest/gtest.h>
 
+#include "src/data/delta.h"
 #include "src/data/generators.h"
 #include "src/engine/engine.h"
 #include "src/join/nested_loop.h"
 #include "src/query/agm.h"
 #include "src/query/decomposition.h"
 #include "src/stats/cardinality_estimator.h"
+#include "src/stats/estimator_cache.h"
 #include "src/util/rng.h"
 #include "tests/test_instances.h"
 
@@ -354,6 +356,99 @@ TEST(CostAwareGroupingTest, HonorsTheCostFunction) {
   for (const auto& group : grouping->groups) {
     EXPECT_NE(group, (std::vector<size_t>{0, 1}));
   }
+}
+
+// ----------------------------------------- live-update sample patching
+
+TEST(RelationSampleTest, ExtendToMatchesFreshDrawWhileFullySampled) {
+  Rng rng(11);
+  Relation r = UniformBinaryRelation("R", 60, 20, rng);
+  RelationSample s(r, 200, 7);
+  // Grow the relation but stay within the reservoir capacity: the
+  // continued reservoir must equal a fresh draw bit-for-bit (both are
+  // just "all rows").
+  Relation grown = r;
+  for (int i = 0; i < 40; ++i) grown.AddTuple({i, i + 1}, 0.5);
+  s.ExtendTo(grown);
+  const RelationSample fresh(grown, 200, 7);
+  EXPECT_EQ(s.sampled_rows(), fresh.sampled_rows());
+  EXPECT_EQ(s.num_seen(), 100u);
+  EXPECT_NEAR(s.scale(), 1.0, 1e-12);
+}
+
+TEST(RelationSampleTest, ExtendToStaysValidUniformReservoirBeyondCapacity) {
+  Rng rng(12);
+  Relation r = UniformBinaryRelation("R", 1000, 50, rng);
+  RelationSample a(r, 100, 7);
+  RelationSample b(r, 100, 7);
+  Relation grown = r;
+  for (int i = 0; i < 1000; ++i) grown.AddTuple({i % 50, i % 49}, 0.5);
+  a.ExtendTo(grown);
+  b.ExtendTo(grown);
+  // Deterministic continuation, valid reservoir invariants.
+  EXPECT_EQ(a.sampled_rows(), b.sampled_rows());
+  ASSERT_EQ(a.sampled_rows().size(), 100u);
+  EXPECT_EQ(a.num_seen(), 2000u);
+  EXPECT_NEAR(a.scale(), 20.0, 1e-9);
+  bool saw_appended = false;
+  for (size_t i = 0; i < a.sampled_rows().size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(a.sampled_rows()[i - 1], a.sampled_rows()[i]);
+    }
+    EXPECT_LT(a.sampled_rows()[i], grown.NumTuples());
+    saw_appended |= a.sampled_rows()[i] >= 1000;
+  }
+  // Appended rows displace old ones with the right probability; with
+  // 1000 appended rows vying for 100 slots, at least one landing is a
+  // (1 - ~2^-100) certainty.
+  EXPECT_TRUE(saw_appended);
+}
+
+TEST(EstimatorCacheTest, KeyedLruServesTwoDatabasesWithoutThrash) {
+  Instance a = MakePathInstance(2, 200, 30, 21);
+  Instance b = MakePathInstance(2, 200, 30, 22);
+  EstimatorCache cache(4);
+  cache.For(a.db);
+  cache.For(b.db);
+  // The old single-entry cache rebuilt on every alternation; the keyed
+  // LRU must hold both.
+  cache.For(a.db);
+  cache.For(b.db);
+  cache.For(a.db);
+  EXPECT_EQ(cache.NumBuilds(), 2u);
+  EXPECT_EQ(cache.NumPatches(), 0u);
+}
+
+TEST(EstimatorCacheTest, AppendDeltaPatchesInsteadOfRebuilding) {
+  Database db;
+  Rng rng(23);
+  const RelationId e = db.Add(UniformBinaryRelation("E", 300, 40, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+
+  EstimatorCache cache;
+  const auto before = cache.For(db);
+  EXPECT_EQ(cache.NumBuilds(), 1u);
+  EXPECT_DOUBLE_EQ(before->EstimateOutput(q), 300.0);
+
+  Delta d;
+  for (int i = 0; i < 10; ++i) d.ForRelation(e).AddTuple({i, i}, 0.5);
+  ASSERT_TRUE(db.ApplyDelta(d).ok());
+
+  // Covered gap: the stale estimator is copied + extended, not rebuilt,
+  // and the patched copy sees the appended rows.
+  const auto after = cache.For(db);
+  EXPECT_EQ(cache.NumBuilds(), 1u);
+  EXPECT_EQ(cache.NumPatches(), 1u);
+  EXPECT_DOUBLE_EQ(after->EstimateOutput(q), 310.0);
+  // The pre-delta estimator still serves its pinned snapshot.
+  EXPECT_DOUBLE_EQ(before->EstimateOutput(q), 300.0);
+
+  // A barrier mutation clears the log: next For() is a full rebuild.
+  db.mutable_relation(e)->DeduplicateKeepLightest();
+  cache.For(db);
+  EXPECT_EQ(cache.NumBuilds(), 2u);
+  EXPECT_EQ(cache.NumPatches(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Regression guard over BENCH_e16.json (bench_e16_live_updates).
+
+Gates the live-update claim: after a small committed append delta, the
+incremental path (ApplyDelta + artifact TryPatch) must beat a cold
+rebuild, and the patch must be delta-scoped, not a disguised rebuild.
+
+  * rebuild / (delta apply + patch) >= 5x on the preprocessing-heavy
+    path-4 workload (in practice far higher; 5x keeps the gate robust
+    on noisy CI runners).
+  * refold locality: the patch refolded only a minority of the T-DP
+    groups -- a small append must not refold the world.
+  * the appended row count matches what the delta committed.
+  * serving pin: the warm OpenCursor after the delta patched the
+    cached artifact in place (patches = 1) instead of rebuilding
+    (builds stays 1).
+  * the patched and rebuilt artifacts agreed on the top-k prefix.
+
+Usage: check_bench_e16.py path/to/BENCH_e16.json
+"""
+import json
+import sys
+
+MIN_REBUILD_INCREMENTAL_RATIO = 5.0
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_e16 regression: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_e16.py BENCH_e16.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    ratio = data.get("rebuild_incremental_ratio")
+    if ratio is None:
+        fail("rebuild_incremental_ratio missing from JSON")
+    if ratio < MIN_REBUILD_INCREMENTAL_RATIO:
+        fail(
+            f"rebuild/incremental ratio {ratio:.1f}x < "
+            f"{MIN_REBUILD_INCREMENTAL_RATIO}x "
+            f"(rebuild={data.get('rebuild_ns')}ns "
+            f"apply={data.get('delta_apply_ns')}ns "
+            f"patch={data.get('patch_ns')}ns): the incremental path is "
+            f"not paying off against a cold rebuild"
+        )
+
+    total = data.get("groups_total")
+    refolded = data.get("groups_refolded")
+    if total is None or refolded is None:
+        fail("groups_total / groups_refolded missing from JSON")
+    if refolded <= 0:
+        fail("patch refolded no groups (the delta appended joining rows)")
+    if refolded * 2 >= total:
+        fail(
+            f"patch refolded {refolded} of {total} groups: the refold is "
+            f"not delta-scoped"
+        )
+
+    rows = data.get("rows_appended")
+    want_rows = 3 * data.get("delta_rows_per_relation", 0)
+    if rows != want_rows:
+        fail(f"patch absorbed {rows} appended rows (want {want_rows})")
+
+    builds = data.get("serving_artifact_builds")
+    patches = data.get("serving_artifact_patches")
+    if builds != 1:
+        fail(
+            f"serving rebuilt after the delta ({builds} builds; want the "
+            f"single pre-delta build)"
+        )
+    if patches != 1:
+        fail(f"serving recorded {patches} artifact patches (want 1)")
+
+    if data.get("streams_agree") is not True:
+        fail("patched and rebuilt artifacts disagreed on the top-k prefix")
+
+    print(
+        f"BENCH_e16 guard: rebuild/incremental {ratio:.1f}x >= "
+        f"{MIN_REBUILD_INCREMENTAL_RATIO}x, refolded {refolded}/{total} "
+        f"groups for {rows} appended rows, serving patched in place, "
+        f"all checks passed"
+    )
+
+
+if __name__ == "__main__":
+    main()
