@@ -913,6 +913,10 @@ std::optional<Tdp<CM>> Tdp<CM>::Patched(const Tdp& base,
     if (sit != start.end()) {
       const Relation& live = view.relation(query.atom(n.atom).relation);
       const size_t live_rows = live.NumTuples();
+      // Deltas describing rows `view` does not contain (an
+      // epoch-regressed caller handed deltas newer than its snapshot)
+      // cannot be folded: refuse the patch rather than underflow.
+      if (sit->second > live_rows) return std::nullopt;
       // One exact reallocation each instead of doubling growth: the
       // copied arenas arrive with capacity == size.
       const size_t expect = live_rows - sit->second;

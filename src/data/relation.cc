@@ -1,6 +1,7 @@
 #include "src/data/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <utility>
 
@@ -28,6 +29,17 @@ Relation::Chunk* Relation::WritableTail() {
     // The tail is visible through another Relation (a snapshot copy):
     // clone it so the append stays private to this relation.
     tail = std::make_shared<Chunk>(*tail);
+  } else {
+    // Classic use_count COW caveat: use_count() is a relaxed load, so
+    // observing 1 after a reader thread dropped the last snapshot
+    // reference is not by itself ordered after that reader's final
+    // chunk reads. The acquire fence pairs with the release decrement
+    // that brought the count to 1, making the in-place mutation below
+    // happen-after them. (In this codebase the window is already
+    // narrow: Database serializes writers and snapshot construction on
+    // one mutex, and live readers pin their snapshot, keeping the
+    // count >= 2 for as long as they read.)
+    std::atomic_thread_fence(std::memory_order_acquire);
   }
   return tail.get();
 }

@@ -14,6 +14,13 @@ std::shared_ptr<const PreprocessingArtifact> ArtifactCache::Lookup(
     ++stats_.misses;
     return nullptr;
   }
+  if (it->second->db_version > db_version) {
+    // The entry was built for a LATER epoch than this lookup's (a
+    // racing open got there first). It is still the right entry for
+    // live-epoch lookups, so keep it; this request just misses.
+    ++stats_.misses;
+    return nullptr;
+  }
   if (it->second->db_version != db_version) {
     // The database changed since this artifact was built: its
     // materialized bags / T-DP structure reflect the old contents.
@@ -35,6 +42,15 @@ ArtifactCache::LookupResult ArtifactCache::LookupForPatch(
   LookupResult out;
   const auto it = index_.find(key);
   if (it == index_.end()) {
+    ++stats_.misses;
+    return out;
+  }
+  if (it->second->db_version > db_version) {
+    // The entry was built for a LATER epoch than the caller's pinned
+    // snapshot (a racing open already upgraded it). Patches only go
+    // forward -- handing it back would graft post-epoch rows onto the
+    // caller's older view -- and the entry is still the best one for
+    // future live-epoch opens, so keep it and report a plain miss.
     ++stats_.misses;
     return out;
   }
@@ -66,6 +82,11 @@ void ArtifactCache::Insert(
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    if (it->second->db_version > db_version) {
+      // A racing open already cached a later-epoch artifact; replacing
+      // it with this older build would regress the entry.
+      return;
+    }
     it->second->db_version = db_version;
     it->second->artifact = std::move(artifact);
     lru_.splice(lru_.begin(), lru_, it->second);

@@ -43,7 +43,9 @@ class ArtifactCache {
 
   /// Returns the cached artifact for `key` built against `db_version`,
   /// or nullptr on a miss. An entry cached against an older version is
-  /// dropped (counted as an invalidation) and reported as a miss.
+  /// dropped (counted as an invalidation) and reported as a miss; an
+  /// entry cached against a NEWER version (a racing open for a later
+  /// epoch got there first) is kept and reported as a plain miss.
   std::shared_ptr<const PreprocessingArtifact> Lookup(
       const PlanCache::Fingerprint& key, uint64_t db_version);
 
@@ -64,7 +66,10 @@ class ArtifactCache {
   /// and counted as invalidation + miss), but the stale artifact and
   /// its build version are handed back so the caller can attempt an
   /// incremental patch (PreprocessingArtifact::TryPatch) and Insert the
-  /// result -- the patch-or-evict upgrade over nuke-on-bump.
+  /// result -- the patch-or-evict upgrade over nuke-on-bump. Only an
+  /// entry OLDER than `db_version` is handed back: patches go forward,
+  /// so a newer entry (racing open for a later epoch) is kept in place
+  /// and the lookup is a plain miss with no patch input.
   LookupResult LookupForPatch(const PlanCache::Fingerprint& key,
                               uint64_t db_version);
 
@@ -74,6 +79,8 @@ class ArtifactCache {
 
   /// Caches `artifact` for `key` at `db_version`, replacing any older
   /// entry and evicting the least-recently-used entry beyond capacity.
+  /// A no-op when a newer-versioned entry already holds the key (never
+  /// downgrades a racing open's later-epoch artifact).
   void Insert(const PlanCache::Fingerprint& key, uint64_t db_version,
               std::shared_ptr<const PreprocessingArtifact> artifact);
 

@@ -22,15 +22,19 @@ constexpr uint64_t kPresent = 1;
 // with growth, not at a cliff.
 constexpr double kMaxPatchGrowth = 0.10;
 
-// Whether the append-only gap described by `deltas` is small enough to
-// keep a plan made before it. `db` supplies the *current* relation
-// sizes (post-append), so growth is appended / (current - appended).
-bool AppendsWithinPlanTolerance(const Database& db,
+// Whether the append-only gap described by `deltas` (already clamped to
+// the requested epoch) is small enough to keep a plan made before it.
+// `view` is the caller's pinned snapshot at that epoch, so its relation
+// sizes are exact post-append sizes AT THE EPOCH -- not the live
+// database's, which a concurrent writer may have grown further -- and
+// reading them races with nothing. Growth is appended / (at_epoch -
+// appended).
+bool AppendsWithinPlanTolerance(const Database& view,
                                 const std::vector<AppendDelta>& deltas) {
   std::unordered_map<RelationId, uint64_t> appended;
   for (const AppendDelta& d : deltas) appended[d.relation] += d.num_rows;
   for (const auto& [relation, rows] : appended) {
-    const uint64_t now = db.relation(relation).NumTuples();
+    const uint64_t now = view.relation(relation).NumTuples();
     if (now < rows) return false;  // shrunk?! treat as not coverable
     const uint64_t before = now - rows;
     if (static_cast<double>(rows) >
@@ -78,10 +82,19 @@ PlanCache::Fingerprint PlanCache::Make(const Database& db,
 
 std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
                                            uint64_t db_version,
-                                           const Database* live_db) {
+                                           const Database* live_db,
+                                           const Database* epoch_view) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->db_version > db_version) {
+    // The entry was planned for a LATER epoch than this request's
+    // pinned snapshot (a racing open got there first). Retagging it
+    // down would make live-epoch requests re-patch or re-plan it over
+    // and over across interleaved epochs; keep it and just miss.
     ++stats_.misses;
     return std::nullopt;
   }
@@ -91,14 +104,21 @@ std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
     // Unless, that is, the gap is a small pure-append delta: then they
     // hold to within kMaxPatchGrowth and the plan is salvaged in place.
     std::vector<AppendDelta> deltas;
-    if (live_db != nullptr && live_db->DeltasSince(it->second->db_version,
-                                                   &deltas) &&
-        AppendsWithinPlanTolerance(*live_db, deltas)) {
-      it->second->db_version = db_version;
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.patches;
-      ++stats_.hits;
-      return it->second->plan;
+    if (live_db != nullptr && epoch_view != nullptr &&
+        live_db->DeltasSince(it->second->db_version, &deltas)) {
+      // The log catches up to the live version, which may already be
+      // past this request's snapshot; the plan is only being retagged
+      // to `db_version`, so judge the gap up to there and no further.
+      std::erase_if(deltas, [db_version](const AppendDelta& d) {
+        return d.to_version > db_version;
+      });
+      if (AppendsWithinPlanTolerance(*epoch_view, deltas)) {
+        it->second->db_version = db_version;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.patches;
+        ++stats_.hits;
+        return it->second->plan;
+      }
     }
     EraseLocked(it->second);
     ++stats_.invalidations;
@@ -116,6 +136,11 @@ void PlanCache::Insert(const Fingerprint& key, uint64_t db_version,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    if (it->second->db_version > db_version) {
+      // A racing open already cached a later-epoch plan; replacing it
+      // with this older one would regress the entry.
+      return;
+    }
     it->second->db_version = db_version;
     it->second->plan = plan;
     lru_.splice(lru_.begin(), lru_, it->second);

@@ -69,24 +69,32 @@ class PlanCache {
                           const RankingSpec& ranking,
                           const ExecutionOptions& opts);
 
-  /// Returns the cached plan when present and planned at `db_version`;
-  /// a version mismatch drops the stale entry and misses.
+  /// Returns the cached plan when present and planned at `db_version`.
+  /// An entry planned at an OLDER version is dropped and the lookup
+  /// misses; an entry planned at a NEWER version (a racing open for a
+  /// later epoch got there first) is kept in place and the lookup is a
+  /// plain miss.
   ///
-  /// When `live_db` is given, a version mismatch first tries to salvage
-  /// the entry: if the gap from the cached version is pure appends
-  /// (covered by the delta log) and every touched relation grew by at
-  /// most ~10%, the plan's cardinality estimates -- and hence its
-  /// strategy/grouping choice -- still hold, so the entry is retagged
-  /// to `db_version` and returned as a hit (counted under
-  /// stats().patches). Barriers, trimmed logs, or larger growth evict
-  /// as before.
+  /// When `live_db` and `epoch_view` are given, an older entry is
+  /// first salvaged if possible: if the gap from the cached version up
+  /// to `db_version` is pure appends (covered by `live_db`'s delta
+  /// log; records committed after `db_version` are ignored) and every
+  /// touched relation grew by at most ~10% of its size in
+  /// `epoch_view` -- the caller's pinned snapshot at `db_version`, so
+  /// the sizes are exact and race-free -- the plan's cardinality
+  /// estimates still hold and the entry is retagged to `db_version`
+  /// and returned as a hit (counted under stats().patches). Barriers,
+  /// trimmed logs, or larger growth evict as before.
   std::optional<QueryPlan> Lookup(const Fingerprint& key, uint64_t db_version,
-                                  const Database* live_db = nullptr);
+                                  const Database* live_db = nullptr,
+                                  const Database* epoch_view = nullptr);
 
   /// Caches `plan` for the key at `db_version`, evicting the least
   /// recently used entry beyond capacity. Re-inserting an existing key
   /// overwrites (last planner wins; concurrent planners of the same
-  /// query produce identical plans anyway -- planning is deterministic).
+  /// query produce identical plans anyway -- planning is
+  /// deterministic), except that an existing entry at a NEWER version
+  /// is kept: a plan from an older snapshot never downgrades it.
   void Insert(const Fingerprint& key, uint64_t db_version,
               const QueryPlan& plan);
 

@@ -129,11 +129,12 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
   // grouping -- and then skip preprocessing too: the artifact cache
   // shares the compiled T-DP/bag artifact across cursors, so a warm
   // OpenCursor only mints a per-cursor enumeration state. Passing the
-  // live db to Lookup lets a stale plan survive a small pure-append
-  // delta (retagged in place) instead of being replanned.
+  // live db (for its delta log) and the pinned view (for exact sizes
+  // at this epoch) to Lookup lets a stale plan survive a small
+  // pure-append delta (retagged in place) instead of being replanned.
   const PlanCache::Fingerprint key =
       PlanCache::Make(db, query, ranking, opts);
-  std::optional<QueryPlan> plan = plan_cache_.Lookup(key, epoch, &db);
+  std::optional<QueryPlan> plan = plan_cache_.Lookup(key, epoch, &db, &view);
   if (!plan.has_value()) {
     if constexpr (kMetricsEnabled) {
       MetricsRegistry::Global()
@@ -175,9 +176,18 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
     // (delta log covers it) whose keys fit the existing group
     // structure, upgrade it in place -- only the delta-touched T-DP
     // groups are refolded -- instead of rebuilding from scratch.
-    if (cached.artifact != nullptr) {
+    // Patches only go FORWARD to this open's pinned epoch: the cache
+    // never hands back an artifact newer than `epoch` (see
+    // LookupForPatch), and since the delta log always catches up to
+    // the live version -- which a concurrent ApplyDelta may have moved
+    // past our snapshot -- deltas committed after `epoch` are dropped,
+    // or the patch would fold rows the snapshot does not contain.
+    if (cached.artifact != nullptr && cached.built_version < epoch) {
       std::vector<AppendDelta> deltas;
       if (db.DeltasSince(cached.built_version, &deltas)) {
+        std::erase_if(deltas, [epoch](const AppendDelta& d) {
+          return d.to_version > epoch;
+        });
         artifact = cached.artifact->TryPatch(view, deltas);
       }
     }

@@ -45,10 +45,27 @@ std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
     entries_.splice(entries_.begin(), entries_, it);
     return it->est;
   }
+  if (it != entries_.end() && it->epoch > epoch) {
+    // The cached entry was built for a LATER epoch than this request's
+    // pinned snapshot: a concurrent request that snapshotted after a
+    // delta raced ahead of us. Patching backwards is impossible (the
+    // reservoirs would have to shrink -- ExtendTo aborts), and
+    // rewriting the entry down would regress it for live-epoch
+    // requests. Serve this request a one-off estimator built from its
+    // own snapshot and leave the newer entry untouched.
+    CountMetric("stats.estimator_cache_misses");
+    auto built = std::make_shared<const CardinalityEstimator>(snap->view());
+    ++builds_;
+    return Alias(std::move(snap), std::move(built));
+  }
   if (it != entries_.end()) {
-    // Stale entry for this database. If the gap is pure appends, patch
-    // the estimator (extend its reservoirs over the appended rows)
-    // instead of resampling every relation from scratch.
+    // Entry older than the pinned snapshot. If the gap is pure appends,
+    // patch the estimator (extend its reservoirs over the appended
+    // rows) instead of resampling every relation from scratch. The
+    // delta log covers it->epoch -> live; coverage to live implies
+    // coverage to the (intermediate or equal) snapshot epoch, and
+    // RetargetAndExtend only consumes rows present in snap->view(), so
+    // the patch lands exactly at `epoch`.
     std::vector<AppendDelta> deltas;
     if (db.DeltasSince(it->epoch, &deltas)) {
       auto patched = std::make_shared<CardinalityEstimator>(*it->est);

@@ -12,6 +12,7 @@
 #include "src/data/database.h"
 #include "src/data/delta.h"
 #include "src/ranking/cost_model.h"
+#include "src/serving/artifact_cache.h"
 #include "tests/test_instances.h"
 
 namespace topkjoin {
@@ -193,6 +194,60 @@ TEST(LiveUpdateTest, PatchRefusedWhenDeltaIntroducesUnseenJoinKey) {
   std::vector<AppendDelta> deltas;
   ASSERT_TRUE(t.db.DeltasSince(built_at, &deltas));
   EXPECT_EQ(base->TryPatch(t.db.Snapshot()->view(), deltas), nullptr);
+}
+
+// An epoch-regressed caller's deltas can describe rows the pinned view
+// does not contain (the delta log always catches up to the LIVE
+// version). The refold must refuse -- the old code underflowed
+// `live_rows - start` and reserved a near-SIZE_MAX arena.
+TEST(LiveUpdateTest, PatchRefusedWhenDeltasDescribeRowsBeyondView) {
+  Instance t = MakePathInstance(3, 60, 8, 7);
+  auto base =
+      MakeTreeArtifact<SumCost>(t.db, t.query, AnyKAlgorithm::kPartLazy,
+                                nullptr);
+  const auto snap = t.db.Snapshot();
+  const RelationId rel = t.query.atom(0).relation;
+  std::vector<AppendDelta> bogus;
+  bogus.push_back(AppendDelta{
+      .to_version = t.db.version() + 1,
+      .relation = rel,
+      .first_row = static_cast<RowId>(snap->view().relation(rel).NumTuples() + 4),
+      .num_rows = 2});
+  EXPECT_EQ(base->TryPatch(snap->view(), bogus), nullptr);
+}
+
+// The epoch-regression race at the cache: a racing open caches an
+// artifact at a NEWER epoch, then an open still pinned at the pre-delta
+// snapshot looks up. It must get a plain miss -- handing the newer
+// artifact back as "patch input" grafted post-epoch rows onto the older
+// view (duplicate results) -- and neither its lookup nor its own
+// build's Insert may displace the newer entry.
+TEST(LiveUpdateTest, ArtifactCacheKeepsNewerEntryOnOlderEpochLookup) {
+  Instance t = MakePathInstance(3, 60, 8, 7);
+  const uint64_t old_epoch = t.db.version();
+  auto old_art =
+      MakeTreeArtifact<SumCost>(t.db, t.query, AnyKAlgorithm::kPartLazy,
+                                nullptr);
+  ASSERT_TRUE(t.db.ApplyDelta(JoiningDelta(t, 0.5)).ok());
+  const uint64_t new_epoch = t.db.version();
+  auto new_art =
+      MakeTreeArtifact<SumCost>(t.db.Snapshot()->view(), t.query,
+                                AnyKAlgorithm::kPartLazy, nullptr);
+
+  ArtifactCache cache(/*capacity=*/4);
+  const auto key = PlanCache::Make(t.db, t.query, {}, {});
+  cache.Insert(key, new_epoch, new_art);
+
+  const auto res = cache.LookupForPatch(key, old_epoch);
+  EXPECT_EQ(res.artifact, nullptr);
+  EXPECT_FALSE(res.fresh);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  cache.Insert(key, old_epoch, old_art);  // must not downgrade
+  const auto live = cache.LookupForPatch(key, new_epoch);
+  EXPECT_TRUE(live.fresh);
+  EXPECT_EQ(live.artifact, new_art);
 }
 
 TEST(LiveUpdateTest, BatchArtifactRefusesPatch) {

@@ -890,6 +890,73 @@ TEST(PlanCacheTest, HitMissInvalidateAndEvict) {
   EXPECT_EQ(off.stats().entries, 0u);
 }
 
+// The epoch-regression race: an open pins its snapshot, a delta
+// commits, and a racing open caches the plan at the NEWER epoch first.
+// The slow open's lookup and insert must both leave the newer entry in
+// place -- the old code retagged it down (or overwrote it), causing
+// patch/evict churn across interleaved epochs.
+TEST(PlanCacheTest, OlderEpochLookupAndInsertKeepNewerEntry) {
+  Instance t = MakePathInstance(3, 30, 4, 5);
+  PlanCache cache(/*capacity=*/2);
+  const auto key = PlanCache::Make(t.db, t.query, {}, {});
+  const auto pinned = t.db.Snapshot();  // the slow open's snapshot
+
+  Delta d;
+  d.ForRelation(t.query.atom(0).relation).AddTuple({0, 1}, 1.0);
+  ASSERT_TRUE(t.db.ApplyDelta(d).ok());
+  QueryPlan newer;
+  newer.estimated_output = 77.0;
+  cache.Insert(key, t.db.version(), newer);  // racing open wins the slot
+
+  // Plain miss: neither dropped nor retagged down to the old epoch.
+  EXPECT_FALSE(
+      cache.Lookup(key, pinned->epoch(), &t.db, &pinned->view()).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().patches, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // The slow open plans for itself; inserting that older-epoch plan
+  // must not downgrade the entry.
+  QueryPlan older;
+  older.estimated_output = 11.0;
+  cache.Insert(key, pinned->epoch(), older);
+  const auto hit = cache.Lookup(key, t.db.version());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->estimated_output, 77.0);
+}
+
+// A stale plan's append-growth tolerance is judged over the gap up to
+// the request's pinned epoch, with that epoch's exact relation sizes --
+// not up to the live version, which a concurrent writer may have grown
+// far past the tolerance.
+TEST(PlanCacheTest, RetagJudgesAppendGapAtThePinnedEpoch) {
+  Instance t = MakePathInstance(3, 30, 4, 5);
+  PlanCache cache(/*capacity=*/2);
+  QueryPlan plan;
+  plan.estimated_output = 42.0;
+  const auto key = PlanCache::Make(t.db, t.query, {}, {});
+  cache.Insert(key, t.db.version(), plan);
+
+  // One appended row (well within ~10%) up to the pinned epoch...
+  Delta small;
+  small.ForRelation(t.query.atom(0).relation).AddTuple({0, 1}, 1.0);
+  ASSERT_TRUE(t.db.ApplyDelta(small).ok());
+  const auto pinned = t.db.Snapshot();
+  // ...then a much larger append moves the live database past it.
+  Delta big;
+  for (int i = 0; i < 20; ++i) {
+    big.ForRelation(t.query.atom(0).relation).AddTuple({i, i + 1}, 1.0);
+  }
+  ASSERT_TRUE(t.db.ApplyDelta(big).ok());
+
+  const auto hit =
+      cache.Lookup(key, pinned->epoch(), &t.db, &pinned->view());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->estimated_output, 42.0);
+  EXPECT_EQ(cache.stats().patches, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
 // The acceptance pin: a warm OpenCursor must skip PlanQuery entirely --
 // counter-verified, not just faster -- and still serve the exact stream.
 TEST(ServingEngineTest, WarmOpenCursorSkipsPlanQuery) {

@@ -451,5 +451,69 @@ TEST(EstimatorCacheTest, AppendDeltaPatchesInsteadOfRebuilding) {
   EXPECT_EQ(cache.NumPatches(), 1u);
 }
 
+// The epoch-regression race: a request pins its snapshot, a delta
+// commits, and a concurrent request caches the estimator at the NEWER
+// epoch before the first request reaches the cache. The old code
+// "patched" the newer entry backwards -- RetargetAndExtend over a
+// smaller relation trips the fatal reservoir check and aborts the
+// process -- and rewrote the entry's epoch down.
+TEST(EstimatorCacheTest, OlderSnapshotNeverRegressesNewerEntry) {
+  Database db;
+  Rng rng(29);
+  const RelationId e = db.Add(UniformBinaryRelation("E", 300, 40, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+
+  const auto pinned = db.Snapshot();  // the slow request's snapshot
+  Delta d;
+  for (int i = 0; i < 10; ++i) d.ForRelation(e).AddTuple({i, i}, 0.5);
+  ASSERT_TRUE(db.ApplyDelta(d).ok());
+
+  EstimatorCache cache;
+  const auto fresh = cache.For(db);  // the racing request wins the slot
+  EXPECT_EQ(cache.NumBuilds(), 1u);
+  EXPECT_DOUBLE_EQ(fresh->EstimateOutput(q), 310.0);
+
+  // The pinned-snapshot request gets a one-off estimator over its own
+  // epoch's data -- no abort, no patch, newer entry untouched.
+  const auto old_est = cache.For(db, pinned);
+  EXPECT_DOUBLE_EQ(old_est->EstimateOutput(q), 300.0);
+  EXPECT_EQ(cache.NumBuilds(), 2u);
+  EXPECT_EQ(cache.NumPatches(), 0u);
+
+  // The cached entry still serves the live epoch as a plain hit.
+  const auto live = cache.For(db);
+  EXPECT_EQ(cache.NumBuilds(), 2u);
+  EXPECT_DOUBLE_EQ(live->EstimateOutput(q), 310.0);
+}
+
+// An entry older than the pinned snapshot still patches -- but only up
+// to the snapshot: deltas committed past it (the live database moved
+// on) must not leak into the patched estimator.
+TEST(EstimatorCacheTest, PatchStopsAtThePinnedIntermediateEpoch) {
+  Database db;
+  Rng rng(31);
+  const RelationId e = db.Add(UniformBinaryRelation("E", 300, 40, rng));
+  ConjunctiveQuery q;
+  q.AddAtom(e, {0, 1});
+
+  EstimatorCache cache;
+  cache.For(db);  // entry at the base epoch
+  EXPECT_EQ(cache.NumBuilds(), 1u);
+
+  Delta d1;
+  for (int i = 0; i < 10; ++i) d1.ForRelation(e).AddTuple({i, i}, 0.5);
+  ASSERT_TRUE(db.ApplyDelta(d1).ok());
+  const auto pinned = db.Snapshot();  // intermediate epoch: 310 rows
+  Delta d2;
+  for (int i = 0; i < 10; ++i) d2.ForRelation(e).AddTuple({i, i + 1}, 0.5);
+  ASSERT_TRUE(db.ApplyDelta(d2).ok());  // live epoch: 320 rows
+
+  const auto est = cache.For(db, pinned);
+  EXPECT_EQ(cache.NumBuilds(), 1u);
+  EXPECT_EQ(cache.NumPatches(), 1u);
+  EXPECT_DOUBLE_EQ(est->EstimateOutput(q), 310.0);
+}
+
 }  // namespace
 }  // namespace topkjoin
