@@ -73,7 +73,7 @@ void Database::TrimLogLocked() {
 }
 
 RelationId Database::Add(Relation relation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   relations_.push_back(std::make_unique<Relation>(std::move(relation)));
   const uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
   BarrierLocked(new_version);
@@ -88,7 +88,7 @@ MutableRelationRef Database::mutable_relation(RelationId id) {
 
 MutableRelationRef::MutableRelationRef(Database* db, Relation* relation)
     : db_(db), relation_(relation) {
-  db_->mu_.lock();
+  db_->mu_.Lock();
 }
 
 MutableRelationRef::~MutableRelationRef() {
@@ -100,7 +100,7 @@ MutableRelationRef::~MutableRelationRef() {
       db_->version_.load(std::memory_order_relaxed) + 1;
   db_->BarrierLocked(new_version);
   db_->PublishLocked(new_version);
-  db_->mu_.unlock();
+  db_->mu_.Unlock();
 }
 
 Status Database::ApplyDelta(const Delta& delta) {
@@ -108,7 +108,7 @@ Status Database::ApplyDelta(const Delta& delta) {
                         ? MetricsRegistry::Global().GetHistogram(
                               "data.delta_apply_ns")
                         : nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const RelationDelta& rd : delta.relations) {
     if (rd.relation >= relations_.size()) {
       return Status::Error("ApplyDelta: unknown relation id");
@@ -147,7 +147,7 @@ Status Database::ApplyDelta(const Delta& delta) {
 }
 
 std::shared_ptr<const DatabaseSnapshot> Database::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (published_ == nullptr) {
     published_ = BuildSnapshotLocked(version_.load(std::memory_order_relaxed));
   }
@@ -156,7 +156,7 @@ std::shared_ptr<const DatabaseSnapshot> Database::Snapshot() const {
 
 bool Database::DeltasSince(uint64_t from_version,
                            std::vector<AppendDelta>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t current = version_.load(std::memory_order_relaxed);
   out->clear();
   if (from_version == current) return true;  // already caught up

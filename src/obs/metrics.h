@@ -41,10 +41,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 #ifndef TOPKJOIN_METRICS_ENABLED
 #define TOPKJOIN_METRICS_ENABLED 1
@@ -297,25 +299,31 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) EXCLUDES(mu_);
 
   /// Copies every registered metric. Safe against concurrent
   /// recording (values are a recent-past view) and concurrent Get*.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every registered metric (pointers stay valid). Tests
   /// only -- concurrent recorders may interleave with the reset.
-  void ResetForTesting();
+  void ResetForTesting() EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The lock guards the interning maps only; the metric objects they
+  // own are themselves concurrent (relaxed atomics) and are recorded
+  // against lock-free through the stable pointers Get* hands out.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Records elapsed nanoseconds into a histogram at scope exit.

@@ -8,7 +8,7 @@ namespace topkjoin {
 
 std::shared_ptr<const PreprocessingArtifact> ArtifactCache::Lookup(
     const PlanCache::Fingerprint& key, uint64_t db_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -38,7 +38,7 @@ std::shared_ptr<const PreprocessingArtifact> ArtifactCache::Lookup(
 
 ArtifactCache::LookupResult ArtifactCache::LookupForPatch(
     const PlanCache::Fingerprint& key, uint64_t db_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LookupResult out;
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -71,7 +71,7 @@ ArtifactCache::LookupResult ArtifactCache::LookupForPatch(
 }
 
 void ArtifactCache::CountPatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.patches;
 }
 
@@ -79,7 +79,7 @@ void ArtifactCache::Insert(
     const PlanCache::Fingerprint& key, uint64_t db_version,
     std::shared_ptr<const PreprocessingArtifact> artifact) {
   if (capacity_ == 0 || artifact == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     if (it->second->db_version > db_version) {
@@ -101,7 +101,7 @@ void ArtifactCache::Insert(
 }
 
 size_t ArtifactCache::InvalidateDatabase(const Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     const auto next = std::next(it);
@@ -116,7 +116,7 @@ size_t ArtifactCache::InvalidateDatabase(const Database* db) {
 }
 
 PlanCacheStats ArtifactCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PlanCacheStats out = stats_;
   out.entries = lru_.size();
   return out;

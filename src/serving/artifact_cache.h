@@ -20,10 +20,11 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/serving/plan_cache.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -47,7 +48,7 @@ class ArtifactCache {
   /// entry cached against a NEWER version (a racing open for a later
   /// epoch got there first) is kept and reported as a plain miss.
   std::shared_ptr<const PreprocessingArtifact> Lookup(
-      const PlanCache::Fingerprint& key, uint64_t db_version);
+      const PlanCache::Fingerprint& key, uint64_t db_version) EXCLUDES(mu_);
 
   /// A Lookup outcome that keeps the stale artifact around so the
   /// caller can try to patch it instead of rebuilding from scratch.
@@ -71,27 +72,28 @@ class ArtifactCache {
   /// so a newer entry (racing open for a later epoch) is kept in place
   /// and the lookup is a plain miss with no patch input.
   LookupResult LookupForPatch(const PlanCache::Fingerprint& key,
-                              uint64_t db_version);
+                              uint64_t db_version) EXCLUDES(mu_);
 
   /// Records one successful artifact patch in stats().patches (the
   /// patch itself happens outside the cache: TryPatch + Insert).
-  void CountPatch();
+  void CountPatch() EXCLUDES(mu_);
 
   /// Caches `artifact` for `key` at `db_version`, replacing any older
   /// entry and evicting the least-recently-used entry beyond capacity.
   /// A no-op when a newer-versioned entry already holds the key (never
   /// downgrades a racing open's later-epoch artifact).
   void Insert(const PlanCache::Fingerprint& key, uint64_t db_version,
-              std::shared_ptr<const PreprocessingArtifact> artifact);
+              std::shared_ptr<const PreprocessingArtifact> artifact)
+      EXCLUDES(mu_);
 
   /// Drops every artifact cached against `db` (by identity), regardless
   /// of version. Call before destroying a Database so a future
   /// allocation reusing its address cannot collide. Returns the number
   /// of entries dropped. In-flight streams keep their artifacts alive
   /// through their own shared_ptr references.
-  size_t InvalidateDatabase(const Database* db);
+  size_t InvalidateDatabase(const Database* db) EXCLUDES(mu_);
 
-  PlanCacheStats stats() const;
+  PlanCacheStats stats() const EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
 
@@ -109,18 +111,18 @@ class ArtifactCache {
     }
   };
 
-  void EraseLocked(LruList::iterator it) {
+  void EraseLocked(LruList::iterator it) REQUIRES(mu_) {
     index_.erase(it->key);
     lru_.erase(it);
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
+  mutable Mutex mu_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<PlanCache::Fingerprint, LruList::iterator,
                      FingerprintHash>
-      index_;
-  PlanCacheStats stats_;
+      index_ GUARDED_BY(mu_);
+  PlanCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace topkjoin

@@ -84,7 +84,7 @@ std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
                                            uint64_t db_version,
                                            const Database* live_db,
                                            const Database* epoch_view) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -133,7 +133,7 @@ std::optional<QueryPlan> PlanCache::Lookup(const Fingerprint& key,
 void PlanCache::Insert(const Fingerprint& key, uint64_t db_version,
                        const QueryPlan& plan) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     if (it->second->db_version > db_version) {
@@ -155,7 +155,7 @@ void PlanCache::Insert(const Fingerprint& key, uint64_t db_version,
 }
 
 void PlanCache::InvalidateDatabase(const Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     const auto next = std::next(it);
     if (it->key.db == db) {
@@ -167,7 +167,7 @@ void PlanCache::InvalidateDatabase(const Database* db) {
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PlanCacheStats out = stats_;
   out.entries = lru_.size();
   return out;

@@ -17,12 +17,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/engine/planner.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -87,7 +88,8 @@ class PlanCache {
   /// trimmed logs, or larger growth evict as before.
   std::optional<QueryPlan> Lookup(const Fingerprint& key, uint64_t db_version,
                                   const Database* live_db = nullptr,
-                                  const Database* epoch_view = nullptr);
+                                  const Database* epoch_view = nullptr)
+      EXCLUDES(mu_);
 
   /// Caches `plan` for the key at `db_version`, evicting the least
   /// recently used entry beyond capacity. Re-inserting an existing key
@@ -96,12 +98,12 @@ class PlanCache {
   /// deterministic), except that an existing entry at a NEWER version
   /// is kept: a plan from an older snapshot never downgrades it.
   void Insert(const Fingerprint& key, uint64_t db_version,
-              const QueryPlan& plan);
+              const QueryPlan& plan) EXCLUDES(mu_);
 
   /// Drops every entry for the given database (e.g. before freeing it).
-  void InvalidateDatabase(const Database* db);
+  void InvalidateDatabase(const Database* db) EXCLUDES(mu_);
 
-  PlanCacheStats stats() const;
+  PlanCacheStats stats() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
  private:
@@ -117,13 +119,14 @@ class PlanCache {
   };
   using LruList = std::list<Entry>;
 
-  void EraseLocked(LruList::iterator it);
+  void EraseLocked(LruList::iterator it) REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash> index_;
-  PlanCacheStats stats_;
+  mutable Mutex mu_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash> index_
+      GUARDED_BY(mu_);
+  PlanCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace topkjoin

@@ -1,7 +1,6 @@
 #include "src/serving/serving_engine.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,14 +46,14 @@ ServingEngine::ServingEngine(ServingOptions options)
 // -------------------------------------------------------------- sessions
 
 SessionId ServingEngine::OpenSession(SessionBudget budget) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   const SessionId id = next_session_id_++;
   sessions_.emplace(id, std::make_shared<Session>(budget));
   return id;
 }
 
 std::shared_ptr<Session> ServingEngine::FindSession(SessionId id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -62,7 +61,7 @@ std::shared_ptr<Session> ServingEngine::FindSession(SessionId id) const {
 Status ServingEngine::CloseSession(SessionId id) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) return NoSessionError(id);
     session = std::move(it->second);
@@ -89,7 +88,7 @@ StatusOr<SessionStats> ServingEngine::GetSessionStats(SessionId id) const {
 }
 
 size_t ServingEngine::NumOpenSessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   return sessions_.size();
 }
 
@@ -381,12 +380,14 @@ void ServingEngine::SubmitFetch(CursorId id, size_t max_results,
 /// then re-sweeps cursors that stopped on (possibly transient) session
 /// dryness until a sweep makes no progress.
 struct ServingEngine::DrainTicket {
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::map<CursorId, std::vector<RankedResult>> results;
-  size_t pending = 0;
-  size_t produced = 0;            // total results across all slices
-  std::vector<CursorId> dried;    // active cursors stopped by dry sessions
+  Mutex mu;
+  CondVar done_cv;
+  std::map<CursorId, std::vector<RankedResult>> results GUARDED_BY(mu);
+  size_t pending GUARDED_BY(mu) = 0;
+  // Total results across all slices.
+  size_t produced GUARDED_BY(mu) = 0;
+  // Active cursors stopped by dry sessions.
+  std::vector<CursorId> dried GUARDED_BY(mu);
 };
 
 void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
@@ -401,7 +402,7 @@ void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
                        outcome.value().cursor_state == CursorState::kActive &&
                        !outcome.value().session_dry;
   {
-    std::lock_guard<std::mutex> lock(ticket->mu);
+    MutexLock lock(&ticket->mu);
     if (outcome.ok() && !outcome.value().results.empty()) {
       auto& sink = ticket->results[id];
       ticket->produced += outcome.value().results.size();
@@ -417,7 +418,7 @@ void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
           outcome.value().cursor_state == CursorState::kActive) {
         ticket->dried.push_back(id);
       }
-      if (--ticket->pending == 0) ticket->done_cv.notify_all();
+      if (--ticket->pending == 0) ticket->done_cv.NotifyAll();
       return;
     }
   }
@@ -457,12 +458,12 @@ std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
     std::vector<CursorId> retried = round;  // for the termination check
     std::sort(retried.begin(), retried.end());
     {
-      std::lock_guard<std::mutex> lock(ticket->mu);
+      MutexLock lock(&ticket->mu);
       ticket->pending = round.size();
     }
     admit(std::move(round));
-    std::unique_lock<std::mutex> lock(ticket->mu);
-    ticket->done_cv.wait(lock, [&] { return ticket->pending == 0; });
+    MutexLock lock(&ticket->mu);
+    while (ticket->pending != 0) ticket->done_cv.Wait(&ticket->mu);
     if (ticket->dried.empty()) return std::move(ticket->results);
     // Re-sweep dry-stopped cursors until dryness is provably permanent:
     // a round that produced nothing AND re-dried exactly the cursors it

@@ -33,7 +33,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -46,7 +45,9 @@
 #include "src/serving/sharded_cursor_table.h"
 #include "src/serving/worker_pool.h"
 #include "src/stats/estimator_cache.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -233,7 +234,8 @@ class ServingEngine {
  private:
   struct DrainTicket;  // see serving_engine.cc
 
-  std::shared_ptr<Session> FindSession(SessionId id) const;
+  std::shared_ptr<Session> FindSession(SessionId id) const
+      EXCLUDES(sessions_mu_);
   void RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket, CursorId id,
                      size_t results_per_slice, FastClock::Ticks enqueued);
 
@@ -257,9 +259,10 @@ class ServingEngine {
   /// stats/estimator_cache.h; Engine shares the same class.
   EstimatorCache estimator_cache_;
 
-  mutable std::mutex sessions_mu_;
-  std::map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_session_id_ = 1;
+  mutable Mutex sessions_mu_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(sessions_mu_);
+  SessionId next_session_id_ GUARDED_BY(sessions_mu_) = 1;
 
   // Last member: destroyed first, so workers join while the cursor table
   // and sessions are still alive.

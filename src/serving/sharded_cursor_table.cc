@@ -30,10 +30,10 @@ CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
   TOPKJOIN_CHECK(session != nullptr);
   const CursorId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   Stripe& stripe = stripe_for(id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   stripe.entries.emplace(
       id, Entry{std::shared_ptr<Cursor>(std::move(cursor)),
-                std::make_shared<std::mutex>(), std::move(session),
+                std::make_shared<Mutex>(), std::move(session),
                 time_source_.load(std::memory_order_relaxed)()});
   return id;
 }
@@ -41,11 +41,11 @@ CursorId ShardedCursorTable::Insert(std::unique_ptr<Cursor> cursor,
 bool ShardedCursorTable::WithCursor(
     CursorId id, const std::function<void(Cursor&, Session&)>& fn) {
   std::shared_ptr<Cursor> cursor;
-  std::shared_ptr<std::mutex> mu;
+  std::shared_ptr<Mutex> mu;
   std::shared_ptr<Session> session;
   {
     Stripe& stripe = stripe_for(id);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     const auto it = stripe.entries.find(id);
     if (it == stripe.entries.end()) return false;
     it->second.last_used = time_source_.load(std::memory_order_relaxed)();
@@ -56,14 +56,14 @@ bool ShardedCursorTable::WithCursor(
   // The slice runs outside the stripe lock: stripe siblings fetch in
   // parallel, and table sweeps never wait for a long slice. The copied
   // shared_ptrs keep the cursor alive across a concurrent unlink.
-  std::lock_guard<std::mutex> cursor_lock(*mu);
+  MutexLock cursor_lock(mu.get());
   fn(*cursor, *session);
   return true;
 }
 
 std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
   Stripe& stripe = stripe_for(id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   const auto it = stripe.entries.find(id);
   if (it == stripe.entries.end()) return nullptr;
   std::shared_ptr<Session> session = std::move(it->second.session);
@@ -74,7 +74,7 @@ std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
 size_t ShardedCursorTable::EraseOwnedBy(const Session* session) {
   size_t erased = 0;
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
       if (it->second.session.get() == session) {
         it = stripe.entries.erase(it);
@@ -96,7 +96,7 @@ std::vector<std::shared_ptr<Session>> ShardedCursorTable::EvictIdle(
   const auto cutoff = time_source_.load(std::memory_order_relaxed)() - max_idle;
   std::vector<std::shared_ptr<Session>> evicted;
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (auto it = stripe.entries.begin(); it != stripe.entries.end();) {
       if (it->second.last_used < cutoff) {
         evicted.push_back(std::move(it->second.session));
@@ -112,7 +112,7 @@ std::vector<std::shared_ptr<Session>> ShardedCursorTable::EvictIdle(
 std::vector<CursorId> ShardedCursorTable::Ids() const {
   std::vector<CursorId> ids;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (const auto& [id, entry] : stripe.entries) ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
@@ -122,7 +122,7 @@ std::vector<CursorId> ShardedCursorTable::Ids() const {
 size_t ShardedCursorTable::NumCursors() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     total += stripe.entries.size();
   }
   return total;

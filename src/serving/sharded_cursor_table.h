@@ -18,11 +18,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/engine/cursor_table.h"
 #include "src/serving/session.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -92,14 +93,19 @@ class ShardedCursorTable {
   /// All shared_ptrs so an unlink never races an in-flight slice.
   struct Entry {
     std::shared_ptr<Cursor> cursor;
-    std::shared_ptr<std::mutex> mu;
+    std::shared_ptr<Mutex> mu;
     std::shared_ptr<Session> session;
     std::chrono::steady_clock::time_point last_used;
   };
 
+  /// Lock discipline (PR 7, now compiler-checked): the stripe mutex
+  /// covers ONLY the entries map -- lookup, insert, erase, the idle
+  /// sweep. Slice work on a cursor runs under Entry::mu after the
+  /// stripe lock is released; the two are never held together, so a
+  /// parked slice cannot block its stripe siblings.
   struct Stripe {
-    mutable std::mutex mu;
-    std::map<CursorId, Entry> entries;
+    mutable Mutex mu;
+    std::map<CursorId, Entry> entries GUARDED_BY(mu);
   };
 
   Stripe& stripe_for(CursorId id) { return stripes_[id % stripes_.size()]; }

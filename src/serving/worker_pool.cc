@@ -15,21 +15,21 @@ WorkerPool::WorkerPool(size_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
   TOPKJOIN_CHECK(task != nullptr);
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   TOPKJOIN_CHECK(!shutdown_);
   queue_.push_back(std::move(task));
   if (!threads_.empty()) {
-    lock.unlock();
-    wake_cv_.notify_one();
+    mu_.Unlock();
+    wake_cv_.NotifyOne();
     return;
   }
   // Inline mode: the outermost Submit drains the whole queue on the
@@ -37,41 +37,46 @@ void WorkerPool::Submit(std::function<void()> task) {
   // layer's self-requeueing slices) just grows the queue instead of the
   // stack. A Submit from a second thread while a drain is running just
   // enqueues; the draining thread picks it up.
-  if (running_ > 0) return;  // a drain is already running somewhere
+  if (running_ > 0) {  // a drain is already running somewhere
+    mu_.Unlock();
+    return;
+  }
   ++running_;
   while (!queue_.empty()) {
     std::function<void()> next = std::move(queue_.front());
     queue_.pop_front();
-    lock.unlock();
+    mu_.Unlock();
     next();
-    lock.lock();
+    mu_.Lock();
   }
   --running_;
-  idle_cv_.notify_all();
+  mu_.Unlock();
+  idle_cv_.NotifyAll();
 }
 
 void WorkerPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && running_ == 0)) idle_cv_.Wait(&mu_);
 }
 
 void WorkerPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    wake_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    while (!(shutdown_ || !queue_.empty())) wake_cv_.Wait(&mu_);
     if (queue_.empty()) {
       // shutdown_ with a drained queue: exit. (Shutdown still runs every
       // task that made it into the queue.)
+      mu_.Unlock();
       return;
     }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++running_;
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
+    mu_.Lock();
     --running_;
-    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
   }
 }
 

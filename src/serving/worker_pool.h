@@ -8,13 +8,14 @@
 #ifndef TOPKJOIN_SERVING_WORKER_POOL_H_
 #define TOPKJOIN_SERVING_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -33,23 +34,25 @@ class WorkerPool {
   /// Enqueues a task at the tail. Tasks may themselves call Submit
   /// (self-requeue), which is how the serving layer keeps a cursor's
   /// slices flowing while staying fair to everyone else in the queue.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle. Note this
   /// is a transient condition: another thread may submit right after.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;   // workers wait for tasks/shutdown
-  std::condition_variable idle_cv_;   // WaitIdle waits for quiescence
-  std::deque<std::function<void()>> queue_;
-  size_t running_ = 0;                // tasks currently executing
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar wake_cv_;  // workers wait for tasks/shutdown
+  CondVar idle_cv_;  // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t running_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any concurrency exists;
+  // joined by the destructor. Safe to read unlocked (num_threads).
   std::vector<std::thread> threads_;
 };
 

@@ -35,7 +35,7 @@ std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
 std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
     const Database& db, std::shared_ptr<const DatabaseSnapshot> snap) {
   const uint64_t epoch = snap->epoch();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.begin();
   for (; it != entries_.end(); ++it) {
     if (it->db == &db) break;
@@ -94,17 +94,17 @@ std::shared_ptr<const CardinalityEstimator> EstimatorCache::For(
 }
 
 void EstimatorCache::Invalidate(const Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.remove_if([db](const Entry& e) { return e.db == db; });
 }
 
 size_t EstimatorCache::NumBuilds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return builds_;
 }
 
 size_t EstimatorCache::NumPatches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return patches_;
 }
 

@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 
 #include "src/data/database.h"
 #include "src/stats/cardinality_estimator.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace topkjoin {
 
@@ -47,23 +48,25 @@ class EstimatorCache {
   /// returned shared_ptr keeps the snapshot it was built over alive,
   /// so it stays valid after the cache moves on AND after the live
   /// database mutates.
-  std::shared_ptr<const CardinalityEstimator> For(const Database& db);
+  std::shared_ptr<const CardinalityEstimator> For(const Database& db)
+      EXCLUDES(mu_);
 
   /// Same, for a caller that already pinned a snapshot of `db` (the
   /// serving layer pins exactly one snapshot per OpenCursor and keys
   /// every cache on its epoch).
   std::shared_ptr<const CardinalityEstimator> For(
-      const Database& db, std::shared_ptr<const DatabaseSnapshot> snap);
+      const Database& db, std::shared_ptr<const DatabaseSnapshot> snap)
+      EXCLUDES(mu_);
 
   /// Drops the entry if it belongs to `db` (e.g. before freeing the
   /// database).
-  void Invalidate(const Database* db);
+  void Invalidate(const Database* db) EXCLUDES(mu_);
 
   /// Lifetime counters (also exported as stats.estimator_cache_* /
   /// stats.estimator_patches metrics; these stay available with
   /// metrics compiled out).
-  size_t NumBuilds() const;
-  size_t NumPatches() const;
+  size_t NumBuilds() const EXCLUDES(mu_);
+  size_t NumPatches() const EXCLUDES(mu_);
 
  private:
   /// Keeps the snapshot alive for as long as anyone holds the
@@ -82,11 +85,11 @@ class EstimatorCache {
       std::shared_ptr<const DatabaseSnapshot> snap,
       std::shared_ptr<const CardinalityEstimator> est);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t capacity_;
-  std::list<Entry> entries_;  // most recently used first
-  size_t builds_ = 0;
-  size_t patches_ = 0;
+  std::list<Entry> entries_ GUARDED_BY(mu_);  // most recently used first
+  size_t builds_ GUARDED_BY(mu_) = 0;
+  size_t patches_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace topkjoin

@@ -1,0 +1,91 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers: the only
+// sanctioned door to locking in this codebase.
+//
+// Every lock outside src/util/ must be a topkjoin::Mutex and every
+// critical section a topkjoin::MutexLock (tools/lint_invariants.py bans
+// naked std::mutex / std::lock_guard / std::unique_lock elsewhere).
+// The wrappers carry Clang Thread Safety Analysis capability attributes
+// (thread_annotations.h), so the discipline -- which fields a mutex
+// guards, which helpers require it -- is compiler-checked in the CI
+// clang-threadsafety job; at runtime they compile down to the std
+// primitives with zero added state or indirection.
+//
+// Condition waits: CondVar::Wait(&mu) atomically releases and reacquires
+// the Mutex it is given, exactly like std::condition_variable::wait on a
+// unique_lock. Use an explicit predicate loop --
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+//
+// -- rather than a predicate lambda: the analysis is intraprocedural and
+// cannot see that a lambda body runs under the lock, so guarded reads
+// inside one would (correctly, by its rules) fail to compile.
+#ifndef TOPKJOIN_UTIL_MUTEX_H_
+#define TOPKJOIN_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace topkjoin {
+
+/// A std::mutex carrying the `capability` attribute. Prefer MutexLock;
+/// explicit Lock/Unlock are for the rare hand-over-hand or
+/// drop-around-a-callback patterns (worker_pool.cc) where a scope does
+/// not match the critical section.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (the std::lock_guard analogue).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to Mutex. Notify* never requires the lock
+/// (matching std::condition_variable); Wait must be called with `mu`
+/// held and holds it again when it returns.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically unlocks `*mu`, sleeps until notified, relocks. Spurious
+  /// wakeups happen; always wait in a predicate loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock (or Lock) still owns it
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_UTIL_MUTEX_H_

@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis capability macros.
+//
+// These document which mutex protects which state *in the type system*:
+// a field tagged GUARDED_BY(mu_) cannot be touched without holding mu_,
+// a helper tagged REQUIRES(mu_) cannot be called unlocked, and CI builds
+// the tree with clang -Werror=thread-safety so a violation is a compile
+// error, not a TSAN finding three PRs later. Under any other compiler
+// (or clang without the attributes) every macro expands to nothing, so
+// the annotations are free in the GCC builds the dev container uses.
+//
+// The vocabulary mirrors the clang documentation / Abseil macro set:
+//
+//   CAPABILITY("mutex")      -- the class IS a lockable capability
+//   SCOPED_CAPABILITY        -- RAII object that holds one (MutexLock)
+//   GUARDED_BY(mu)           -- field access requires holding mu
+//   PT_GUARDED_BY(mu)        -- pointee access requires holding mu
+//   REQUIRES(mu)             -- caller must hold mu (and keeps it)
+//   REQUIRES_SHARED(mu)      -- caller must hold mu at least shared
+//   ACQUIRE(mu) / RELEASE(mu)-- function locks / unlocks mu
+//   TRY_ACQUIRE(b, mu)       -- locks mu iff it returns `b`
+//   EXCLUDES(mu)             -- caller must NOT hold mu (deadlock guard)
+//   ASSERT_CAPABILITY(mu)    -- runtime assertion that mu is held
+//   RETURN_CAPABILITY(mu)    -- function returns a reference to mu
+//   NO_THREAD_SAFETY_ANALYSIS-- opt out of analysis for one function.
+//     Repo rule (enforced by tools/lint_invariants.py): every use must
+//     be preceded by a `// SAFETY:` comment explaining why the analysis
+//     cannot express the invariant -- a bare opt-out is a lint error.
+#ifndef TOPKJOIN_UTIL_THREAD_ANNOTATIONS_H_
+#define TOPKJOIN_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TOPKJOIN_THREAD_ATTRIBUTE__(x) __has_attribute(x)
+#else
+#define TOPKJOIN_THREAD_ATTRIBUTE__(x) 0
+#endif
+
+#if TOPKJOIN_THREAD_ATTRIBUTE__(guarded_by)
+#define TOPKJOIN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TOPKJOIN_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) TOPKJOIN_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY TOPKJOIN_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) TOPKJOIN_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) TOPKJOIN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  TOPKJOIN_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) TOPKJOIN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  TOPKJOIN_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) TOPKJOIN_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TOPKJOIN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // TOPKJOIN_UTIL_THREAD_ANNOTATIONS_H_

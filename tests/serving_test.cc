@@ -26,6 +26,7 @@
 #include "src/serving/session.h"
 #include "src/serving/sharded_cursor_table.h"
 #include "src/serving/worker_pool.h"
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
 #include "tests/test_instances.h"
 
@@ -400,13 +401,13 @@ TEST(ServingEngineTest, SubmitFetchDeliversViaCallback) {
   auto id = serving.OpenCursor(session, t.db, t.query);
   ASSERT_TRUE(id.ok());
 
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::vector<double> got;
   bool delivered = false;
   serving.SubmitFetch(id.value(), 5,
                       [&](CursorId cb_id, StatusOr<FetchOutcome> outcome) {
-                        std::lock_guard<std::mutex> lock(mu);
+                        MutexLock lock(&mu);
                         EXPECT_EQ(cb_id, id.value());
                         ASSERT_TRUE(outcome.ok());
                         for (const RankedResult& r :
@@ -414,10 +415,10 @@ TEST(ServingEngineTest, SubmitFetchDeliversViaCallback) {
                           got.push_back(r.cost);
                         }
                         delivered = true;
-                        cv.notify_all();
+                        cv.NotifyAll();
                       });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return delivered; });
+  MutexLock lock(&mu);
+  while (!delivered) cv.Wait(&mu);
   ExpectSameCosts(got, {want.begin(), want.begin() + 5}, "async slice");
 }
 

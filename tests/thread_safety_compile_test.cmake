@@ -1,0 +1,68 @@
+# Negative-compile test for the Clang Thread Safety Analysis wiring.
+#
+# Invoked by ctest as
+#   cmake -DCXX=<compiler> -DSRC_DIR=<repo root> -DWORK_DIR=<scratch>
+#         -P thread_safety_compile_test.cmake
+#
+# Asserts three things, in order:
+#   1. The control fixture (correct lock discipline) compiles cleanly
+#      with -Werror=thread-safety. This proves the harness itself works
+#      -- without it, the negative cases could "fail to compile" for an
+#      unrelated reason (bad -I path, typo in the wrappers) and the test
+#      would pass vacuously.
+#   2. A GUARDED_BY field read without the lock FAILS to compile.
+#   3. A REQUIRES(mu) call without the lock held FAILS to compile.
+#
+# On compilers without -Wthread-safety (gcc), the probe in step 0 fails
+# and the script prints TSA_COMPILE_TEST_SKIP, which CMakeLists
+# registers as SKIP_REGULAR_EXPRESSION: the test reports "skipped",
+# never a false pass.
+
+set(TSA_FLAGS -fsyntax-only -std=c++20 -I${SRC_DIR}
+    -Werror=thread-safety -Werror=thread-safety-beta)
+set(FIXTURES ${SRC_DIR}/tests/thread_safety_fixtures)
+
+# Step 0: does the compiler understand -Werror=thread-safety at all?
+execute_process(
+  COMMAND ${CXX} ${TSA_FLAGS} ${FIXTURES}/good_locked_access.cc
+  RESULT_VARIABLE probe_result
+  OUTPUT_VARIABLE probe_out
+  ERROR_VARIABLE probe_err)
+if(NOT probe_result EQUAL 0)
+  # Distinguish "the compiler rejected the FLAG" (gcc: skip) from "the
+  # compiler rejected the CODE" (clang found a bug in the control:
+  # fail). gcc says "no option -Wthread-safety"; old clangs say
+  # "unknown warning option".
+  if(probe_err MATCHES "no option|unrecognized|unknown warning|unknown argument")
+    message(STATUS "compiler has no thread-safety analysis")
+    # Matched by SKIP_REGULAR_EXPRESSION in CMakeLists.txt.
+    message(STATUS "TSA_COMPILE_TEST_SKIP")
+    return()
+  endif()
+  message(FATAL_ERROR
+    "control fixture good_locked_access.cc failed to compile under "
+    "-Werror=thread-safety -- the harness is miswired:\n${probe_err}")
+endif()
+
+# Steps 1-2: each negative fixture must be REJECTED, and rejected for
+# the right reason (a thread-safety diagnostic, not a random error).
+foreach(bad bad_guarded_by_unlocked bad_requires_unlocked)
+  execute_process(
+    COMMAND ${CXX} ${TSA_FLAGS} ${FIXTURES}/${bad}.cc
+    RESULT_VARIABLE bad_result
+    OUTPUT_VARIABLE bad_out
+    ERROR_VARIABLE bad_err)
+  if(bad_result EQUAL 0)
+    message(FATAL_ERROR
+      "${bad}.cc compiled cleanly -- thread-safety analysis is NOT "
+      "catching the planted violation")
+  endif()
+  if(NOT bad_err MATCHES "thread-safety|guarded_by|requires holding|without holding")
+    message(FATAL_ERROR
+      "${bad}.cc failed to compile, but not with a thread-safety "
+      "diagnostic -- wrong failure mode:\n${bad_err}")
+  endif()
+  message(STATUS "${bad}.cc correctly rejected by thread-safety analysis")
+endforeach()
+
+message(STATUS "thread-safety negative-compile test passed")

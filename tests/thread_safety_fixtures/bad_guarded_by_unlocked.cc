@@ -1,0 +1,22 @@
+// Thread-safety analysis negative case: reading a GUARDED_BY field
+// without holding its mutex. MUST FAIL to compile under clang
+// -Werror=thread-safety; tests/thread_safety_compile_test.cmake
+// asserts the failure.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  topkjoin::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  int Read() { return value; }  // no lock held: analysis must reject
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Read();
+}

@@ -1,0 +1,22 @@
+// Thread-safety analysis negative case: calling a REQUIRES(mu)
+// function without holding mu. MUST FAIL to compile under clang
+// -Werror=thread-safety; tests/thread_safety_compile_test.cmake
+// asserts the failure.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  topkjoin::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  int ReadLocked() const REQUIRES(mu) { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.ReadLocked();  // mu not held: analysis must reject
+}

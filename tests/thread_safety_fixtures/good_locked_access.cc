@@ -1,0 +1,35 @@
+// Thread-safety analysis control: correct lock discipline. Must
+// compile cleanly under clang -Werror=thread-safety. If this file
+// fails, the harness is miswired (bad include path / broken wrappers),
+// and the negative cases below would "fail" for the wrong reason.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    topkjoin::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int BalanceLocked() const REQUIRES(mu_) { return balance_; }
+
+  int Balance() const EXCLUDES(mu_) {
+    topkjoin::MutexLock lock(&mu_);
+    return BalanceLocked();
+  }
+
+ private:
+  mutable topkjoin::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance() - 1;
+}

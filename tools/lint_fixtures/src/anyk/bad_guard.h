@@ -1,0 +1,8 @@
+// Lint fixture: header with no include guard and no #pragma once.
+// Never compiled; exists only for lint_invariants.py --self-test.
+
+namespace topkjoin {
+
+struct NoGuard {};
+
+}  // namespace topkjoin

@@ -1,0 +1,8 @@
+// Lint fixture: relative include path.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#ifndef TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_INCLUDE_H_
+#define TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_INCLUDE_H_
+
+#include "../engine/cursor.h"
+
+#endif  // TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_INCLUDE_H_

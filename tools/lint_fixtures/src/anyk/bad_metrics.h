@@ -1,0 +1,17 @@
+// Lint fixture: ungated hot-path metrics recording.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#ifndef TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_METRICS_H_
+#define TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace topkjoin {
+
+inline void RecordUngated() {
+  // metrics-gate violation: no kMetricsEnabled gate, no static intern.
+  MetricsRegistry::Global().GetCounter("fixture.bad")->Increment();
+}
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_BAD_METRICS_H_

@@ -1,0 +1,16 @@
+// Lint fixture: bare TSA suppression with no adjacent rationale.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#ifndef TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_SERVING_BAD_SUPPRESS_H_
+#define TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_SERVING_BAD_SUPPRESS_H_
+
+#include "src/util/thread_annotations.h"
+
+namespace topkjoin {
+
+struct BadSuppress {
+  void Sneak() NO_THREAD_SAFETY_ANALYSIS {}  // tsa-suppress violation
+};
+
+}  // namespace topkjoin
+
+#endif  // TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_SERVING_BAD_SUPPRESS_H_

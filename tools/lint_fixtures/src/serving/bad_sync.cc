@@ -1,0 +1,11 @@
+// Lint fixture: naked standard sync primitive outside src/util/.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#include <mutex>
+
+namespace topkjoin {
+
+struct BadSync {
+  std::mutex mu;  // sync-wrappers violation
+};
+
+}  // namespace topkjoin

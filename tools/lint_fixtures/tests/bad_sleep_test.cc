@@ -1,0 +1,8 @@
+// Lint fixture: wall-clock sleep in a test.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#include <chrono>
+#include <thread>
+
+void BadWait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
