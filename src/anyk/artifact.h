@@ -41,6 +41,7 @@
 #include "src/obs/metrics.h"
 #include "src/query/cq.h"
 #include "src/query/decomposition.h"
+#include "src/util/cancellation.h"
 
 namespace topkjoin {
 
@@ -274,8 +275,18 @@ class BatchArtifact final : public PreprocessingArtifact {
       registry.GetCounter("tdp.builds")->Increment();
       registry.GetCounter("anyk.preprocessing_builds")->Increment();
     }
+    // Cooperative cancellation: a T-DP build that aborted mid-phase
+    // must not be enumerated (its groups are partial), and the full
+    // drain below -- potentially the whole join output -- polls per
+    // result. The aborted artifact is discarded by BuildArtifact.
+    if (ExecContext::ShouldAbort()) return;
     BatchSorted<CM> batch(&tdp);
-    while (auto r = batch.Next()) results_.push_back(std::move(*r));
+    while (auto r = batch.Next()) {
+      if (ExecContext::ShouldAbort()) [[unlikely]] {
+        return;
+      }
+      results_.push_back(std::move(*r));
+    }
     approx_bytes_ = results_.capacity() * sizeof(RankedResult);
     for (const RankedResult& r : results_) {
       approx_bytes_ += r.assignment.capacity() * sizeof(Value) +

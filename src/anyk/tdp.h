@@ -48,6 +48,7 @@
 #include "src/query/cq.h"
 #include "src/query/hypergraph.h"
 #include "src/ranking/cost_model.h"
+#include "src/util/cancellation.h"
 #include "src/util/hash.h"
 
 namespace topkjoin {
@@ -566,9 +567,14 @@ Tdp<CM>::Tdp(const Database& db, const ConjunctiveQuery& query,
              SortMode sort_mode, JoinStats* stats,
              const std::vector<WeightMatrix>* atom_weights)
     : query_(&query), sort_mode_(sort_mode) {
+  // Cooperative cancellation (ExecContext): each phase may return
+  // early, and a phase never starts over a predecessor's partial state
+  // (ShouldAbort is sticky within the scope). The caller
+  // (executor::BuildArtifact) discards the whole object on abort, so
+  // partially built groups are never observable.
   BuildTree(db, stats, atom_weights);
-  BuildGroups();
-  ComputeBest();
+  if (!ExecContext::ShouldAbort()) BuildGroups();
+  if (!ExecContext::ShouldAbort()) ComputeBest();
   has_results_ = !nodes_.empty() && !nodes_[0].rel.Empty();
 }
 
@@ -639,6 +645,12 @@ void Tdp<CM>::BuildGroups() {
     n.key_index->Reset(num, width);
     group_of_row.resize(num);
     for (RowId r = 0; r < num; ++r) {
+      // Cheap cooperative poll (thread-local null check; clock reads
+      // are countdown-sampled inside ShouldAbort). An abort leaves this
+      // node's groups partial; the constructor skips the later phases.
+      if (ExecContext::ShouldAbort()) [[unlikely]] {
+        return;
+      }
       for (size_t c = 0; c < width; ++c) key_buf[c] = n.rel.At(r, n.key_cols[c]);
       const GroupId g = n.key_index->Intern(hashes[r], key_buf);
       if (g == n.groups.size()) n.groups.emplace_back();
@@ -702,6 +714,11 @@ void Tdp<CM>::ComputeBest() {
     Value* const key_buf = key_scratch.data();
 
     for (RowId r = 0; r < num; ++r) {
+      // Cooperative poll, as in BuildGroups: bail out of the heaviest
+      // per-row loop in the build when cancelled or past deadline.
+      if (ExecContext::ShouldAbort()) [[unlikely]] {
+        return;
+      }
       CostT cost = TupleCost(idx, r);
       for (size_t ci = 0; ci < num_children; ++ci) {
         Node& c = nodes_[n.children[ci]];

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/util/failpoint.h"
 
 namespace topkjoin {
 
@@ -108,10 +109,19 @@ Status Database::ApplyDelta(const Delta& delta) {
                         ? MetricsRegistry::Global().GetHistogram(
                               "data.delta_apply_ns")
                         : nullptr);
+  // The failpoint sits BEFORE the commit: an injected error is a clean
+  // pre-commit abort (database untouched, same contract as validation
+  // failure), and an injected delay stretches the window in which
+  // concurrent opens race the version bump -- the race chaos tests
+  // widen on purpose.
+  if constexpr (kFailpointsEnabled) {
+    const Status s = FailpointRegistry::Global().Evaluate("data.apply_delta");
+    if (!s.ok()) return s;
+  }
   MutexLock lock(&mu_);
   for (const RelationDelta& rd : delta.relations) {
     if (rd.relation >= relations_.size()) {
-      return Status::Error("ApplyDelta: unknown relation id");
+      return Status::NotFound("ApplyDelta: unknown relation id");
     }
     const size_t arity = relations_[rd.relation]->arity();
     if (rd.values.size() != rd.weights.size() * arity) {

@@ -32,13 +32,22 @@ const char* CursorStateName(CursorState state) {
       return "result-budget-hit";
     case CursorState::kWorkBudgetHit:
       return "work-budget-hit";
+    case CursorState::kCancelled:
+      return "cancelled";
+    case CursorState::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }
 
 Cursor::Cursor(std::unique_ptr<RankedIterator> pipeline, CursorOptions options)
-    : pipeline_(std::move(pipeline)), options_(options) {
+    : pipeline_(std::move(pipeline)),
+      options_(options),
+      cancel_state_(std::make_shared<CancelState>()) {
   TOPKJOIN_CHECK(pipeline_ != nullptr);
+  if (options_.deadline.has_value()) {
+    cancel_state_->SetDeadline(*options_.deadline);
+  }
 }
 
 Cursor::~Cursor() {
@@ -49,8 +58,35 @@ Cursor::~Cursor() {
   }
 }
 
+bool Cursor::CheckTermination(bool force_clock) {
+  // The cancel flag is one relaxed load per pull; the deadline clock is
+  // read only every kDeadlineSamplePeriod pulls (or when forced at a
+  // slice boundary), so a deadline-bearing cursor's pull stays as cheap
+  // as an undeadlined one.
+  if (cancel_state_->cancelled.load(std::memory_order_relaxed)) {
+    state_.store(CursorState::kCancelled, std::memory_order_relaxed);
+    return true;
+  }
+  const int64_t dl =
+      cancel_state_->deadline_ns.load(std::memory_order_relaxed);
+  if (dl == 0) return false;
+  if (!force_clock && --deadline_countdown_ != 0) return false;
+  deadline_countdown_ = kDeadlineSamplePeriod;
+  if (SteadyNowNs() >= dl) {
+    state_.store(CursorState::kDeadlineExceeded, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+CursorState Cursor::PollTermination() {
+  if (state() == CursorState::kActive) CheckTermination(/*force_clock=*/true);
+  return state();
+}
+
 std::optional<RankedResult> Cursor::Next() {
   if (state() != CursorState::kActive) return std::nullopt;
+  if (CheckTermination(/*force_clock=*/false)) return std::nullopt;
   if (options_.result_budget.has_value() &&
       results_emitted() >= *options_.result_budget) {
     state_.store(CursorState::kResultBudgetHit, std::memory_order_relaxed);
@@ -113,8 +149,9 @@ void Cursor::ExtendBudgets(size_t extra_results, size_t extra_work) {
   };
   extend(options_.result_budget, extra_results);
   extend(options_.work_budget, extra_work);
-  // An exhausted stream stays exhausted; a budget stop resumes only when
-  // the grant leaves headroom (ExtendBudgets(0, 0) must be a no-op).
+  // An exhausted stream stays exhausted -- and cancelled/expired
+  // cursors stay terminal; a budget stop resumes only when the grant
+  // leaves headroom (ExtendBudgets(0, 0) must be a no-op).
   const CursorState s = state();
   if (s == CursorState::kResultBudgetHit &&
       (!options_.result_budget.has_value() ||

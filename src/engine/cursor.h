@@ -29,6 +29,7 @@
 #define TOPKJOIN_ENGINE_CURSOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -36,6 +37,7 @@
 
 #include "src/anyk/ranked_iterator.h"
 #include "src/obs/trace.h"
+#include "src/util/cancellation.h"
 
 namespace topkjoin {
 
@@ -45,13 +47,21 @@ class DatabaseSnapshot;
 struct CursorOptions {
   std::optional<size_t> result_budget;
   std::optional<size_t> work_budget;
+  /// Absolute wall deadline for the whole request: planning,
+  /// preprocessing, and every subsequent slice. Once it passes, the
+  /// cursor terminates with kDeadlineExceeded at its next pull or
+  /// slice boundary (ExtendBudgets cannot resurrect it). Adopted from
+  /// ExecutionOptions::deadline when unset (ResolveCursorOptions).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 enum class CursorState {
-  kActive,          // more results may follow
-  kExhausted,       // the underlying stream ran dry
-  kResultBudgetHit, // result budget spent; stream may hold more results
-  kWorkBudgetHit,   // work budget spent; stream may hold more results
+  kActive,            // more results may follow
+  kExhausted,         // the underlying stream ran dry
+  kResultBudgetHit,   // result budget spent; stream may hold more results
+  kWorkBudgetHit,     // work budget spent; stream may hold more results
+  kCancelled,         // RequestCancel() landed; terminal
+  kDeadlineExceeded,  // the absolute deadline passed; terminal
 };
 
 const char* CursorStateName(CursorState state);
@@ -81,6 +91,25 @@ class Cursor {
   /// ExtendBudgets(0, 0) preserves the state, and an exhausted cursor
   /// stays exhausted no matter the grant.
   void ExtendBudgets(size_t extra_results, size_t extra_work);
+
+  /// Requests cooperative cancellation. Safe from ANY thread, without
+  /// the cursor's external lock: the flag is atomic and the in-flight
+  /// mutator observes it at its next pull. Terminal once observed --
+  /// the cursor reports kCancelled and never resumes.
+  void RequestCancel() { cancel_state_->RequestCancel(); }
+
+  /// The shared cancel/deadline state (for wiring into an
+  /// ExecContext::Scope or handing to a watchdog). Never null.
+  const std::shared_ptr<CancelState>& cancel_state() const {
+    return cancel_state_;
+  }
+
+  /// Slice-boundary poll: transitions an active cursor to kCancelled /
+  /// kDeadlineExceeded when the flag is set or the deadline has passed
+  /// (always reads the clock -- the per-pull path inside Next() samples
+  /// it on a countdown instead). Returns the possibly-updated state.
+  /// Mutator-serialized, like Next().
+  CursorState PollTermination();
 
   CursorState state() const {
     return state_.load(std::memory_order_relaxed);
@@ -133,14 +162,26 @@ class Cursor {
   }
 
  private:
+  /// The per-pull termination check: cancel flag every call, deadline
+  /// clock on a countdown stride (`force_clock` = slice boundaries).
+  /// True when the cursor just became (or already was polled into) a
+  /// terminal cancelled/expired state.
+  bool CheckTermination(bool force_clock);
+
+  /// Pulls between deadline clock reads inside Next() -- the same
+  /// sampling trick as InstrumentedIterator::kDelaySamplePeriod.
+  static constexpr uint32_t kDeadlineSamplePeriod = 16;
+
   std::unique_ptr<RankedIterator> pipeline_;
   CursorOptions options_;
   std::shared_ptr<QueryTrace> trace_;
   std::shared_ptr<const DatabaseSnapshot> snapshot_;
+  std::shared_ptr<CancelState> cancel_state_;
   std::atomic<CursorState> state_{CursorState::kActive};
   std::atomic<size_t> results_emitted_{0};
   std::atomic<size_t> work_used_{0};
   size_t session_work_debt_ = 0;
+  uint32_t deadline_countdown_ = 1;  // mutator-serialized, like Next()
 };
 
 }  // namespace topkjoin

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/util/cancellation.h"
 
 namespace topkjoin {
 
@@ -11,6 +12,9 @@ CursorOptions ResolveCursorOptions(CursorOptions options,
   if (!options.result_budget.has_value() && opts.k.has_value()) {
     options.result_budget = opts.k;
   }
+  if (!options.deadline.has_value() && opts.deadline.has_value()) {
+    options.deadline = opts.deadline;
+  }
   return options;
 }
 
@@ -18,6 +22,20 @@ StatusOr<ExecutionResult> Engine::Execute(const Database& db,
                                           const ConjunctiveQuery& query,
                                           const RankingSpec& ranking,
                                           const ExecutionOptions& opts) {
+  // Honor the deadline before and during plan+compile: an already
+  // expired request fails immediately, and the ExecContext scope lets
+  // the deep preprocessing loops (T-DP build, bag materialization,
+  // batch drain) abort cooperatively mid-build instead of finishing
+  // doomed work. The same CancelState then seeds the cursor layer.
+  CancelState request_cancel;
+  if (opts.deadline.has_value()) {
+    request_cancel.SetDeadline(*opts.deadline);
+    if (request_cancel.DeadlineExpired()) {
+      return Status::DeadlineExceeded("deadline passed before planning");
+    }
+  }
+  ExecContext::Scope cancel_scope(&request_cancel);
+
   // Pin one snapshot for the whole execution: the plan, the compiled
   // pipeline, and the returned stream all see the same frozen view, so
   // mutating `db` while the stream drains is well-defined (the stream
@@ -77,7 +95,7 @@ Cursor* Engine::cursor(CursorId id) { return cursors_.Find(id); }
 
 Status Engine::CloseCursor(CursorId id) {
   if (!cursors_.Erase(id)) {
-    return Status::Error("no open cursor with id " + std::to_string(id));
+    return Status::NotFound("no open cursor with id " + std::to_string(id));
   }
   return Status::Ok();
 }

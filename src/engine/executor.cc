@@ -7,15 +7,26 @@
 #include "src/obs/metrics.h"
 #include "src/query/decomposition.h"
 #include "src/ranking/cost_model.h"
+#include "src/util/cancellation.h"
 
 namespace topkjoin {
 namespace {
 
 // The strategy dispatch, metrics-free: every path builds a shareable
-// artifact whose NewStream() mints per-cursor enumerations.
+// artifact whose NewStream() mints per-cursor enumerations. Honors the
+// caller's ExecContext scope: the build loops poll ShouldAbort(), and
+// an aborted (cancelled / past-deadline) build is discarded here and
+// converted to a typed error -- a partial artifact is never returned.
 StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifactInner(
     const Database& db, const ConjunctiveQuery& query, const QueryPlan& plan,
     JoinStats* stats) {
+  const auto checked =
+      [](std::shared_ptr<const PreprocessingArtifact> artifact)
+      -> StatusOr<std::shared_ptr<const PreprocessingArtifact>> {
+    const Status aborted = ExecContext::AbortStatus("preprocessing");
+    if (!aborted.ok()) return aborted;
+    return artifact;
+  };
   switch (plan.strategy) {
     case PlanStrategy::kAnyKDirect:
     case PlanStrategy::kBatchSort: {
@@ -23,7 +34,7 @@ StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifactInner(
         return MakeTreeArtifact<CM>(db, query, plan.algorithm, stats);
       });
       if (artifact == nullptr) return Status::Error("unknown algorithm");
-      return artifact;
+      return checked(std::move(artifact));
     }
     // Decomposed strategies instantiate the bag artifact per dioid, the
     // same way the acyclic path does: the bags' per-tuple member-weight
@@ -35,18 +46,24 @@ StatusOr<std::shared_ptr<const PreprocessingArtifact>> BuildArtifactInner(
       }
       DecomposedQuery dq =
           MaterializeGrouping(db, query, *plan.grouping, stats);
-      return WithCostModel(
+      // Check between the phases too: a bag materialization that
+      // aborted must not feed a (garbage) T-DP build.
+      {
+        const Status aborted = ExecContext::AbortStatus("preprocessing");
+        if (!aborted.ok()) return aborted;
+      }
+      return checked(WithCostModel(
           plan.ranking.model,
           [&]<typename CM>() -> std::shared_ptr<const PreprocessingArtifact> {
             return MakeBagArtifact<CM>(std::move(dq), plan.algorithm, stats);
-          });
+          }));
     }
     case PlanStrategy::kUnionCases:
       // The estimator-chosen heavy/light threshold rides in the plan
       // (0 = static sqrt(n) fallback, e.g. hand-built plans).
-      return MakeFourCycleArtifact(db, query, plan.algorithm, stats,
-                                   plan.ranking.model,
-                                   plan.fourcycle_threshold);
+      return checked(MakeFourCycleArtifact(db, query, plan.algorithm, stats,
+                                           plan.ranking.model,
+                                           plan.fourcycle_threshold));
   }
   return Status::Error("unknown plan strategy");
 }

@@ -187,7 +187,7 @@ StatusOr<QueryPlan> PlanQuery(const Database& db,
   }
   for (const Atom& atom : query.atoms()) {
     if (atom.relation >= db.NumRelations()) {
-      return Status::Error("query references relation id " +
+      return Status::NotFound("query references relation id " +
                            std::to_string(atom.relation) +
                            " outside the database");
     }

@@ -18,6 +18,7 @@
 #ifndef TOPKJOIN_ENGINE_PLANNER_H_
 #define TOPKJOIN_ENGINE_PLANNER_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -57,6 +58,12 @@ struct ExecutionOptions {
   /// not affect the chosen plan (and is deliberately excluded from the
   /// plan-cache fingerprint); works even in metrics-off builds.
   bool collect_trace = false;
+  /// Absolute wall deadline for the whole request. Planning and
+  /// preprocessing poll it cooperatively (ExecContext) and abort with
+  /// kDeadlineExceeded mid-build instead of finishing doomed work;
+  /// cursors adopt it as CursorOptions::deadline when that is unset.
+  /// Excluded from the plan-cache fingerprint, like collect_trace.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// The structural family a plan belongs to.

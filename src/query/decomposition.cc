@@ -7,6 +7,7 @@
 #include "src/join/binary_plan.h"
 #include "src/join/hash_join.h"
 #include "src/query/hypergraph.h"
+#include "src/util/cancellation.h"
 #include "src/util/common.h"
 
 namespace topkjoin {
@@ -57,6 +58,11 @@ DecomposedQuery MaterializeGrouping(const Database& db,
 
   DecomposedQuery out;
   for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    // Bag materialization can be the dominant cost of a cyclic query;
+    // poll the cooperative cancellation scope between groups and per
+    // copied row below. The caller (executor::BuildArtifactInner)
+    // discards the partial decomposition on abort.
+    if (ExecContext::ShouldAbort()) return out;
     const auto& group = grouping.groups[g];
     VarRelation acc = AtomVarRelation(db, query, group[0],
                                       /*track_weights=*/true);
@@ -71,12 +77,16 @@ DecomposedQuery MaterializeGrouping(const Database& db,
     }
     Relation bag("bag" + std::to_string(g), acc.rel.attribute_names());
     for (RowId r = 0; r < acc.rel.NumTuples(); ++r) {
+      if (ExecContext::ShouldAbort()) [[unlikely]] {
+        return out;
+      }
       bag.AddTuple(acc.rel.Tuple(r), acc.rel.TupleWeight(r));
     }
     const RelationId rid = out.db.Add(std::move(bag));
     out.query.AddAtom(rid, acc.vars);
     out.bag_weights.push_back(std::move(acc.weights));
   }
+  if (ExecContext::ShouldAbort()) return out;
   TOPKJOIN_CHECK(out.query.num_vars() == query.num_vars());
   return out;
 }

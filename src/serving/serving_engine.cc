@@ -1,24 +1,31 @@
 #include "src/serving/serving_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/data/delta.h"
 #include "src/engine/executor.h"
+#include "src/util/cancellation.h"
 #include "src/util/common.h"
+#include "src/util/failpoint.h"
 
 namespace topkjoin {
 
 namespace {
 
 Status NoCursorError(CursorId id) {
-  return Status::Error("no open cursor with id " + std::to_string(id));
+  return Status::NotFound("no open cursor with id " + std::to_string(id));
 }
 
 Status NoSessionError(SessionId id) {
-  return Status::Error("no open session with id " + std::to_string(id));
+  return Status::NotFound("no open session with id " + std::to_string(id));
+}
+
+Status ShuttingDownError() {
+  return Status::Unavailable("serving engine is shutting down");
 }
 
 // Reserves and immediately spends up to `amount` work units from the
@@ -37,11 +44,62 @@ size_t PayWork(Session& session, size_t amount) {
 
 }  // namespace
 
+// ------------------------------------------------------------- lifecycle
+
+/// See the header: registers one in-flight public call iff the drain
+/// has not begun. The flag is checked under lifecycle_mu_, the same
+/// mutex Shutdown sets it under, so an admitted call is either counted
+/// before Shutdown reads inflight_ (and is waited for) or observes the
+/// flag and bails -- there is no third interleaving.
+class ServingEngine::InflightGuard {
+ public:
+  explicit InflightGuard(ServingEngine* engine) : engine_(engine) {
+    MutexLock lock(&engine_->lifecycle_mu_);
+    if (engine_->shutting_down_.load(std::memory_order_relaxed)) return;
+    ++engine_->inflight_;
+    admitted_ = true;
+  }
+  ~InflightGuard() {
+    if (!admitted_) return;
+    bool last = false;
+    {
+      MutexLock lock(&engine_->lifecycle_mu_);
+      last = --engine_->inflight_ == 0;
+    }
+    if (last) engine_->lifecycle_cv_.NotifyAll();
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  ServingEngine* engine_;
+  bool admitted_ = false;
+};
+
 ServingEngine::ServingEngine(ServingOptions options)
-    : cursors_(options.num_stripes),
+    : options_(options),
+      cursors_(options.num_stripes),
       plan_cache_(options.plan_cache_capacity),
       artifact_cache_(options.artifact_cache_capacity),
       pool_(options.num_workers) {}
+
+void ServingEngine::Shutdown() {
+  {
+    MutexLock lock(&lifecycle_mu_);
+    // Under the mutex: an InflightGuard that won admission before this
+    // store is visible in inflight_ and waited for below.
+    shutting_down_.store(true, std::memory_order_release);
+    while (inflight_ != 0) lifecycle_cv_.Wait(&lifecycle_mu_);
+  }
+  // Every public entry point has returned and none will admit again;
+  // what remains is already-queued pool work (SubmitFetch callbacks,
+  // drain slices winding down) -- let it finish.
+  pool_.WaitIdle();
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
 
 // -------------------------------------------------------------- sessions
 
@@ -94,14 +152,104 @@ size_t ServingEngine::NumOpenSessions() const {
 
 // --------------------------------------------------------------- cursors
 
+Status ServingEngine::CheckLoadAdmission() {
+  const OverloadPolicy& policy = options_.overload_policy;
+  const auto shed = [this](std::string why) {
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (kMetricsEnabled) {
+      MetricsRegistry::Global().GetCounter("serving.requests_shed")
+          ->Increment();
+    }
+    return Status::Unavailable(std::move(why));
+  };
+  if (policy.max_open_cursors != 0 &&
+      cursors_.NumCursors() >= policy.max_open_cursors) {
+    return shed("shed: open-cursor high-water mark (" +
+                std::to_string(policy.max_open_cursors) + ") reached");
+  }
+  if (policy.max_queue_depth != 0 &&
+      pool_.QueueDepth() > policy.max_queue_depth) {
+    return shed("shed: worker backlog above " +
+                std::to_string(policy.max_queue_depth) + " slices");
+  }
+  if (policy.max_budget_debt != 0) {
+    const int64_t debt =
+        MetricsRegistry::Global().GetGauge("serving.budget_debt")->value();
+    if (debt >= policy.max_budget_debt) {
+      return shed("shed: outstanding budget debt " + std::to_string(debt) +
+                  " at or above " + std::to_string(policy.max_budget_debt));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ServingEngine::CheckPredictedWorkAdmission(
+    const QueryPlan& plan, const ExecutionOptions& opts) {
+  const OverloadPolicy& policy = options_.overload_policy;
+  if (policy.max_predicted_work <= 0.0) return Status::Ok();
+  // Predicted cost of serving this cursor: the intermediate work the
+  // preprocessing pass must do regardless, plus the output the client
+  // can actually pull (capped by k when the request bounds it). A
+  // non-finite estimate means the estimator had nothing to say --
+  // admit, because unknown is not the same as heavy.
+  double output = plan.estimated_output;
+  if (opts.k.has_value()) {
+    output = std::min(output, static_cast<double>(*opts.k));
+  }
+  const double predicted = plan.estimated_intermediate + output;
+  if (!std::isfinite(predicted) || predicted <= policy.max_predicted_work) {
+    return Status::Ok();
+  }
+  requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("serving.requests_shed")
+        ->Increment();
+  }
+  return Status::Unavailable("shed: predicted work exceeds policy limit")
+      .WithWorkEstimate(predicted);
+}
+
 StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
                                              const Database& db,
                                              const ConjunctiveQuery& query,
                                              const RankingSpec& ranking,
                                              const ExecutionOptions& opts,
                                              CursorOptions cursor_options) {
+  InflightGuard inflight(this);
+  if (!inflight.admitted()) return ShuttingDownError();
   std::shared_ptr<Session> session = FindSession(session_id);
   if (session == nullptr) return NoSessionError(session_id);
+  if constexpr (kFailpointsEnabled) {
+    const Status s = FailpointRegistry::Global().Evaluate("serving.open_cursor");
+    if (!s.ok()) return s;
+  }
+  // A session with no budget headroom cannot fetch a single result;
+  // opening (and possibly preprocessing) for it is pure waste. The
+  // typed kResourceExhausted tells the client to ExtendSessionBudgets
+  // and retry, distinct from load shedding's retryable kUnavailable.
+  if (session->Dry()) {
+    return Status::ResourceExhausted(
+        "session " + std::to_string(session_id) +
+        " has no remaining budget; extend and retry");
+  }
+  if (Status admitted = CheckLoadAdmission(); !admitted.ok()) {
+    return admitted;
+  }
+
+  // Resolve the deadline up front (cursor option wins, else the
+  // request's): an already-expired request fails before planning, and
+  // the ExecContext scope below lets the deep preprocessing loops
+  // (T-DP build, bag materialization, batch drain) abort cooperatively
+  // mid-build instead of finishing doomed work.
+  cursor_options = ResolveCursorOptions(cursor_options, opts);
+  CancelState open_cancel;
+  if (cursor_options.deadline.has_value()) {
+    open_cancel.SetDeadline(*cursor_options.deadline);
+    if (open_cancel.DeadlineExpired()) {
+      return Status::DeadlineExceeded("deadline passed before planning");
+    }
+  }
+  ExecContext::Scope cancel_scope(&open_cancel);
 
   ScopedTimer open_timer(
       kMetricsEnabled
@@ -147,7 +295,16 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
     if (!planned.ok()) return planned.status();
     plans_computed_.fetch_add(1, std::memory_order_relaxed);
     plan = std::move(planned).value();
-    plan_cache_.Insert(key, epoch, *plan);
+    // A failpoint-injected insert failure degrades to cache-miss
+    // behavior (the plan still serves this request) -- exactly what a
+    // real insert-path fault should do.
+    bool insert_plan = true;
+    if constexpr (kFailpointsEnabled) {
+      insert_plan =
+          FailpointRegistry::Global().Evaluate("serving.plan_cache.insert")
+              .ok();
+    }
+    if (insert_plan) plan_cache_.Insert(key, epoch, *plan);
     if (trace != nullptr) {
       trace->AddPhase("plan",
                       FastClock::TicksToNs(FastClock::Now() - plan_start));
@@ -159,6 +316,14 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
           ->Increment();
     }
     if (trace != nullptr) trace->plan_cache_hit = true;
+  }
+  // Estimator-driven shedding sits between planning and compilation:
+  // the plan's cardinality estimates are exactly the predicted work,
+  // and for hot queries the plan cache makes this check nearly free --
+  // the expensive preprocessing below is what it protects.
+  if (Status admitted = CheckPredictedWorkAdmission(*plan, opts);
+      !admitted.ok()) {
+    return admitted;
   }
   const FastClock::Ticks compile_start = FastClock::Now();
   const ArtifactCache::LookupResult cached =
@@ -181,13 +346,30 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
     // the live version -- which a concurrent ApplyDelta may have moved
     // past our snapshot -- deltas committed after `epoch` are dropped,
     // or the patch would fold rows the snapshot does not contain.
-    if (cached.artifact != nullptr && cached.built_version < epoch) {
+    bool try_patch = true;
+    if constexpr (kFailpointsEnabled) {
+      // An injected patch failure forces the full-rebuild path -- the
+      // same degradation a real refold refusal produces.
+      try_patch =
+          FailpointRegistry::Global().Evaluate("serving.artifact.patch").ok();
+    }
+    if (try_patch && cached.artifact != nullptr &&
+        cached.built_version < epoch) {
       std::vector<AppendDelta> deltas;
       if (db.DeltasSince(cached.built_version, &deltas)) {
         std::erase_if(deltas, [epoch](const AppendDelta& d) {
           return d.to_version > epoch;
         });
         artifact = cached.artifact->TryPatch(view, deltas);
+      }
+    }
+    // The refold has no internal abort polls (it is delta-sized, not
+    // data-sized), but the deadline may have expired across it; check
+    // once before committing to this artifact.
+    if (artifact != nullptr) {
+      if (Status aborted = ExecContext::AbortStatus("preprocessing");
+          !aborted.ok()) {
+        return aborted;
       }
     }
     if (artifact != nullptr) {
@@ -204,7 +386,14 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
       artifacts_built_.fetch_add(1, std::memory_order_relaxed);
       artifact = std::move(built).value();
     }
-    artifact_cache_.Insert(key, epoch, artifact);
+    bool insert_artifact = true;
+    if constexpr (kFailpointsEnabled) {
+      insert_artifact =
+          FailpointRegistry::Global()
+              .Evaluate("serving.artifact_cache.insert")
+              .ok();
+    }
+    if (insert_artifact) artifact_cache_.Insert(key, epoch, artifact);
   } else {
     if constexpr (kMetricsEnabled) {
       MetricsRegistry::Global()
@@ -227,8 +416,9 @@ StatusOr<CursorId> ServingEngine::OpenCursor(SessionId session_id,
         ->Increment();
   }
   session->AddCursor();
-  auto cursor = std::make_unique<Cursor>(
-      std::move(stream), ResolveCursorOptions(cursor_options, opts));
+  // cursor_options was resolved against opts before planning (the
+  // deadline check above needed it); the cursor adopts it as-is.
+  auto cursor = std::make_unique<Cursor>(std::move(stream), cursor_options);
   cursor->set_trace(std::move(trace));
   cursor->set_snapshot(std::move(snapshot));
   return cursors_.Insert(std::move(cursor), std::move(session));
@@ -244,6 +434,21 @@ Status ServingEngine::CloseCursor(CursorId id) {
   const std::shared_ptr<Session> session = cursors_.Erase(id);
   if (session == nullptr) return NoCursorError(id);
   session->RemoveCursor();
+  return Status::Ok();
+}
+
+Status ServingEngine::CancelCursor(CursorId id) {
+  // FindCursor takes only the stripe lock -- never the cursor mutex --
+  // so the cancel lands even while a worker is mid-slice on this very
+  // cursor; the slice's next pull observes the flag and stops.
+  const std::shared_ptr<Cursor> cursor = cursors_.FindCursor(id);
+  if (cursor == nullptr) return NoCursorError(id);
+  cursor->RequestCancel();
+  cursors_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (kMetricsEnabled) {
+    MetricsRegistry::Global().GetCounter("serving.cursors_cancelled")
+        ->Increment();
+  }
   return Status::Ok();
 }
 
@@ -264,11 +469,21 @@ size_t ServingEngine::EvictIdleCursors(
 }
 
 StatusOr<FetchOutcome> ServingEngine::Fetch(CursorId id, size_t max_results) {
+  InflightGuard inflight(this);
+  if (!inflight.admitted()) return ShuttingDownError();
   return FetchSlice(id, max_results, std::nullopt);
 }
 
 StatusOr<FetchOutcome> ServingEngine::FetchSlice(
     CursorId id, size_t max_results, std::optional<uint64_t> queue_wait_ns) {
+  // Deliberately NOT gated on shutdown: slices already queued when the
+  // drain began must run to completion (settling their reservations),
+  // and Shutdown waits for them via pool_.WaitIdle().
+  if constexpr (kFailpointsEnabled) {
+    const Status s =
+        FailpointRegistry::Global().Evaluate("serving.worker.slice");
+    if (!s.ok()) return s;
+  }
   if constexpr (kMetricsEnabled) {
     if (queue_wait_ns.has_value()) {
       MetricsRegistry::Global()
@@ -281,10 +496,28 @@ StatusOr<FetchOutcome> ServingEngine::FetchSlice(
           ? MetricsRegistry::Global().GetHistogram("serving.slice_service_ns")
           : nullptr);
   FetchOutcome out;
+  Status typed_error = Status::Ok();
   const bool found =
       cursors_.WithCursor(id, [&](Cursor& cursor, Session& session) {
         session.RecordSlice(queue_wait_ns.value_or(0));
-        out.cursor_state = cursor.state();
+        // Force a deadline-clock read at the slice boundary (the
+        // in-pull check is countdown-sampled); a slice that STARTS on a
+        // cancelled / expired cursor reports the typed error instead of
+        // an empty outcome. A cursor tripped MID-slice below instead
+        // returns ok with the results pulled before the trip and the
+        // terminal cursor_state -- the stream is never torn.
+        const CursorState at_entry = cursor.PollTermination();
+        if (at_entry == CursorState::kCancelled) {
+          typed_error = Status::Cancelled("cursor " + std::to_string(id) +
+                                          " was cancelled");
+          return;
+        }
+        if (at_entry == CursorState::kDeadlineExceeded) {
+          typed_error = Status::DeadlineExceeded(
+              "cursor " + std::to_string(id) + " exceeded its deadline");
+          return;
+        }
+        out.cursor_state = at_entry;
         if (max_results == 0) return;
 
         // Session work is charged in pipeline work units (the
@@ -348,6 +581,7 @@ StatusOr<FetchOutcome> ServingEngine::FetchSlice(
         out.cursor_state = cursor.state();
       });
   if (!found) return NoCursorError(id);
+  if (!typed_error.ok()) return typed_error;
   return out;
 }
 
@@ -364,6 +598,14 @@ Status ServingEngine::ExtendCursorBudgets(CursorId id, size_t extra_results,
 void ServingEngine::SubmitFetch(CursorId id, size_t max_results,
                                 FetchCallback callback) {
   TOPKJOIN_CHECK(callback != nullptr);
+  InflightGuard inflight(this);
+  if (!inflight.admitted()) {
+    // The rejection is still delivered through the callback -- callers
+    // wired for asynchronous completion get exactly one invocation
+    // either way.
+    callback(id, ShuttingDownError());
+    return;
+  }
   const FastClock::Ticks enqueued = FastClock::Now();
   pool_.Submit(
       [this, id, max_results, enqueued, callback = std::move(callback)] {
@@ -398,9 +640,13 @@ void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
       FastClock::TicksToNs(FastClock::Now() - enqueued));
   // Keep going while the cursor is active and its session has budget; a
   // closed cursor (!ok) or any stop condition ends this cursor's chain.
+  // A drain overtaken by Shutdown winds down too: the chain stops
+  // requeueing, pending reaches 0, and the blocked DrainAll returns
+  // with whatever was produced.
   const bool requeue = outcome.ok() &&
                        outcome.value().cursor_state == CursorState::kActive &&
-                       !outcome.value().session_dry;
+                       !outcome.value().session_dry &&
+                       !shutting_down_.load(std::memory_order_acquire);
   {
     MutexLock lock(&ticket->mu);
     if (outcome.ok() && !outcome.value().results.empty()) {
@@ -431,6 +677,8 @@ void ServingEngine::RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket,
 
 std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
     size_t results_per_slice) {
+  InflightGuard inflight(this);
+  if (!inflight.admitted()) return {};
   results_per_slice = std::max<size_t>(1, results_per_slice);
   auto ticket = std::make_shared<DrainTicket>();
   if (cursors_.NumCursors() == 0) return {};
@@ -464,7 +712,10 @@ std::map<CursorId, std::vector<RankedResult>> ServingEngine::DrainAll(
     admit(std::move(round));
     MutexLock lock(&ticket->mu);
     while (ticket->pending != 0) ticket->done_cv.Wait(&ticket->mu);
-    if (ticket->dried.empty()) return std::move(ticket->results);
+    if (ticket->dried.empty() ||
+        shutting_down_.load(std::memory_order_acquire)) {
+      return std::move(ticket->results);
+    }
     // Re-sweep dry-stopped cursors until dryness is provably permanent:
     // a round that produced nothing AND re-dried exactly the cursors it
     // retried moved no budget at all (no results consumed, and refunds
@@ -495,6 +746,12 @@ MetricsSnapshot ServingEngine::GetMetricsSnapshot() const {
       static_cast<int64_t>(NumOpenSessions());
   snap.counters["serving.plans_computed"] =
       static_cast<int64_t>(plans_computed_.load(std::memory_order_relaxed));
+  snap.counters["serving.requests_shed"] =
+      static_cast<int64_t>(requests_shed_.load(std::memory_order_relaxed));
+  snap.counters["serving.cursors_cancelled"] = static_cast<int64_t>(
+      cursors_cancelled_.load(std::memory_order_relaxed));
+  snap.gauges["serving.queue_depth"] =
+      static_cast<int64_t>(pool_.QueueDepth());
   const PlanCacheStats cache = plan_cache_.stats();
   snap.counters["serving.plan_cache.hits"] = static_cast<int64_t>(cache.hits);
   snap.counters["serving.plan_cache.misses"] =

@@ -51,6 +51,31 @@
 
 namespace topkjoin {
 
+/// Admission-control thresholds consulted by OpenCursor BEFORE any
+/// expensive work. 0 (or 0.0) disables the corresponding check. A
+/// request rejected by any of these gets a typed, retryable
+/// Status::Unavailable (Status::retryable() is true) and bumps the
+/// serving.requests_shed counter; the estimator-driven check also
+/// attaches the predicted work (Status::work_estimate()) so clients can
+/// triage retry-now vs. retry-later vs. narrow-the-query.
+struct OverloadPolicy {
+  /// Shed opens once this many cursors are already open.
+  size_t max_open_cursors = 0;
+  /// Shed opens while the worker pool backlog (queued + running slices)
+  /// exceeds this.
+  size_t max_queue_depth = 0;
+  /// Shed opens while the process-wide serving.budget_debt gauge (work
+  /// units pulled but not yet coverable by session budgets) is at or
+  /// above this. Inert in metrics-off builds: the gauge is compiled out
+  /// and reads 0.
+  int64_t max_budget_debt = 0;
+  /// Estimator-driven shedding: after planning (cheap for hot queries
+  /// -- the plan cache already has the estimates), shed when the
+  /// plan's predicted work exceeds this. Non-finite estimates (unknown
+  /// cost) are admitted: unknown is not the same as heavy.
+  double max_predicted_work = 0.0;
+};
+
 struct ServingOptions {
   /// Worker threads serving Fetch slices. 0 = no threads: SubmitFetch
   /// and DrainAll run their slices inline on the calling thread (same
@@ -69,6 +94,8 @@ struct ServingOptions {
   /// per-cursor enumeration state -- O(1) in the data. 0 disables
   /// caching (every OpenCursor rebuilds).
   size_t artifact_cache_capacity = 64;
+  /// Load-shedding thresholds (all disabled by default).
+  OverloadPolicy overload_policy;
 };
 
 /// The outcome of one Fetch slice. `results` is in rank order and
@@ -87,9 +114,17 @@ class ServingEngine {
  public:
   explicit ServingEngine(ServingOptions options = {});
 
-  /// Joins the workers. Outstanding SubmitFetch tasks still run; the
-  /// caller must not race new calls against destruction.
-  ~ServingEngine() = default;
+  /// Drains (Shutdown) and joins the workers. Safe to race against
+  /// concurrent public calls: entry points that began before the drain
+  /// finish normally, later ones get Status::Unavailable.
+  ~ServingEngine();
+
+  /// Enters drain mode: new OpenCursor / Fetch / SubmitFetch / DrainAll
+  /// calls are rejected with a typed Status::Unavailable, in-flight
+  /// calls and already-queued slices run to completion, then Shutdown
+  /// returns. Idempotent and thread-safe; the destructor calls it, so
+  /// destroying a ServingEngine under load is well-defined.
+  void Shutdown() EXCLUDES(lifecycle_mu_);
 
   // ------------------------------------------------------------ sessions
 
@@ -139,6 +174,16 @@ class ServingEngine {
                                 CursorOptions cursor_options = {});
 
   Status CloseCursor(CursorId id);
+
+  /// Requests cooperative cancellation of an open cursor. Returns
+  /// immediately (kNotFound when the id is closed/unknown); the cursor
+  /// observes the flag at its next pull -- including mid-slice, since
+  /// the flag is read outside the cursor mutex -- settles its session
+  /// accounting exactly as any other terminal state, and reports
+  /// CursorState::kCancelled from then on. Subsequent Fetch slices
+  /// return Status::Cancelled. Safe from any thread, including while a
+  /// worker is parked inside the cursor's slice.
+  Status CancelCursor(CursorId id);
 
   /// Closes every cursor that has not been opened or fetched within the
   /// last `max_idle`, settling its session's bookkeeping -- the backstop
@@ -215,6 +260,17 @@ class ServingEngine {
   uint64_t NumArtifactsPatched() const {
     return artifacts_patched_.load(std::memory_order_relaxed);
   }
+  /// OpenCursor requests rejected by the OverloadPolicy (typed
+  /// kUnavailable). Also exported as the serving.requests_shed counter;
+  /// works in metrics-off builds.
+  uint64_t NumRequestsShed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+  /// CancelCursor calls that found their cursor. Also exported as the
+  /// serving.cursors_cancelled counter; works in metrics-off builds.
+  uint64_t NumCursorsCancelled() const {
+    return cursors_cancelled_.load(std::memory_order_relaxed);
+  }
 
   /// Drops every cached plan, cached preprocessing artifact, and the
   /// sampled statistics for `db`. Data *changes* already invalidate
@@ -234,8 +290,20 @@ class ServingEngine {
  private:
   struct DrainTicket;  // see serving_engine.cc
 
+  /// RAII in-flight registration for the drain handshake: the ctor
+  /// admits the call iff Shutdown has not begun; admitted() is false
+  /// afterwards and the caller must bail with kUnavailable. Defined in
+  /// serving_engine.cc.
+  class InflightGuard;
+
   std::shared_ptr<Session> FindSession(SessionId id) const
       EXCLUDES(sessions_mu_);
+
+  /// Pre-plan (load) and post-plan (estimator) halves of the
+  /// OverloadPolicy. Both return kUnavailable and count the shed.
+  Status CheckLoadAdmission();
+  Status CheckPredictedWorkAdmission(const QueryPlan& plan,
+                                     const ExecutionOptions& opts);
   void RunDrainSlice(const std::shared_ptr<DrainTicket>& ticket, CursorId id,
                      size_t results_per_slice, FastClock::Ticks enqueued);
 
@@ -246,12 +314,24 @@ class ServingEngine {
   StatusOr<FetchOutcome> FetchSlice(CursorId id, size_t max_results,
                                     std::optional<uint64_t> queue_wait_ns);
 
+  const ServingOptions options_;
   ShardedCursorTable cursors_;
   PlanCache plan_cache_;
   ArtifactCache artifact_cache_;
   std::atomic<uint64_t> plans_computed_{0};
   std::atomic<uint64_t> artifacts_built_{0};
   std::atomic<uint64_t> artifacts_patched_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> cursors_cancelled_{0};
+
+  /// Drain-mode handshake (see Shutdown). The flag is written under
+  /// lifecycle_mu_ but read with a lone acquire load on hot requeue
+  /// paths; inflight_ counts public entry points currently between
+  /// InflightGuard construction and destruction.
+  std::atomic<bool> shutting_down_{false};
+  mutable Mutex lifecycle_mu_;
+  CondVar lifecycle_cv_;
+  size_t inflight_ GUARDED_BY(lifecycle_mu_) = 0;
 
   /// Sampled statistics per (db, version), built once and shared across
   /// plan-cache misses (PlanQuery's own contract: "pass a prebuilt

@@ -61,6 +61,16 @@ bool ShardedCursorTable::WithCursor(
   return true;
 }
 
+std::shared_ptr<Cursor> ShardedCursorTable::FindCursor(CursorId id) const {
+  const Stripe& stripe = stripe_for(id);
+  MutexLock lock(&stripe.mu);
+  const auto it = stripe.entries.find(id);
+  if (it == stripe.entries.end()) return nullptr;
+  // Deliberately no last_used refresh: cancelling must not rescue a
+  // cursor from the idle sweep.
+  return it->second.cursor;
+}
+
 std::shared_ptr<Session> ShardedCursorTable::Erase(CursorId id) {
   Stripe& stripe = stripe_for(id);
   MutexLock lock(&stripe.mu);

@@ -55,6 +55,14 @@ class ShardedCursorTable {
   bool WithCursor(CursorId id,
                   const std::function<void(Cursor&, Session&)>& fn);
 
+  /// Looks up the cursor WITHOUT taking its per-cursor mutex: only the
+  /// stripe lock, and no idle-clock touch. This is the cancellation
+  /// path -- CancelCursor must land while a slice is mid-flight on the
+  /// cursor mutex, and a cancel must not count as activity that saves
+  /// the cursor from the idle sweep. Callers may only use the returned
+  /// cursor's thread-safe surface (RequestCancel, state).
+  std::shared_ptr<Cursor> FindCursor(CursorId id) const;
+
   /// Unlinks the cursor (destroyed when the last in-flight reference
   /// drops); returns its session so the caller can update bookkeeping,
   /// or nullptr when the id is closed/unknown. Does not wait for an

@@ -54,6 +54,11 @@ void WorkerPool::Submit(std::function<void()> task) {
   idle_cv_.NotifyAll();
 }
 
+size_t WorkerPool::QueueDepth() const {
+  MutexLock lock(&mu_);
+  return queue_.size() + running_;
+}
+
 void WorkerPool::WaitIdle() {
   MutexLock lock(&mu_);
   while (!(queue_.empty() && running_ == 0)) idle_cv_.Wait(&mu_);

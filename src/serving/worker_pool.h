@@ -42,10 +42,16 @@ class WorkerPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Queued plus currently-executing tasks: the pool's instantaneous
+  /// backlog. Transient by nature (submits race it); the serving layer
+  /// samples it for load-shedding decisions, where an approximate
+  /// answer is the point.
+  size_t QueueDepth() const EXCLUDES(mu_);
+
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar wake_cv_;  // workers wait for tasks/shutdown
   CondVar idle_cv_;  // WaitIdle waits for quiescence
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

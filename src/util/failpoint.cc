@@ -1,0 +1,104 @@
+#include "src/util/failpoint.h"
+
+#include <thread>
+#include <utility>
+
+namespace topkjoin {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailpointSpec spec) {
+  MutexLock lock(&mu_);
+  Point& pt = points_[name];
+  pt.spec = std::move(spec);
+  pt.armed = true;
+  pt.released = false;
+  pt.evals = 0;
+  pt.fires = 0;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  {
+    MutexLock lock(&mu_);
+    const auto it = points_.find(name);
+    if (it == points_.end()) return;
+    it->second.armed = false;
+    it->second.released = true;
+  }
+  cv_.NotifyAll();
+}
+
+void FailpointRegistry::DisarmAll() {
+  {
+    MutexLock lock(&mu_);
+    for (auto& [name, pt] : points_) {
+      pt.armed = false;
+      pt.released = true;
+    }
+  }
+  cv_.NotifyAll();
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  FailpointSpec::Action action;
+  Status error;
+  std::chrono::nanoseconds delay{0};
+  {
+    MutexLock lock(&mu_);
+    const auto it = points_.find(name);
+    if (it == points_.end() || !it->second.armed) return Status::Ok();
+    Point& pt = it->second;
+    const uint64_t eval = ++pt.evals;
+    if (eval <= pt.spec.skip_first) return Status::Ok();
+    const uint64_t every = pt.spec.every_n == 0 ? 1 : pt.spec.every_n;
+    if ((eval - pt.spec.skip_first - 1) % every != 0) return Status::Ok();
+    if (pt.fires >= pt.spec.max_fires) return Status::Ok();
+    ++pt.fires;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+    action = pt.spec.action;
+    if (action == FailpointSpec::Action::kError) error = pt.spec.error;
+    if (action == FailpointSpec::Action::kDelay) delay = pt.spec.delay;
+    if (action == FailpointSpec::Action::kBlock) {
+      ++pt.parked;
+      cv_.NotifyAll();  // wake WaitForParked
+      while (!pt.released) cv_.Wait(&mu_);
+      --pt.parked;
+      return Status::Ok();
+    }
+  }
+  if (action == FailpointSpec::Action::kDelay && delay.count() > 0) {
+    // Outside mu_ so a delay fire never serializes other failpoints.
+    std::this_thread::sleep_for(delay);
+  }
+  return error;  // Ok for kDelay
+}
+
+void FailpointRegistry::Release(const std::string& name) {
+  {
+    MutexLock lock(&mu_);
+    const auto it = points_.find(name);
+    if (it == points_.end()) return;
+    it->second.released = true;
+  }
+  cv_.NotifyAll();
+}
+
+void FailpointRegistry::WaitForParked(const std::string& name, size_t parked) {
+  MutexLock lock(&mu_);
+  while (true) {
+    const auto it = points_.find(name);
+    if (it != points_.end() && it->second.parked >= parked) return;
+    cv_.Wait(&mu_);
+  }
+}
+
+uint64_t FailpointRegistry::hits(const std::string& name) const {
+  MutexLock lock(&mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace topkjoin

@@ -1,4 +1,14 @@
 // Minimal Status/StatusOr for exception-free error propagation.
+//
+// Errors carry a small code taxonomy alongside the human-readable
+// message, because the serving layer's callers DO branch on the kind of
+// failure: a load-shed rejection (kUnavailable) is retryable after
+// backoff, a per-request rejection (kResourceExhausted) is retryable
+// only after the caller extends budgets, while kNotFound / kCancelled /
+// kDeadlineExceeded are final for that id or attempt. Library-internal
+// failures that no caller should branch on stay kUnknown
+// (Status::Error), so the taxonomy only grows when a caller genuinely
+// needs to distinguish.
 #ifndef TOPKJOIN_UTIL_STATUS_H_
 #define TOPKJOIN_UTIL_STATUS_H_
 
@@ -9,27 +19,85 @@
 
 namespace topkjoin {
 
-/// A lightweight success/error result. Errors carry a human-readable
-/// message; there is deliberately no error-code taxonomy because callers
-/// in this library never branch on the kind of failure.
+enum class StatusCode {
+  kOk = 0,
+  /// Generic failure (Status::Error): callers handle it as "failed",
+  /// never branch on it.
+  kUnknown,
+  /// The cursor/attempt was cancelled via CancelCursor. Final.
+  kCancelled,
+  /// The request's absolute deadline passed (ExecutionOptions /
+  /// CursorOptions deadline). Final for this attempt.
+  kDeadlineExceeded,
+  /// The id (cursor, session, relation) does not exist / was closed.
+  kNotFound,
+  /// A per-request or per-session resource limit: the session's budgets
+  /// are spent, or the query's predicted work exceeds the configured
+  /// per-request ceiling. Retrying the same request without extending
+  /// budgets (or shrinking the query) will fail again.
+  kResourceExhausted,
+  /// Transient overload or shutdown: the engine shed the request to
+  /// protect admitted work. Retryable after backoff (see
+  /// Status::work_estimate for the planner's predicted cost, a hint
+  /// for client-side pacing).
+  kUnavailable,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success/error result: a code from the small taxonomy
+/// above plus a human-readable message.
 class Status {
  public:
   Status() = default;
 
   static Status Ok() { return Status(); }
+  /// Generic error -- the default for internal failures callers never
+  /// branch on.
   static Status Error(std::string message) {
-    Status s;
-    s.ok_ = false;
-    s.message_ = std::move(message);
-    return s;
+    return Status(StatusCode::kUnknown, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// True for rejections worth retrying after backoff without changing
+  /// the request (load shedding / drain mode).
+  bool retryable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// Admission-control payload: the planner's predicted work (RAM-model
+  /// units) for the shed request, so a rejected client can pace its
+  /// retry against the advertised cost. Negative = not set.
+  Status&& WithWorkEstimate(double estimate) && {
+    work_estimate_ = estimate;
+    return std::move(*this);
+  }
+  bool has_work_estimate() const { return work_estimate_ >= 0.0; }
+  double work_estimate() const { return work_estimate_; }
+
  private:
-  bool ok_ = true;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  double work_estimate_ = -1.0;
 };
 
 /// Holds either a value of type T or an error Status.
@@ -61,6 +129,26 @@ class StatusOr {
   Status status_;
   T value_{};
 };
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kUnknown:
+      return "unknown";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "invalid";
+}
 
 }  // namespace topkjoin
 

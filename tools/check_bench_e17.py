@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression guard over BENCH_e17.json (bench_e17_overload).
+
+Gates the overload-protection claim: under a closed-loop storm of
+clients against a small worker pool, estimator/load-driven shedding
+keeps the ADMITTED clients' p99 slice latency near the unloaded
+baseline, while the same storm unprotected degrades everyone.
+
+  * the shed run actually shed (requests_shed > 0) and still admitted
+    at least one client;
+  * the unprotected run shed no one (the policy was off);
+  * admitted-query p99 with shedding <= MAX_SHED_DEGRADATION x the
+    unloaded p99;
+  * unprotected p99 >= MIN_NOSHED_DEGRADATION x the shed-run p99 --
+    the storm was real, the policy is what absorbed it;
+  * a failpoints-off build recorded zero failpoint fires (the
+    zero-cost claim of the fault-injection layer).
+
+Usage: check_bench_e17.py path/to/BENCH_e17.json
+"""
+import json
+import sys
+
+MAX_SHED_DEGRADATION = 2.0
+MIN_NOSHED_DEGRADATION = 2.0
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_e17 regression: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_e17.py BENCH_e17.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    for key in (
+        "unloaded_p99_ns",
+        "shed_p99_ns",
+        "noshed_p99_ns",
+        "shed_admitted",
+        "shed_requests_shed",
+        "noshed_requests_shed",
+        "failpoints_enabled",
+        "failpoint_total_fires",
+    ):
+        if key not in data:
+            fail(f"{key} missing from JSON")
+
+    if data["shed_requests_shed"] <= 0:
+        fail("the shed run rejected nothing: the OverloadPolicy never fired")
+    if data["shed_admitted"] <= 0:
+        fail("the shed run admitted no one: shedding must not starve")
+    if data["noshed_requests_shed"] != 0:
+        fail(
+            f"the unprotected run shed "
+            f"{data['noshed_requests_shed']} requests with the policy off"
+        )
+
+    unloaded = data["unloaded_p99_ns"]
+    shed = data["shed_p99_ns"]
+    noshed = data["noshed_p99_ns"]
+    if unloaded <= 0 or shed <= 0 or noshed <= 0:
+        fail("non-positive p99 (a run recorded no latencies)")
+
+    shed_ratio = shed / unloaded
+    if shed_ratio > MAX_SHED_DEGRADATION:
+        fail(
+            f"admitted p99 under shedding degraded {shed_ratio:.2f}x over "
+            f"unloaded (limit {MAX_SHED_DEGRADATION}x): shedding is not "
+            f"protecting admitted queries"
+        )
+
+    noshed_ratio = noshed / shed
+    if noshed_ratio < MIN_NOSHED_DEGRADATION:
+        fail(
+            f"unprotected p99 only {noshed_ratio:.2f}x the shed run "
+            f"(want >= {MIN_NOSHED_DEGRADATION}x): the storm never "
+            f"overloaded the pool, so the gate proves nothing"
+        )
+
+    if not data["failpoints_enabled"] and data["failpoint_total_fires"] != 0:
+        fail(
+            f"failpoints are compiled out but "
+            f"{data['failpoint_total_fires']} fires were recorded"
+        )
+
+    print(
+        f"BENCH_e17 guard: shed p99 {shed_ratio:.2f}x unloaded "
+        f"(<= {MAX_SHED_DEGRADATION}x), unprotected {noshed_ratio:.2f}x "
+        f"shed (>= {MIN_NOSHED_DEGRADATION}x), "
+        f"{data['shed_requests_shed']} requests shed, all checks passed"
+    )
+
+
+if __name__ == "__main__":
+    main()

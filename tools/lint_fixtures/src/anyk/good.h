@@ -6,6 +6,7 @@
 #define TOPKJOIN_TOOLS_LINT_FIXTURES_SRC_ANYK_GOOD_H_
 
 #include "src/obs/metrics.h"
+#include "src/util/failpoint.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -23,6 +24,14 @@ inline void RecordGated() {
   if constexpr (kMetricsEnabled) {
     MetricsRegistry::Global().GetCounter("fixture.gated")->Increment();
   }
+}
+
+inline Status EvaluateGatedFailpoint() {
+  if constexpr (kFailpointsEnabled) {
+    const Status s = FailpointRegistry::Global().Evaluate("fixture.gated");
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
 }
 
 struct Good {

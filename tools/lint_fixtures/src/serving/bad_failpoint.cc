@@ -1,0 +1,14 @@
+// Lint fixture: failpoint evaluation in production code without the
+// kFailpointsEnabled compile-out gate.
+// Never compiled; exists only for lint_invariants.py --self-test.
+#include "src/util/failpoint.h"
+
+namespace topkjoin {
+
+Status BadFailpoint() {
+  // failpoint-gate violation: default builds would pay a registry
+  // lookup on every call.
+  return FailpointRegistry::Global().Evaluate("fixture.bad");
+}
+
+}  // namespace topkjoin

@@ -32,6 +32,13 @@ Rules (each violation prints as `path:line: [rule-id] message`):
                   banned -- they break as files move and defeat
                   include-what-you-use reasoning.
 
+  failpoint-gate  Failpoint evaluation from production code (src/) must
+                  be gated on kFailpointsEnabled so default builds
+                  (TOPKJOIN_FAILPOINTS=OFF) compile the registry lookup
+                  out entirely -- the same zero-cost contract as
+                  metrics-gate. Tests and benches arm/inspect the
+                  registry directly and are exempt.
+
   tsa-suppress    Every NO_THREAD_SAFETY_ANALYSIS needs an adjacent
                   `SAFETY:` comment explaining why the suppression is
                   sound. A bare suppression is an unreviewed hole in the
@@ -184,6 +191,26 @@ class Linter:
                 "kMetricsEnabled (gate within the preceding "
                 f"{GATE_WINDOW} lines, or intern via a `static` local)")
 
+    def check_failpoint_gate(self, path, code_lines):
+        rel = os.path.relpath(path, self.root)
+        if rel in (os.path.join("src", "util", "failpoint.h"),
+                   os.path.join("src", "util", "failpoint.cc")):
+            return  # the definition site
+        for i, line in enumerate(code_lines, 1):
+            if "FailpointRegistry::Global" not in line:
+                continue
+            lo = max(0, i - 1 - GATE_WINDOW)
+            window = code_lines[lo:i]
+            if "kFailpointsEnabled" in line or any(
+                    "kFailpointsEnabled" in w for w in window):
+                continue
+            self.report(
+                path, i, "failpoint-gate",
+                "failpoint evaluation not visibly gated on "
+                "kFailpointsEnabled (gate within the preceding "
+                f"{GATE_WINDOW} lines); default builds must compile "
+                "failpoints out entirely")
+
     def check_include_guard(self, path, raw_lines):
         has_pragma = any(l.strip().startswith("#pragma once") for l in raw_lines)
         has_guard = False
@@ -242,6 +269,8 @@ class Linter:
             self.check_no_test_sleep(path, code_lines)
         if in_hot_path:
             self.check_metrics_gate(path, code_lines)
+        if in_src:
+            self.check_failpoint_gate(path, code_lines)
         if path.endswith(".h"):
             self.check_include_guard(path, raw_lines)
         self.check_include_paths(path, raw_lines)
@@ -275,6 +304,7 @@ def self_test(repo_root):
         (j("src", "anyk", "bad_guard.h"), "include-guard"),
         (j("src", "anyk", "bad_include.h"), "include-path"),
         (j("src", "serving", "bad_suppress.h"), "tsa-suppress"),
+        (j("src", "serving", "bad_failpoint.cc"), "failpoint-gate"),
     }
     clean = {j("src", "anyk", "good.h")}
 
